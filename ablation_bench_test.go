@@ -1,0 +1,234 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// positional-encoding scheme, pre- vs post-LayerNorm residuals, attention
+// head count, n-gram smoothing, PPMI vs raw co-occurrence counts, and
+// weight decay for grokking. Each reports the scientific quantity the
+// ablation moves.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/embed"
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+	"repro/internal/ngram"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+// trainLMOnPCFG trains a small LM and returns held-out loss, shared by the
+// architecture ablations.
+func trainLMOnPCFG(b *testing.B, cfg transformer.Config, steps int) float64 {
+	b.Helper()
+	rng := mathx.NewRNG(31)
+	lines := corpus.PCFGText(grammar.TinyEnglish(), 800, 10, rng)
+	enc := map[string]int{}
+	var stream []int
+	for _, l := range lines {
+		for _, w := range splitFields(l) {
+			id, ok := enc[w]
+			if !ok {
+				id = len(enc)
+				enc[w] = id
+			}
+			stream = append(stream, id)
+		}
+	}
+	cfg.Vocab = len(enc)
+	model := transformer.MustNew(cfg, mathx.NewRNG(32))
+	cut := len(stream) * 8 / 10
+	windows := corpus.MakeWindows(stream[:cut], cfg.Window)
+	test := corpus.MakeWindows(stream[cut:], cfg.Window)
+	batches := make([]train.Batch, len(windows))
+	for i, w := range windows {
+		batches[i] = train.Batch{Input: w.Input, Target: w.Target}
+	}
+	testB := make([]train.Batch, len(test))
+	for i, w := range test {
+		testB[i] = train.Batch{Input: w.Input, Target: w.Target}
+	}
+	if _, err := train.Run(model, batches, train.Config{
+		Steps: steps, BatchSize: 4, Schedule: train.Constant(0.003),
+		Optimizer: train.NewAdam(0), ClipNorm: 1, Seed: 33,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return train.MeanLoss(model, testB)
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// BenchmarkAblationPositional compares sinusoidal, learned and no
+// positional embeddings on the same LM task.
+func BenchmarkAblationPositional(b *testing.B) {
+	kinds := map[string]transformer.PosKind{
+		"sinusoidal": transformer.PosSinusoidal,
+		"learned":    transformer.PosLearned,
+		"none":       transformer.PosNone,
+	}
+	for name, kind := range kinds {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loss := trainLMOnPCFG(b, transformer.Config{
+					Dim: 32, Layers: 1, Heads: 2, Window: 16, Pos: kind, Act: nn.GELU,
+				}, 150)
+				b.ReportMetric(loss, "test-loss")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNorm compares pre-LN (GPT-2/3) with post-LN (original
+// transformer) residual ordering.
+func BenchmarkAblationNorm(b *testing.B) {
+	for _, post := range []bool{false, true} {
+		name := "pre-ln"
+		if post {
+			name = "post-ln"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loss := trainLMOnPCFG(b, transformer.Config{
+					Dim: 32, Layers: 2, Heads: 2, Window: 16,
+					Pos: transformer.PosLearned, Act: nn.GELU, PostNorm: post,
+				}, 150)
+				b.ReportMetric(loss, "test-loss")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeads sweeps the head count H at fixed p (head width
+// q = p/H shrinks as H grows — the §6 trade-off).
+func BenchmarkAblationHeads(b *testing.B) {
+	for _, h := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("H%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loss := trainLMOnPCFG(b, transformer.Config{
+					Dim: 32, Layers: 1, Heads: h, Window: 16,
+					Pos: transformer.PosLearned, Act: nn.GELU,
+				}, 150)
+				b.ReportMetric(loss, "test-loss")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSmoothing compares raw MLE, add-k, and interpolated
+// n-gram estimators on held-out perplexity.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	rng := mathx.NewRNG(35)
+	lines := corpus.PCFGText(grammar.TinyEnglish(), 800, 10, rng)
+	enc := map[string]int{}
+	var stream []int
+	for _, l := range lines {
+		for _, w := range splitFields(l) {
+			id, ok := enc[w]
+			if !ok {
+				id = len(enc)
+				enc[w] = id
+			}
+			stream = append(stream, id)
+		}
+	}
+	cut := len(stream) * 8 / 10
+	variants := map[string]func() *ngram.Model{
+		"mle": func() *ngram.Model { return ngram.New(3, len(enc)) },
+		"addk": func() *ngram.Model {
+			m := ngram.New(3, len(enc))
+			m.AddK = 0.1
+			return m
+		},
+		"interp": func() *ngram.Model {
+			m := ngram.New(3, len(enc))
+			m.AddK = 0.05
+			m.Interpolation = []float64{0.1, 0.3, 0.6}
+			return m
+		},
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := mk()
+				m.Train(stream[:cut])
+				b.ReportMetric(m.Perplexity(stream[cut:]), "perplexity")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPPMI compares raw-count vs PPMI co-occurrence embeddings
+// on analogy accuracy.
+func BenchmarkAblationPPMI(b *testing.B) {
+	rng := mathx.NewRNG(36)
+	lines := corpus.AnalogyCorpus(4000, rng)
+	v := embed.NewVocabulary(lines)
+	cooc := embed.Cooccurrence(lines, v, 4)
+	quads := embed.StandardQuads()
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(embed.FromMatrix(v, cooc).AnalogyAccuracy(quads), "analogy-acc")
+		}
+	})
+	b.Run("ppmi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(embed.FromMatrix(v, embed.PPMI(cooc)).AnalogyAccuracy(quads), "analogy-acc")
+		}
+	})
+}
+
+// BenchmarkAblationWeightDecay reruns the grokking recipe with and without
+// AdamW decay; without decay the test-accuracy rise stalls.
+func BenchmarkAblationWeightDecay(b *testing.B) {
+	for _, wd := range []float64{0, 0.3} {
+		b.Run(fmt.Sprintf("wd%.1f", wd), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				const modulus = 13
+				rng := mathx.NewRNG(13)
+				eqs := corpus.ModularAddition(modulus)
+				trainEqs, testEqs := corpus.SplitEquations(eqs, 0.5, rng)
+				toBatch := func(eqs []corpus.ModEquation) []train.Batch {
+					out := make([]train.Batch, len(eqs))
+					for i, e := range eqs {
+						ids := corpus.EncodeEquation(e, modulus)
+						out[i] = train.Batch{Input: ids[:4], Target: []int{-1, -1, -1, ids[4]}}
+					}
+					return out
+				}
+				trainB, testB := toBatch(trainEqs), toBatch(testEqs)
+				model := transformer.MustNew(transformer.Config{
+					Vocab: corpus.ModVocabSize(modulus), Dim: 48, Layers: 1, Heads: 4,
+					Window: 8, Pos: transformer.PosLearned, Act: nn.GELU,
+				}, mathx.NewRNG(14))
+				res, err := train.Run(model, trainB, train.Config{
+					Steps: 800, BatchSize: 16, Schedule: train.Constant(0.002),
+					Optimizer: train.NewAdam(wd), ClipNorm: 1,
+					EvalEvery: 100, EvalTrain: trainB, EvalTest: testB,
+					AccuracyPositions: []int{0},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := res.Curve[len(res.Curve)-1]
+				b.ReportMetric(last.TestAcc, "final-test-acc")
+			}
+		})
+	}
+}

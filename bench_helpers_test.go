@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+	"repro/internal/probe"
+)
+
+// embedVocab, embedBuild, embedQuads assemble the E6 embedding pipeline.
+func embedVocab(lines []string) *embed.Vocabulary { return embed.NewVocabulary(lines) }
+
+func embedBuild(lines []string, v *embed.Vocabulary) *embed.Embeddings {
+	return embed.FromMatrix(v, embed.PPMI(embed.Cooccurrence(lines, v, 4)))
+}
+
+func embedQuads() []embed.AnalogyQuad { return embed.StandardQuads() }
+
+// structuralData builds E10 probe data where an exact solution exists: tree
+// distance between leaves equals the squared Euclidean distance between
+// root-path edge-indicator vectors.
+func structuralData(n int, rng *mathx.RNG) []probe.Sentence {
+	g := grammar.Arithmetic()
+	const signalDim, noiseDim = 20, 8
+	var out []probe.Sentence
+	for len(out) < n {
+		tr := g.Generate(rng, 8)
+		leaves := tr.Leaves()
+		if len(leaves) < 3 || len(leaves) > 9 {
+			continue
+		}
+		d := grammar.LeafDistances(tr)
+		paths := edgePaths(tr)
+		ok := true
+		emb := make([][]float64, len(leaves))
+		for i, path := range paths {
+			v := make([]float64, signalDim+noiseDim)
+			for _, e := range path {
+				if e >= signalDim {
+					ok = false
+					break
+				}
+				v[e] = 1
+			}
+			for j := signalDim; j < signalDim+noiseDim; j++ {
+				v[j] = rng.Norm() * 0.05
+			}
+			emb[i] = v
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, probe.Sentence{Embeddings: emb, Distances: d})
+	}
+	return out
+}
+
+func edgePaths(t *grammar.Tree) [][]int {
+	var paths [][]int
+	edge := 0
+	var walk func(n *grammar.Tree, acc []int)
+	walk = func(n *grammar.Tree, acc []int) {
+		if len(n.Children) == 0 {
+			paths = append(paths, append([]int(nil), acc...))
+			return
+		}
+		for _, c := range n.Children {
+			id := edge
+			edge++
+			walk(c, append(acc, id))
+		}
+	}
+	walk(t, nil)
+	return paths
+}
+
+// imitator models the few-shot/zero-shot asymmetry of E13: it can only
+// solve a task whose transformation is demonstrated in the prompt.
+type imitator struct{}
+
+func (imitator) Complete(prompt string, maxTokens int) string {
+	lines := strings.Split(strings.TrimSpace(prompt), "\n")
+	q := strings.Fields(lines[len(lines)-1])
+	if len(lines) < 2 {
+		return "???"
+	}
+	ex := strings.Fields(lines[0])
+	arrow := -1
+	for i, w := range ex {
+		if w == "->" {
+			arrow = i
+		}
+	}
+	if arrow < 0 || arrow+1 >= len(ex) {
+		return "???"
+	}
+	in := ex[1:arrow]
+	out := ex[arrow+1:]
+	reversed := len(in) == len(out)
+	for i := range in {
+		if len(out) != len(in) || out[len(in)-1-i] != in[i] {
+			reversed = false
+			break
+		}
+	}
+	mid := q[1 : len(q)-1]
+	if reversed && ex[0] == "reverse" {
+		r := make([]string, len(mid))
+		for i := range mid {
+			r[len(mid)-1-i] = mid[i]
+		}
+		return strings.Join(r, " ")
+	}
+	return strings.Join(mid, " ")
+}

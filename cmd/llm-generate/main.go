@@ -1,0 +1,67 @@
+// Command llm-generate loads a checkpoint written by llm-train and samples
+// continuations with the decoding strategies of the paper's Eq. 8 family:
+// greedy (temperature → 0), Boltzmann temperature sampling, top-k, and
+// nucleus sampling.
+//
+// Usage:
+//
+//	llm-generate -model model.json -prompt "the king" [-n 12]
+//	             [-strategy greedy|temp|topk|topp] [-temp 0.8] [-k 10]
+//	             [-p 0.9] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("llm-generate: ")
+	var (
+		modelPath = flag.String("model", "model.json", "checkpoint path")
+		prompt    = flag.String("prompt", "the", "prompt text")
+		n         = flag.Int("n", 12, "tokens to generate")
+		strategy  = flag.String("strategy", "temp", "greedy, temp, topk or topp")
+		temp      = flag.Float64("temp", 0.8, "sampling temperature")
+		k         = flag.Int("k", 10, "top-k cutoff")
+		p         = flag.Float64("p", 0.9, "nucleus mass")
+		seed      = flag.Uint64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var strat sample.Strategy
+	switch *strategy {
+	case "greedy":
+		strat = sample.Greedy{}
+	case "temp":
+		strat = sample.Temperature{T: *temp}
+	case "topk":
+		strat = sample.TopK{K: *k, T: *temp}
+	case "topp":
+		strat = sample.TopP{P: *p, T: *temp}
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	out, err := model.Generate(*prompt, *n, strat, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s %s\n", *prompt, out)
+}

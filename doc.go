@@ -1,0 +1,7 @@
+// Package repro is a pure-Go, stdlib-only reproduction of the systems and
+// experiments described in "Large Language Models: Principles and Practice"
+// (the LLM tutorial literature). The public API lives in package llm; the
+// substrates live under internal/; the root-level benchmarks regenerate
+// every table and figure of the paper's evaluation (see DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for measured results).
+package repro

@@ -1,0 +1,51 @@
+// Analogies: build distributional word embeddings from co-occurrence
+// statistics (§5 of the paper) and demonstrate the Eq. 9 linear analogy
+// structure — ι(king) − ι(man) + ι(woman) ≈ ι(queen) — including the PCA
+// compression showing low-dimensional projections keep the structure.
+//
+// Run with: go run ./examples/analogies
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/embed"
+	"repro/internal/mathx"
+)
+
+func main() {
+	rng := mathx.NewRNG(4)
+	lines := corpus.AnalogyCorpus(4000, rng)
+	fmt.Printf("corpus: %d templated sentences\n", len(lines))
+
+	vocab := embed.NewVocabulary(lines)
+	cooc := embed.Cooccurrence(lines, vocab, 4)
+	embeddings := embed.FromMatrix(vocab, embed.PPMI(cooc))
+	fmt.Printf("embeddings: %d words x %d dims (raw PPMI columns)\n",
+		vocab.Size(), embeddings.Dim())
+
+	quads := embed.StandardQuads()
+	fmt.Printf("\nanalogy accuracy (full dim): %.0f%%\n",
+		100*embeddings.AnalogyAccuracy(quads))
+
+	if got, ok := embeddings.Analogy("man", "woman", "king"); ok {
+		fmt.Printf("man : woman :: king : %s\n", got)
+	}
+	if got, ok := embeddings.Analogy("man", "woman", "prince"); ok {
+		fmt.Printf("man : woman :: prince : %s\n", got)
+	}
+
+	vq, _ := embeddings.Vector("queen")
+	fmt.Println("\nnearest neighbours of 'queen':")
+	for _, n := range embeddings.Nearest(vq, 4, "queen") {
+		fmt.Printf("  %-10s cos=%.3f\n", n.Word, n.Score)
+	}
+
+	for _, k := range []int{4, 12, 24} {
+		small := embeddings.Compress(k, mathx.NewRNG(5))
+		fmt.Printf("\nPCA to %2d dims: analogy accuracy %.0f%%",
+			k, 100*small.AnalogyAccuracy(quads))
+	}
+	fmt.Println("\n\n(the §7 compression point: far fewer dimensions suffice)")
+}

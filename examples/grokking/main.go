@@ -1,0 +1,78 @@
+// Grokking: the §4 delayed-generalization phenomenon on modular addition.
+// A transformer is trained on a fraction of all a+b≡c (mod p) equations
+// with weight decay; train accuracy saturates long before test accuracy
+// jumps. The run prints both curves and the measured grokking gap.
+//
+// Run with: go run ./examples/grokking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+func main() {
+	const (
+		modulus   = 13
+		trainFrac = 0.5
+		steps     = 3000
+	)
+	rng := mathx.NewRNG(13)
+	eqs := corpus.ModularAddition(modulus)
+	trainEqs, testEqs := corpus.SplitEquations(eqs, trainFrac, rng)
+	fmt.Printf("modular addition mod %d: %d train / %d test equations\n",
+		modulus, len(trainEqs), len(testEqs))
+
+	toBatch := func(eqs []corpus.ModEquation) []train.Batch {
+		out := make([]train.Batch, len(eqs))
+		for i, e := range eqs {
+			ids := corpus.EncodeEquation(e, modulus)
+			tg := []int{-1, -1, -1, ids[4]}
+			out[i] = train.Batch{Input: ids[:4], Target: tg}
+		}
+		return out
+	}
+	trainB, testB := toBatch(trainEqs), toBatch(testEqs)
+
+	model := transformer.MustNew(transformer.Config{
+		Vocab: corpus.ModVocabSize(modulus), Dim: 48, Layers: 1, Heads: 4,
+		Window: 8, Pos: transformer.PosLearned, Act: nn.GELU,
+	}, mathx.NewRNG(14))
+
+	res, err := train.Run(model, trainB, train.Config{
+		Steps: steps, BatchSize: 16,
+		Schedule:  train.Constant(0.002),
+		Optimizer: train.NewAdam(0.3), // AdamW: the decay grokking needs
+		ClipNorm:  1,
+		EvalEvery: 200, EvalTrain: trainB, EvalTest: testB,
+		AccuracyPositions: []int{0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%6s %10s %9s %9s\n", "step", "loss", "trainAcc", "testAcc")
+	for _, r := range res.Curve {
+		if !math.IsNaN(r.TrainAcc) {
+			fmt.Printf("%6d %10.4f %8.1f%% %8.1f%%\n", r.Step, r.TrainLoss, 100*r.TrainAcc, 100*r.TestAcc)
+		}
+	}
+	// At test-suite budgets the model memorizes within ~200 steps while test
+	// accuracy keeps climbing thousands of steps later — the delayed-
+	// generalization signature. (Full grokking to ~100% test accuracy takes
+	// 10^4-10^6 steps in Power et al; we measure the gap at a threshold this
+	// budget reaches.)
+	trainStep, testStep, gap := train.GrokkingGap(res.Curve, 0.45)
+	fmt.Printf("\ntrain acc crossed 45%% at step %d; test at step %d; grokking gap = %d steps\n",
+		trainStep, testStep, gap)
+	if gap > 0 {
+		fmt.Println("delayed generalization observed: memorization precedes generalization.")
+	}
+}

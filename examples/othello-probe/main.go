@@ -1,0 +1,46 @@
+// Othello-probe: the §7 world-model experiment (Li et al's Othello-GPT).
+// A transformer is trained only on legal move sequences of a 6×6 Othello
+// variant, then linear probes read board-square occupancy out of its
+// activations and probe-guided interventions test whether the
+// representation is causally used.
+//
+// Run with: go run ./examples/othello-probe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mathx"
+	"repro/internal/othello"
+	"repro/internal/probe"
+)
+
+func main() {
+	// Show the substrate first: a random legal game.
+	g := othello.RandomGame(6, 10, mathx.NewRNG(1))
+	fmt.Println("a random legal opening on the 6x6 board:")
+	for i, m := range g.Moves {
+		fmt.Printf("  move %d: %s\n", i+1, m.Notation(6))
+	}
+	fmt.Printf("position after %d moves:\n%s\n", len(g.Moves), g.Final)
+
+	cfg := probe.DefaultOthello()
+	fmt.Printf("training a %d-layer transformer on %d random games...\n", cfg.Layers, cfg.Games)
+	res, err := probe.RunOthello(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	control, err := probe.UntrainedLegalRate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legal-move rate:        %.1f%% (untrained control %.1f%%)\n",
+		100*res.LegalMoveRate, 100*control)
+	fmt.Printf("board-occupancy probe:  %.1f%% (majority baseline %.1f%%)\n",
+		100*res.ProbeAccuracy, 100*res.MajorityBaseline)
+	fmt.Printf("interventions flipping the predicted move: %.1f%%\n",
+		100*res.InterventionFlipRate)
+	fmt.Println("\npaper shape: probes beat the baseline -> the move-sequence model")
+	fmt.Println("carries an internal (non-linguistic) board representation.")
+}

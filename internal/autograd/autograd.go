@@ -1,0 +1,652 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over tensors. It is the backpropagation engine behind the
+// paper's training rule (Eq. 16): every differentiable op records a closure
+// that propagates gradients to its parents, and Backward replays the tape in
+// reverse topological order.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Node is one vertex of the computation graph: a tensor value, its gradient
+// accumulator, and the backward rule that created it.
+type Node struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	requiresGrad bool
+	parents      []*Node
+	backward     func()
+	name         string
+}
+
+// Param wraps t as a trainable leaf (gradients are accumulated).
+func Param(t *tensor.Tensor) *Node {
+	return &Node{Value: t, Grad: tensor.New(t.Shape...), requiresGrad: true, name: "param"}
+}
+
+// Const wraps t as a non-trainable leaf (no gradient flows into it).
+func Const(t *tensor.Tensor) *Node {
+	return &Node{Value: t, name: "const"}
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Name returns the op name that produced the node (for debugging).
+func (n *Node) Name() string { return n.name }
+
+func newResult(name string, v *tensor.Tensor, parents ...*Node) *Node {
+	req := false
+	for _, p := range parents {
+		if p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	out := &Node{Value: v, requiresGrad: req, parents: parents, name: name}
+	if req {
+		out.Grad = tensor.New(v.Shape...)
+	}
+	return out
+}
+
+// ensureGrad lazily allocates the gradient buffer of a leaf that was created
+// before its shape was known.
+func (n *Node) ensureGrad() {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Shape...)
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (n *Node) ZeroGrad() {
+	if n.Grad != nil {
+		n.Grad.Zero()
+	}
+}
+
+// Backward runs reverse-mode differentiation from n, which must be a scalar
+// (size-1) node. Gradients accumulate into every reachable parameter.
+func Backward(n *Node) {
+	if n.Value.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar node %v", n.Value.Shape))
+	}
+	order := topoSort(n)
+	// Intermediate (non-leaf) gradients are scratch space for this pass;
+	// reset them so repeated Backward calls on one graph don't double-count.
+	// Leaf parameters keep accumulating, matching standard autograd.
+	for _, node := range order {
+		if node.backward != nil && node.Grad != nil {
+			node.Grad.Zero()
+		}
+	}
+	n.ensureGrad()
+	n.Grad.Fill(1)
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].backward != nil {
+			order[i].backward()
+		}
+	}
+}
+
+func topoSort(root *Node) []*Node {
+	var order []*Node
+	visited := map[*Node]bool{}
+	var visit func(*Node)
+	visit = func(n *Node) {
+		if visited[n] || !n.requiresGrad {
+			return
+		}
+		visited[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	return order
+}
+
+// ---- Arithmetic ----
+
+// Add returns a + b elementwise.
+func Add(a, b *Node) *Node {
+	out := newResult("add", tensor.Add(a.Value, b.Value), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.Grad, out.Grad)
+		}
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Node) *Node {
+	out := newResult("sub", tensor.Sub(a.Value, b.Value), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AddScaledInPlace(b.Grad, -1, out.Grad)
+		}
+	}
+	return out
+}
+
+// Mul returns the Hadamard product a ⊙ b.
+func Mul(a, b *Node) *Node {
+	out := newResult("mul", tensor.Mul(a.Value, b.Value), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.Mul(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.Grad, tensor.Mul(out.Grad, a.Value))
+		}
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a *Node, s float64) *Node {
+	out := newResult("scale", tensor.Scale(a.Value, s), a)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddScaledInPlace(a.Grad, s, out.Grad)
+		}
+	}
+	return out
+}
+
+// MatMul returns the matrix product a·b of 2-D nodes.
+func MatMul(a, b *Node) *Node {
+	out := newResult("matmul", tensor.MatMul(a.Value, b.Value), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.MatMul(out.Grad, tensor.Transpose(b.Value)))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.Grad, tensor.MatMul(tensor.Transpose(a.Value), out.Grad))
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a 2-D node.
+func Transpose(a *Node) *Node {
+	out := newResult("transpose", tensor.Transpose(a.Value), a)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.Transpose(out.Grad))
+		}
+	}
+	return out
+}
+
+// AddBias adds the 1×n bias node b to every row of the m×n node a.
+func AddBias(a, b *Node) *Node {
+	if len(b.Value.Shape) != 2 || b.Value.Shape[0] != 1 {
+		panic("autograd: AddBias expects a 1×n bias")
+	}
+	out := newResult("addbias", tensor.AddRowVector(a.Value, b.Value.Row(0)), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			sums := tensor.SumRows(out.Grad)
+			brow := b.Grad.Row(0)
+			for j, v := range sums {
+				brow[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// ---- Nonlinearities ----
+
+// ReLU returns max(0, a) elementwise (the paper's §5 nonlinearity).
+func ReLU(a *Node) *Node {
+	out := newResult("relu", tensor.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	}), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, x := range a.Value.Data {
+			if x > 0 {
+				a.Grad.Data[i] += out.Grad.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Node) *Node {
+	out := newResult("tanh", tensor.Apply(a.Value, math.Tanh), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, y := range out.Value.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^-a) elementwise (used by LSTM gates).
+func Sigmoid(a *Node) *Node {
+	out := newResult("sigmoid", tensor.Apply(a.Value, func(x float64) float64 {
+		return 1 / (1 + math.Exp(-x))
+	}), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, y := range out.Value.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
+		}
+	}
+	return out
+}
+
+// GELU returns the Gaussian-error linear unit using the tanh approximation
+// used by GPT-family models.
+func GELU(a *Node) *Node {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	f := func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	out := newResult("gelu", tensor.Apply(a.Value, f), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, x := range a.Value.Data {
+			u := c * (x + 0.044715*x*x*x)
+			th := math.Tanh(u)
+			du := c * (1 + 3*0.044715*x*x)
+			d := 0.5*(1+th) + 0.5*x*(1-th*th)*du
+			a.Grad.Data[i] += out.Grad.Data[i] * d
+		}
+	}
+	return out
+}
+
+// ---- Structural ops ----
+
+// ConcatCols concatenates 2-D nodes along columns (used to merge attention
+// heads, §6 "attention head" discussion).
+func ConcatCols(nodes ...*Node) *Node {
+	rows := nodes[0].Value.Shape[0]
+	total := 0
+	for _, n := range nodes {
+		if n.Value.Shape[0] != rows {
+			panic("autograd: ConcatCols row mismatch")
+		}
+		total += n.Value.Shape[1]
+	}
+	v := tensor.New(rows, total)
+	off := 0
+	for _, n := range nodes {
+		c := n.Value.Shape[1]
+		for i := 0; i < rows; i++ {
+			copy(v.Row(i)[off:off+c], n.Value.Row(i))
+		}
+		off += c
+	}
+	out := newResult("concatcols", v, nodes...)
+	out.backward = func() {
+		off := 0
+		for _, n := range nodes {
+			c := n.Value.Shape[1]
+			if n.requiresGrad {
+				for i := 0; i < rows; i++ {
+					src := out.Grad.Row(i)[off : off+c]
+					dst := n.Grad.Row(i)
+					for j, g := range src {
+						dst[j] += g
+					}
+				}
+			}
+			off += c
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks 2-D nodes vertically (used by the RNN to assemble
+// per-timestep outputs into a sequence).
+func ConcatRows(nodes ...*Node) *Node {
+	cols := nodes[0].Value.Shape[1]
+	total := 0
+	for _, n := range nodes {
+		if n.Value.Shape[1] != cols {
+			panic("autograd: ConcatRows column mismatch")
+		}
+		total += n.Value.Shape[0]
+	}
+	v := tensor.New(total, cols)
+	off := 0
+	for _, n := range nodes {
+		for i := 0; i < n.Value.Shape[0]; i++ {
+			copy(v.Row(off+i), n.Value.Row(i))
+		}
+		off += n.Value.Shape[0]
+	}
+	out := newResult("concatrows", v, nodes...)
+	out.backward = func() {
+		off := 0
+		for _, n := range nodes {
+			r := n.Value.Shape[0]
+			if n.requiresGrad {
+				for i := 0; i < r; i++ {
+					src := out.Grad.Row(off + i)
+					dst := n.Grad.Row(i)
+					for j, g := range src {
+						dst[j] += g
+					}
+				}
+			}
+			off += r
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of a 2-D node.
+func SliceCols(a *Node, lo, hi int) *Node {
+	rows := a.Value.Shape[0]
+	v := tensor.New(rows, hi-lo)
+	for i := 0; i < rows; i++ {
+		copy(v.Row(i), a.Value.Row(i)[lo:hi])
+	}
+	out := newResult("slicecols", v, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i := 0; i < rows; i++ {
+			src := out.Grad.Row(i)
+			dst := a.Grad.Row(i)[lo:hi]
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// SliceRows returns rows [lo, hi) of a 2-D node.
+func SliceRows(a *Node, lo, hi int) *Node {
+	cols := a.Value.Shape[1]
+	v := tensor.New(hi-lo, cols)
+	for i := lo; i < hi; i++ {
+		copy(v.Row(i-lo), a.Value.Row(i))
+	}
+	out := newResult("slicerows", v, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			src := out.Grad.Row(i - lo)
+			dst := a.Grad.Row(i)
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// Embedding gathers rows of the weight node w (vocab×dim) by token ids,
+// producing a len(ids)×dim node. This is the embedding map ι of §5 (Eq. 7);
+// the backward pass scatter-adds into the selected rows.
+func Embedding(w *Node, ids []int) *Node {
+	dim := w.Value.Shape[1]
+	v := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		copy(v.Row(i), w.Value.Row(id))
+	}
+	idsCopy := append([]int(nil), ids...)
+	out := newResult("embedding", v, w)
+	out.backward = func() {
+		if !w.requiresGrad {
+			return
+		}
+		for i, id := range idsCopy {
+			src := out.Grad.Row(i)
+			dst := w.Grad.Row(id)
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a row-wise softmax (the attention weights of Eq. 14).
+func SoftmaxRows(a *Node) *Node {
+	s := tensor.SoftmaxRows(a.Value)
+	out := newResult("softmaxrows", s, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		rows, cols := s.Shape[0], s.Shape[1]
+		for i := 0; i < rows; i++ {
+			srow := s.Row(i)
+			grow := out.Grad.Row(i)
+			dot := 0.0
+			for j := 0; j < cols; j++ {
+				dot += srow[j] * grow[j]
+			}
+			arow := a.Grad.Row(i)
+			for j := 0; j < cols; j++ {
+				arow[j] += srow[j] * (grow[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// AddMask adds the constant mask tensor to a. Entries of -Inf (or very
+// negative values) implement the causal restriction j ≤ i of Eq. 13.
+func AddMask(a *Node, mask *tensor.Tensor) *Node {
+	out := newResult("addmask", tensor.Add(a.Value, mask), a)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row of a to zero mean and unit variance, then
+// applies learnable gain g and bias b (both 1×n). eps stabilizes the
+// variance.
+func LayerNorm(a, g, b *Node, eps float64) *Node {
+	rows, cols := a.Value.Shape[0], a.Value.Shape[1]
+	v := tensor.New(rows, cols)
+	xhat := tensor.New(rows, cols)
+	invStd := make([]float64, rows)
+	grow := g.Value.Row(0)
+	brow := b.Value.Row(0)
+	for i := 0; i < rows; i++ {
+		src := a.Value.Row(i)
+		mu := mathx.Mean(src)
+		varr := 0.0
+		for _, x := range src {
+			d := x - mu
+			varr += d * d
+		}
+		varr /= float64(cols)
+		is := 1 / math.Sqrt(varr+eps)
+		invStd[i] = is
+		xr := xhat.Row(i)
+		vr := v.Row(i)
+		for j, x := range src {
+			xr[j] = (x - mu) * is
+			vr[j] = xr[j]*grow[j] + brow[j]
+		}
+	}
+	out := newResult("layernorm", v, a, g, b)
+	out.backward = func() {
+		for i := 0; i < rows; i++ {
+			gr := out.Grad.Row(i)
+			xr := xhat.Row(i)
+			if g.requiresGrad {
+				gg := g.Grad.Row(0)
+				for j := 0; j < cols; j++ {
+					gg[j] += gr[j] * xr[j]
+				}
+			}
+			if b.requiresGrad {
+				bg := b.Grad.Row(0)
+				for j := 0; j < cols; j++ {
+					bg[j] += gr[j]
+				}
+			}
+			if a.requiresGrad {
+				// dL/dxhat_j = gr_j * gain_j; then standard LN backward.
+				n := float64(cols)
+				var sumDx, sumDxX float64
+				dxhat := make([]float64, cols)
+				for j := 0; j < cols; j++ {
+					dxhat[j] = gr[j] * grow[j]
+					sumDx += dxhat[j]
+					sumDxX += dxhat[j] * xr[j]
+				}
+				ar := a.Grad.Row(i)
+				for j := 0; j < cols; j++ {
+					ar[j] += invStd[i] / n * (n*dxhat[j] - sumDx - xr[j]*sumDxX)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MeanAll reduces a to its scalar mean.
+func MeanAll(a *Node) *Node {
+	v := tensor.FromSlice([]float64{tensor.MeanAll(a.Value)}, 1)
+	out := newResult("meanall", v, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		s := out.Grad.Data[0] / float64(a.Value.Size())
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += s
+		}
+	}
+	return out
+}
+
+// SumAll reduces a to its scalar sum.
+func SumAll(a *Node) *Node {
+	v := tensor.FromSlice([]float64{tensor.SumAll(a.Value)}, 1)
+	out := newResult("sumall", v, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		s := out.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += s
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// the row-wise softmax of logits — exactly the paper's objective Eq. 3, one
+// row per predicted position. Rows whose target is < 0 are ignored (padding).
+func CrossEntropy(logits *Node, targets []int) *Node {
+	rows := logits.Value.Shape[0]
+	if rows != len(targets) {
+		panic("autograd: CrossEntropy target length mismatch")
+	}
+	logp := tensor.LogSoftmaxRows(logits.Value)
+	count := 0
+	loss := 0.0
+	for i, t := range targets {
+		if t < 0 {
+			continue
+		}
+		loss -= logp.Row(i)[t]
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	loss /= float64(count)
+	tcopy := append([]int(nil), targets...)
+	out := newResult("crossentropy", tensor.FromSlice([]float64{loss}, 1), logits)
+	out.backward = func() {
+		if !logits.requiresGrad {
+			return
+		}
+		scale := out.Grad.Data[0] / float64(count)
+		for i, t := range tcopy {
+			if t < 0 {
+				continue
+			}
+			lrow := logp.Row(i)
+			grow := logits.Grad.Row(i)
+			for j := range grow {
+				p := math.Exp(lrow[j])
+				if j == t {
+					grow[j] += scale * (p - 1)
+				} else {
+					grow[j] += scale * p
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MSE returns the scalar mean squared error between a and the constant
+// target tensor.
+func MSE(a *Node, target *tensor.Tensor) *Node {
+	if !a.Value.SameShape(target) {
+		panic("autograd: MSE shape mismatch")
+	}
+	n := float64(a.Value.Size())
+	loss := 0.0
+	for i := range a.Value.Data {
+		d := a.Value.Data[i] - target.Data[i]
+		loss += d * d
+	}
+	loss /= n
+	out := newResult("mse", tensor.FromSlice([]float64{loss}, 1), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		s := out.Grad.Data[0] * 2 / n
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += s * (a.Value.Data[i] - target.Data[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// checkGrad verifies the analytic gradient of the scalar loss produced by
+// forward against central finite differences over every element of each
+// param. forward must rebuild the graph from the current param values.
+func checkGrad(t *testing.T, forward func() *Node, params []*Node, tol float64) {
+	t.Helper()
+	loss := forward()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	Backward(loss)
+	const h = 1e-5
+	for pi, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lp := forward().Value.Data[0]
+			p.Value.Data[i] = orig - h
+			lm := forward().Value.Data[0]
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			ana := p.Grad.Data[i]
+			if math.Abs(num-ana) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %d elem %d: analytic %v vs numeric %v", pi, i, ana, num)
+			}
+		}
+	}
+}
+
+func randParam(rng *mathx.RNG, shape ...int) *Node {
+	return Param(tensor.New(shape...).RandNorm(rng, 0.7))
+}
+
+func TestAddBackward(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	a, b := randParam(rng, 2, 3), randParam(rng, 2, 3)
+	checkGrad(t, func() *Node { return MeanAll(Mul(Add(a, b), Add(a, b))) }, []*Node{a, b}, 1e-5)
+}
+
+func TestSubBackward(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	a, b := randParam(rng, 3, 2), randParam(rng, 3, 2)
+	checkGrad(t, func() *Node { return MeanAll(Mul(Sub(a, b), Sub(a, b))) }, []*Node{a, b}, 1e-5)
+}
+
+func TestMulScaleBackward(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	a, b := randParam(rng, 2, 2), randParam(rng, 2, 2)
+	checkGrad(t, func() *Node { return SumAll(Scale(Mul(a, b), 1.7)) }, []*Node{a, b}, 1e-5)
+}
+
+func TestMatMulBackward(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	a, b := randParam(rng, 3, 4), randParam(rng, 4, 2)
+	checkGrad(t, func() *Node { return MeanAll(Mul(MatMul(a, b), MatMul(a, b))) }, []*Node{a, b}, 1e-4)
+}
+
+func TestAddBiasBackward(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	a, b := randParam(rng, 4, 3), randParam(rng, 1, 3)
+	checkGrad(t, func() *Node { return MeanAll(Mul(AddBias(a, b), AddBias(a, b))) }, []*Node{a, b}, 1e-5)
+}
+
+func TestReLUBackward(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	a := randParam(rng, 5, 5)
+	checkGrad(t, func() *Node { return SumAll(Mul(ReLU(a), ReLU(a))) }, []*Node{a}, 1e-4)
+}
+
+func TestTanhSigmoidGELUBackward(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	a := randParam(rng, 3, 3)
+	checkGrad(t, func() *Node { return MeanAll(Tanh(a)) }, []*Node{a}, 1e-5)
+	checkGrad(t, func() *Node { return MeanAll(Sigmoid(a)) }, []*Node{a}, 1e-5)
+	checkGrad(t, func() *Node { return MeanAll(GELU(a)) }, []*Node{a}, 1e-5)
+}
+
+func TestSoftmaxRowsBackward(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	a := randParam(rng, 3, 4)
+	w := Const(tensor.New(3, 4).RandNorm(rng, 1))
+	checkGrad(t, func() *Node { return SumAll(Mul(SoftmaxRows(a), w)) }, []*Node{a}, 1e-5)
+}
+
+func TestLayerNormBackward(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	a := randParam(rng, 3, 5)
+	g := Param(tensor.New(1, 5).Fill(1))
+	b := Param(tensor.New(1, 5))
+	w := Const(tensor.New(3, 5).RandNorm(rng, 1))
+	checkGrad(t, func() *Node { return SumAll(Mul(LayerNorm(a, g, b, 1e-5), w)) }, []*Node{a, g, b}, 1e-4)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := mathx.NewRNG(10)
+	a := Param(tensor.New(4, 8).RandNorm(rng, 3))
+	g := Param(tensor.New(1, 8).Fill(1))
+	b := Param(tensor.New(1, 8))
+	out := LayerNorm(a, g, b, 1e-8)
+	for i := 0; i < 4; i++ {
+		row := out.Value.Row(i)
+		if m := mathx.Mean(row); math.Abs(m) > 1e-9 {
+			t.Errorf("row %d mean = %v", i, m)
+		}
+		if v := mathx.Variance(row); math.Abs(v-1) > 1e-6 {
+			t.Errorf("row %d variance = %v", i, v)
+		}
+	}
+}
+
+func TestEmbeddingBackward(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	w := randParam(rng, 6, 3)
+	ids := []int{2, 0, 2, 5}
+	checkGrad(t, func() *Node { return MeanAll(Mul(Embedding(w, ids), Embedding(w, ids))) }, []*Node{w}, 1e-5)
+}
+
+func TestEmbeddingGathersRows(t *testing.T) {
+	w := Param(tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2))
+	e := Embedding(w, []int{2, 0})
+	if e.Value.At(0, 0) != 5 || e.Value.At(1, 1) != 2 {
+		t.Fatalf("gathered = %v", e.Value)
+	}
+}
+
+func TestConcatSliceColsBackward(t *testing.T) {
+	rng := mathx.NewRNG(12)
+	a, b := randParam(rng, 3, 2), randParam(rng, 3, 4)
+	checkGrad(t, func() *Node {
+		c := ConcatCols(a, b)
+		return MeanAll(Mul(SliceCols(c, 1, 5), SliceCols(c, 1, 5)))
+	}, []*Node{a, b}, 1e-5)
+}
+
+func TestSliceRowsBackward(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	a := randParam(rng, 5, 3)
+	checkGrad(t, func() *Node {
+		s := SliceRows(a, 1, 4)
+		return MeanAll(Mul(s, s))
+	}, []*Node{a}, 1e-5)
+}
+
+func TestCrossEntropyBackward(t *testing.T) {
+	rng := mathx.NewRNG(14)
+	logits := randParam(rng, 4, 5)
+	targets := []int{1, 4, 0, 2}
+	checkGrad(t, func() *Node { return CrossEntropy(logits, targets) }, []*Node{logits}, 1e-5)
+}
+
+func TestCrossEntropyIgnoresPadding(t *testing.T) {
+	rng := mathx.NewRNG(15)
+	logits := randParam(rng, 3, 4)
+	full := CrossEntropy(logits, []int{1, 2, 3}).Value.Data[0]
+	padded := CrossEntropy(logits, []int{1, -1, -1}).Value.Data[0]
+	only := CrossEntropy(SliceRows(logits, 0, 1), []int{1}).Value.Data[0]
+	if math.Abs(padded-only) > 1e-12 {
+		t.Errorf("padded loss %v != single-row loss %v", padded, only)
+	}
+	if padded == full {
+		t.Error("padding had no effect")
+	}
+}
+
+func TestCrossEntropyUniformLogits(t *testing.T) {
+	logits := Param(tensor.New(2, 10))
+	l := CrossEntropy(logits, []int{3, 7})
+	want := math.Log(10)
+	if math.Abs(l.Value.Data[0]-want) > 1e-12 {
+		t.Errorf("uniform CE = %v, want ln 10 = %v", l.Value.Data[0], want)
+	}
+}
+
+func TestMSEBackward(t *testing.T) {
+	rng := mathx.NewRNG(16)
+	a := randParam(rng, 3, 3)
+	target := tensor.New(3, 3).RandNorm(rng, 1)
+	checkGrad(t, func() *Node { return MSE(a, target) }, []*Node{a}, 1e-5)
+}
+
+func TestAddMaskBlocksAttention(t *testing.T) {
+	rng := mathx.NewRNG(17)
+	scores := Param(tensor.New(3, 3).RandNorm(rng, 1))
+	mask := tensor.New(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			mask.Set(i, j, math.Inf(-1))
+		}
+	}
+	att := SoftmaxRows(AddMask(scores, mask))
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if att.Value.At(i, j) != 0 {
+				t.Errorf("future position (%d,%d) got attention %v", i, j, att.Value.At(i, j))
+			}
+		}
+		s := mathx.Sum(att.Value.Row(i))
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("row %d attention sums to %v", i, s)
+		}
+	}
+}
+
+func TestConstReceivesNoGrad(t *testing.T) {
+	rng := mathx.NewRNG(18)
+	a := randParam(rng, 2, 2)
+	c := Const(tensor.New(2, 2).Fill(3))
+	loss := MeanAll(Mul(a, c))
+	Backward(loss)
+	if c.Grad != nil {
+		t.Error("const grew a gradient")
+	}
+	if a.Grad == nil || mathx.Sum(a.Grad.Data) == 0 {
+		t.Error("param got no gradient")
+	}
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	a := Param(tensor.FromSlice([]float64{2}, 1, 1))
+	loss := MeanAll(Mul(a, a)) // d/da a^2 = 2a = 4
+	Backward(loss)
+	Backward(loss)
+	if g := a.Grad.Data[0]; math.Abs(g-8) > 1e-12 {
+		t.Errorf("accumulated grad = %v, want 8", g)
+	}
+	a.ZeroGrad()
+	if a.Grad.Data[0] != 0 {
+		t.Error("ZeroGrad failed")
+	}
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Backward(Param(tensor.New(2, 2)))
+}
+
+// TestSharedSubgraph exercises a diamond-shaped graph where one node feeds
+// two consumers; the gradient must be the sum of both paths.
+func TestSharedSubgraph(t *testing.T) {
+	rng := mathx.NewRNG(19)
+	a := randParam(rng, 2, 2)
+	checkGrad(t, func() *Node {
+		h := Tanh(a)
+		return Add(MeanAll(Mul(h, h)), SumAll(h))
+	}, []*Node{a}, 1e-5)
+}
+
+// TestTinyRegressionConverges trains y = Wx with gradient descent using the
+// engine end to end.
+func TestTinyRegressionConverges(t *testing.T) {
+	rng := mathx.NewRNG(20)
+	trueW := tensor.FromSlice([]float64{1.5, -2, 0.5, 3}, 2, 2)
+	x := tensor.New(16, 2).RandNorm(rng, 1)
+	y := tensor.MatMul(x, tensor.Transpose(trueW))
+	w := Param(tensor.New(2, 2).RandNorm(rng, 0.1))
+	var last float64
+	for step := 0; step < 300; step++ {
+		w.ZeroGrad()
+		pred := MatMul(Const(x), w)
+		loss := MSE(pred, y)
+		Backward(loss)
+		tensor.AddScaledInPlace(w.Value, -0.1, w.Grad)
+		last = loss.Value.Data[0]
+	}
+	if last > 1e-3 {
+		t.Errorf("regression did not converge: loss=%v", last)
+	}
+	// Check w ≈ trueWᵀ.
+	wt := tensor.Transpose(trueW)
+	for i := range w.Value.Data {
+		if math.Abs(w.Value.Data[i]-wt.Data[i]) > 0.05 {
+			t.Errorf("w = %v, want %v", w.Value.Data, wt.Data)
+			break
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package autograd
+
+import (
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes each element with probability p and scales the
+// survivors by 1/(1-p) (inverted dropout), the §3 "many tools of ML"
+// regularizer. The same mask gates the backward pass. p must be in [0, 1);
+// p = 0 is the identity.
+func Dropout(a *Node, p float64, rng *mathx.RNG) *Node {
+	if p < 0 || p >= 1 {
+		panic("autograd: dropout probability must be in [0, 1)")
+	}
+	if p == 0 {
+		return a
+	}
+	mask := tensor.New(a.Value.Shape...)
+	scale := 1 / (1 - p)
+	for i := range mask.Data {
+		if rng.Float64() >= p {
+			mask.Data[i] = scale
+		}
+	}
+	out := newResult("dropout", tensor.Mul(a.Value, mask), a)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.Mul(out.Grad, mask))
+		}
+	}
+	return out
+}

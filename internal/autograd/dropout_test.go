@@ -1,0 +1,64 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestDropoutZeroIsIdentity(t *testing.T) {
+	a := Param(tensor.FromSlice([]float64{1, 2, 3}, 1, 3))
+	if Dropout(a, 0, mathx.NewRNG(1)) != a {
+		t.Error("p=0 should return the input node")
+	}
+}
+
+func TestDropoutPanicsOnBadP(t *testing.T) {
+	a := Param(tensor.New(1, 1))
+	for _, p := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v accepted", p)
+				}
+			}()
+			Dropout(a, p, mathx.NewRNG(1))
+		}()
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	a := Const(tensor.New(1, 20000).Fill(1))
+	out := Dropout(a, 0.3, rng)
+	m := tensor.MeanAll(out.Value)
+	if math.Abs(m-1) > 0.03 {
+		t.Errorf("dropout mean = %v, want ~1 (inverted scaling)", m)
+	}
+	// Survivors carry exactly the 1/(1-p) scale, dropped are exactly 0.
+	for _, v := range out.Value.Data {
+		if v != 0 && math.Abs(v-1/0.7) > 1e-12 {
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	a := Param(tensor.New(4, 4).RandNorm(mathx.NewRNG(4), 1))
+	out := Dropout(a, 0.5, rng)
+	Backward(SumAll(out))
+	// Gradient equals the mask: zero where dropped, 1/(1-p) where kept.
+	for i := range a.Grad.Data {
+		g := a.Grad.Data[i]
+		kept := out.Value.Data[i] != 0
+		if kept && math.Abs(g-2) > 1e-12 {
+			t.Fatalf("kept grad = %v, want 2", g)
+		}
+		if !kept && g != 0 {
+			t.Fatalf("dropped grad = %v, want 0", g)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/tokenizer"
+	"repro/internal/transformer"
+)
+
+// llmCheckpoint bundles tokenizer and model state.
+type llmCheckpoint struct {
+	TokKind   TokenizerKind   `json:"tok_kind"`
+	Tokenizer json.RawMessage `json:"tokenizer"`
+	Model     json.RawMessage `json:"model"`
+}
+
+// Save writes the trained pipeline (tokenizer + model) as JSON. Word and
+// BPE tokenizers are supported; the character tokenizer is rebuildable from
+// any corpus and is not serialized.
+func (l *LLM) Save(w io.Writer) error {
+	cp := llmCheckpoint{TokKind: l.Cfg.Tokenizer}
+	var err error
+	switch t := l.Tok.(type) {
+	case *tokenizer.Word:
+		cp.Tokenizer, err = json.Marshal(t)
+	case *tokenizer.BPE:
+		cp.Tokenizer, err = json.Marshal(t)
+	default:
+		return fmt.Errorf("core: tokenizer kind %d not serializable", l.Cfg.Tokenizer)
+	}
+	if err != nil {
+		return err
+	}
+	var mb bytes.Buffer
+	if err := l.Model.Save(&mb); err != nil {
+		return err
+	}
+	cp.Model = mb.Bytes()
+	return json.NewEncoder(w).Encode(cp)
+}
+
+// Load restores a pipeline saved with Save.
+func Load(r io.Reader) (*LLM, error) {
+	var cp llmCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	var tok tokenizer.Tokenizer
+	switch cp.TokKind {
+	case WordTok:
+		var w tokenizer.Word
+		if err := json.Unmarshal(cp.Tokenizer, &w); err != nil {
+			return nil, err
+		}
+		tok = &w
+	case BPETok:
+		var b tokenizer.BPE
+		if err := json.Unmarshal(cp.Tokenizer, &b); err != nil {
+			return nil, err
+		}
+		tok = &b
+	default:
+		return nil, fmt.Errorf("core: unsupported tokenizer kind %d in checkpoint", cp.TokKind)
+	}
+	model, err := transformer.Load(bytes.NewReader(cp.Model))
+	if err != nil {
+		return nil, err
+	}
+	return &LLM{Tok: tok, Model: model, Cfg: Config{Tokenizer: cp.TokKind, Model: model.Cfg}}, nil
+}

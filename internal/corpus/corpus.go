@@ -1,0 +1,387 @@
+// Package corpus generates the synthetic datasets that substitute for the
+// paper's web-scale corpora and proprietary benchmarks (§4's "toy worlds"):
+// PCFG-generated text, modular-arithmetic equations (the grokking task),
+// copy/induction sequences (the induction-head task), templated English for
+// embeddings, and the quantitative word problems of Figure 1.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+)
+
+// PCFGText samples n sentences from g (depth-bounded) and returns them as
+// whitespace-joined lines. This is the stand-in for "natural language" in
+// the scaling-law and probing experiments.
+func PCFGText(g *grammar.Grammar, n, maxDepth int, rng *mathx.RNG) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = strings.Join(g.GenerateSentence(rng, maxDepth), " ")
+	}
+	return lines
+}
+
+// PCFGTreebank samples n derivations and returns both sentences and gold
+// parse trees — the substitute for the Penn Treebank as structural-probe
+// supervision (§7).
+func PCFGTreebank(g *grammar.Grammar, n, maxDepth int, rng *mathx.RNG) ([][]string, []*grammar.Tree) {
+	sents := make([][]string, n)
+	trees := make([]*grammar.Tree, n)
+	for i := range sents {
+		trees[i] = g.Generate(rng, maxDepth)
+		sents[i] = trees[i].Leaves()
+	}
+	return sents, trees
+}
+
+// ---- Modular arithmetic (grokking task) ----
+
+// ModEquation is one training item of the modular-addition toy world:
+// the statement "a + b = c (mod modulus)".
+type ModEquation struct {
+	A, B, C int
+}
+
+// ModularAddition enumerates all p² equations a+b≡c (mod p).
+func ModularAddition(p int) []ModEquation {
+	eqs := make([]ModEquation, 0, p*p)
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			eqs = append(eqs, ModEquation{A: a, B: b, C: (a + b) % p})
+		}
+	}
+	return eqs
+}
+
+// ModularMultiplication enumerates all p² equations a*b≡c (mod p).
+func ModularMultiplication(p int) []ModEquation {
+	eqs := make([]ModEquation, 0, p*p)
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			eqs = append(eqs, ModEquation{A: a, B: b, C: (a * b) % p})
+		}
+	}
+	return eqs
+}
+
+// SplitEquations shuffles eqs deterministically and splits off trainFrac of
+// them for training, the rest for test — the data regime where grokking is
+// observed (§4).
+func SplitEquations(eqs []ModEquation, trainFrac float64, rng *mathx.RNG) (train, test []ModEquation) {
+	perm := rng.Perm(len(eqs))
+	cut := int(trainFrac * float64(len(eqs)))
+	for i, pi := range perm {
+		if i < cut {
+			train = append(train, eqs[pi])
+		} else {
+			test = append(test, eqs[pi])
+		}
+	}
+	return train, test
+}
+
+// ModVocabSize returns the token vocabulary size for modulus-p equation
+// sequences: p residue tokens plus the operator and equals tokens.
+func ModVocabSize(p int) int { return p + 2 }
+
+// EncodeEquation renders eq as the token sequence [a, op, b, eq, c] with
+// residues 0..p-1 as themselves, op = p, "=" = p+1. The model is trained to
+// predict the final token c.
+func EncodeEquation(eq ModEquation, p int) []int {
+	return []int{eq.A, p, eq.B, p + 1, eq.C}
+}
+
+// ---- Copy / induction sequences ----
+
+// InductionSequence builds a random token sequence of length n over vocab
+// [0, vocab) in which the final token is a repeat trigger: the sequence ends
+// with a token A that appeared earlier, so the correct continuation is the
+// token B that followed A's first occurrence ("A B ... A → B", §7).
+// It returns the sequence and the target token B.
+func InductionSequence(n, vocab int, rng *mathx.RNG) ([]int, int) {
+	if n < 4 {
+		panic("corpus: induction sequence needs n >= 4")
+	}
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = rng.Intn(vocab)
+	}
+	// Choose the A-B bigram position in the first half and force the final
+	// token to be A.
+	pos := rng.Intn(n/2 - 1)
+	a := seq[pos]
+	b := seq[pos+1]
+	// Make A unique before the final repeat so the target is unambiguous.
+	for i := range seq[:n-1] {
+		if i != pos && seq[i] == a {
+			seq[i] = (seq[i] + 1) % vocab
+			if seq[i] == a {
+				seq[i] = (seq[i] + 1) % vocab
+			}
+		}
+	}
+	b = seq[pos+1] // may have been rewritten if it equalled a
+	seq[n-1] = a
+	return seq, b
+}
+
+// RepeatedBigramCorpus generates m training sequences of length n where the
+// second half repeats the first half — dense supervision for learning the
+// induction circuit.
+func RepeatedBigramCorpus(m, n, vocab int, rng *mathx.RNG) [][]int {
+	if n%2 != 0 {
+		n++
+	}
+	out := make([][]int, m)
+	for i := range out {
+		half := make([]int, n/2)
+		for j := range half {
+			half[j] = rng.Intn(vocab)
+		}
+		seq := make([]int, 0, n)
+		seq = append(seq, half...)
+		seq = append(seq, half...)
+		out[i] = seq
+	}
+	return out
+}
+
+// ---- LM windowing ----
+
+// Window is one next-token-prediction training example: the model sees
+// Input[0..k] and must predict Target[k] for every k (teacher forcing).
+type Window struct {
+	Input  []int // length L
+	Target []int // length L; Target[k] is the token after Input[k]; -1 = pad
+}
+
+// MakeWindows slices the token stream into non-overlapping next-token
+// windows of length window (the dataset layout behind Eq. 3).
+func MakeWindows(stream []int, window int) []Window {
+	var ws []Window
+	for start := 0; start+window+1 <= len(stream); start += window {
+		in := stream[start : start+window]
+		tg := stream[start+1 : start+window+1]
+		ws = append(ws, Window{Input: append([]int(nil), in...), Target: append([]int(nil), tg...)})
+	}
+	return ws
+}
+
+// Concat flattens lines into one token stream by encoding each line with
+// encode and separating lines with sep (pass a negative sep to omit).
+func Concat(lines []string, encode func(string) []int, sep int) []int {
+	var stream []int
+	for _, l := range lines {
+		stream = append(stream, encode(l)...)
+		if sep >= 0 {
+			stream = append(stream, sep)
+		}
+	}
+	return stream
+}
+
+// ---- Word problems (Figure 1 family) ----
+
+// Problem is one quantitative QA item with optional chain-of-thought.
+type Problem struct {
+	Question string
+	Steps    []string // intermediate reasoning lines (chain of thought)
+	Answer   string
+}
+
+// VarianceProblem constructs the exact problem family of Figure 1: given
+// variance of the first n naturals ((n²-1)/12) and the variance of the first
+// m even naturals ((m²-1)/3), compute m+n. Both n and m must be > 0.
+func VarianceProblem(n, m int) Problem {
+	v1n, v1d := n*n-1, 12
+	v2n, v2d := m*m-1, 3
+	q := fmt.Sprintf(
+		"assume that the variance of the first %d natural numbers is %s , and the variance of the first %d even natural numbers is %s . compute m + n .",
+		n, frac(v1n, v1d), m, frac(v2n, v2d))
+	steps := []string{
+		fmt.Sprintf("tau2 = ( n2 - 1 ) / 12 = %s so n2 = %d", frac(v1n, v1d), n*n),
+		fmt.Sprintf("sigma2 = ( m2 - 1 ) / 3 = %s so m2 = %d", frac(v2n, v2d), m*m),
+		fmt.Sprintf("n = %d and m = %d", n, m),
+	}
+	return Problem{Question: q, Steps: steps, Answer: fmt.Sprintf("%d", n+m)}
+}
+
+func frac(num, den int) string {
+	if num%den == 0 {
+		return fmt.Sprintf("%d", num/den)
+	}
+	return fmt.Sprintf("%d / %d", num, den)
+}
+
+// ArithChainProblem builds a two-step word problem: start with a items, gain
+// b, lose c; the answer is a+b-c. Requires a+b >= c.
+func ArithChainProblem(a, b, c int) Problem {
+	q := fmt.Sprintf("alice has %d apples . bob gives her %d more . she loses %d . how many apples does alice have ?", a, b, c)
+	steps := []string{
+		fmt.Sprintf("%d + %d = %d", a, b, a+b),
+		fmt.Sprintf("%d - %d = %d", a+b, c, a+b-c),
+	}
+	return Problem{Question: q, Steps: steps, Answer: fmt.Sprintf("%d", a+b-c)}
+}
+
+// RunningChainProblem builds a multi-step accumulation problem: start from
+// a value and apply signed deltas; the chain-of-thought steps show each
+// running total. This is the scratchpad family where intermediate steps
+// reuse a small table of single-op facts while the direct answer requires
+// composing the whole chain in one hop — the regime where chain-of-thought
+// prompting helps most (Figure 1 discussion).
+func RunningChainProblem(start int, deltas []int) Problem {
+	var q strings.Builder
+	fmt.Fprintf(&q, "start %d .", start)
+	total := start
+	var steps []string
+	for _, d := range deltas {
+		op, mag := "add", d
+		sym := "+"
+		if d < 0 {
+			op, mag, sym = "sub", -d, "-"
+		}
+		fmt.Fprintf(&q, " %s %d .", op, mag)
+		steps = append(steps, fmt.Sprintf("%d %s %d = %d", total, sym, mag, total+d))
+		total += d
+	}
+	q.WriteString(" result ?")
+	return Problem{Question: q.String(), Steps: steps, Answer: fmt.Sprintf("%d", total)}
+}
+
+// RunningChainSet samples n chain problems with the given number of steps,
+// keeping every running total within [0, 9] so the single-op fact table
+// stays small.
+func RunningChainSet(n, steps int, rng *mathx.RNG) []Problem {
+	ps := make([]Problem, n)
+	for i := range ps {
+		start := rng.Intn(6)
+		total := start
+		deltas := make([]int, steps)
+		for s := range deltas {
+			for {
+				d := rng.Intn(9) - 4 // -4..4
+				if total+d >= 0 && total+d <= 9 {
+					deltas[s] = d
+					total += d
+					break
+				}
+			}
+		}
+		ps[i] = RunningChainProblem(start, deltas)
+	}
+	return ps
+}
+
+// SumDiffProblem: two numbers sum to s and differ by d (same parity);
+// the answer is the larger number (s+d)/2.
+func SumDiffProblem(s, d int) Problem {
+	q := fmt.Sprintf("two numbers sum to %d and differ by %d . compute the larger number .", s, d)
+	steps := []string{
+		fmt.Sprintf("%d + %d = %d", s, d, s+d),
+		fmt.Sprintf("%d / 2 = %d", s+d, (s+d)/2),
+	}
+	return Problem{Question: q, Steps: steps, Answer: fmt.Sprintf("%d", (s+d)/2)}
+}
+
+// ProblemSet samples n mixed problems from the three families with
+// parameters small enough to tokenize compactly.
+func ProblemSet(n int, rng *mathx.RNG) []Problem {
+	ps := make([]Problem, n)
+	for i := range ps {
+		switch rng.Intn(3) {
+		case 0:
+			ps[i] = VarianceProblem(2+rng.Intn(18), 2+rng.Intn(18))
+		case 1:
+			a, b := rng.Intn(20), rng.Intn(20)
+			c := rng.Intn(a + b + 1)
+			ps[i] = ArithChainProblem(a, b, c)
+		default:
+			x, y := 1+rng.Intn(20), 1+rng.Intn(20)
+			if x < y {
+				x, y = y, x
+			}
+			ps[i] = SumDiffProblem(x+y, x-y)
+		}
+	}
+	return ps
+}
+
+// FullText renders a problem as training text: question, chain-of-thought
+// steps, then "answer <answer>". withCoT=false omits the steps (the direct-
+// answer ablation of experiment E3).
+func (p Problem) FullText(withCoT bool) string {
+	var b strings.Builder
+	b.WriteString(p.Question)
+	if withCoT {
+		for _, s := range p.Steps {
+			b.WriteString(" ; ")
+			b.WriteString(s)
+		}
+	}
+	b.WriteString(" answer ")
+	b.WriteString(p.Answer)
+	return b.String()
+}
+
+// ---- Templated English for embedding analogies ----
+
+// AnalogyCorpus generates sentence templates in which word families
+// (king/queen/man/woman, prince/princess, actor/actress) appear in
+// distributionally parallel contexts, so that co-occurrence embeddings
+// exhibit the Eq. 9 linear analogy structure.
+func AnalogyCorpus(n int, rng *mathx.RNG) []string {
+	male := []string{"king", "man", "prince", "actor", "father", "brother"}
+	female := []string{"queen", "woman", "princess", "actress", "mother", "sister"}
+	maleCtx := []string{"he", "his", "him", "sir", "lord"}
+	femaleCtx := []string{"she", "her", "hers", "lady", "dame"}
+	royal := map[string]bool{"king": true, "queen": true, "prince": true, "princess": true}
+	shared := [][]string{
+		{"the", "%s", "walked", "to", "the", "castle"},
+		{"the", "%s", "spoke", "to", "the", "crowd"},
+		{"people", "saw", "the", "%s", "in", "the", "garden"},
+		{"the", "%s", "smiled"},
+		{"a", "%s", "arrived", "at", "dawn"},
+	}
+	royalTmpl := [][]string{
+		{"the", "%s", "wore", "the", "crown"},
+		{"the", "%s", "ruled", "the", "kingdom"},
+		{"the", "%s", "sat", "on", "the", "throne"},
+	}
+	var lines []string
+	emit := func(word string, ctx []string, tmpl []string) {
+		parts := make([]string, 0, len(tmpl))
+		for _, t := range tmpl {
+			if t == "%s" {
+				parts = append(parts, word)
+			} else {
+				parts = append(parts, t)
+			}
+		}
+		lines = append(lines, strings.Join(parts, " "))
+		// A short gendered sentence keeps the gender marker within any
+		// reasonable co-occurrence window of the head word, mirroring the
+		// natural co-occurrence statistics behind Eq. 10.
+		lines = append(lines, "the "+word+" and "+ctx[rng.Intn(len(ctx))])
+	}
+	for len(lines) < n {
+		i := rng.Intn(len(male))
+		tmpl := shared[rng.Intn(len(shared))]
+		// Royal words additionally co-occur with royal contexts.
+		if royal[male[i]] && rng.Float64() < 0.5 {
+			tmpl = royalTmpl[rng.Intn(len(royalTmpl))]
+		}
+		emit(male[i], maleCtx, tmpl)
+		if len(lines) < n {
+			tmplF := tmpl
+			if royal[female[i]] != royal[male[i]] {
+				tmplF = shared[rng.Intn(len(shared))]
+			}
+			emit(female[i], femaleCtx, tmplF)
+		}
+	}
+	return lines
+}

@@ -1,0 +1,291 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+)
+
+func TestPCFGTextGrammatical(t *testing.T) {
+	g := grammar.TinyEnglish()
+	cnf := g.ToCNF()
+	lines := PCFGText(g, 20, 10, mathx.NewRNG(1))
+	if len(lines) != 20 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if !cnf.Recognize(strings.Fields(l)) {
+			t.Errorf("ungrammatical line %q", l)
+		}
+	}
+}
+
+func TestPCFGTreebankConsistent(t *testing.T) {
+	g := grammar.Arithmetic()
+	sents, trees := PCFGTreebank(g, 10, 8, mathx.NewRNG(2))
+	for i := range sents {
+		leaves := trees[i].Leaves()
+		if len(leaves) != len(sents[i]) {
+			t.Fatalf("tree/sentence length mismatch at %d", i)
+		}
+		for j := range leaves {
+			if leaves[j] != sents[i][j] {
+				t.Fatalf("tree leaves differ from sentence at %d", i)
+			}
+		}
+	}
+}
+
+func TestModularAdditionComplete(t *testing.T) {
+	p := 7
+	eqs := ModularAddition(p)
+	if len(eqs) != p*p {
+		t.Fatalf("got %d equations, want %d", len(eqs), p*p)
+	}
+	for _, e := range eqs {
+		if e.C != (e.A+e.B)%p {
+			t.Fatalf("wrong sum: %+v", e)
+		}
+	}
+}
+
+func TestModularMultiplication(t *testing.T) {
+	for _, e := range ModularMultiplication(5) {
+		if e.C != (e.A*e.B)%5 {
+			t.Fatalf("wrong product: %+v", e)
+		}
+	}
+}
+
+func TestSplitEquationsPartition(t *testing.T) {
+	eqs := ModularAddition(11)
+	train, test := SplitEquations(eqs, 0.6, mathx.NewRNG(3))
+	if len(train)+len(test) != len(eqs) {
+		t.Fatalf("split lost items: %d + %d != %d", len(train), len(test), len(eqs))
+	}
+	if len(train) != int(0.6*float64(len(eqs))) {
+		t.Errorf("train size %d", len(train))
+	}
+	// No overlap.
+	seen := map[ModEquation]bool{}
+	for _, e := range train {
+		seen[e] = true
+	}
+	for _, e := range test {
+		if seen[e] {
+			t.Fatalf("equation %+v in both splits", e)
+		}
+	}
+}
+
+func TestEncodeEquation(t *testing.T) {
+	p := 7
+	ids := EncodeEquation(ModEquation{A: 3, B: 5, C: 1}, p)
+	want := []int{3, 7, 5, 8, 1}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("encoded = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range ids {
+		if id >= ModVocabSize(p) {
+			t.Fatalf("token %d exceeds vocab %d", id, ModVocabSize(p))
+		}
+	}
+}
+
+func TestInductionSequenceProperty(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	for trial := 0; trial < 200; trial++ {
+		seq, target := InductionSequence(24, 10, rng)
+		last := seq[len(seq)-1]
+		// The trigger token must appear exactly once before the end, and the
+		// target must be the token right after that occurrence.
+		count, pos := 0, -1
+		for i := 0; i < len(seq)-1; i++ {
+			if seq[i] == last {
+				count++
+				pos = i
+			}
+		}
+		if count != 1 {
+			t.Fatalf("trigger appears %d times: %v", count, seq)
+		}
+		if seq[pos+1] != target {
+			t.Fatalf("target %d != token after trigger %d", target, seq[pos+1])
+		}
+	}
+}
+
+func TestRepeatedBigramCorpusShape(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	seqs := RepeatedBigramCorpus(10, 16, 8, rng)
+	if len(seqs) != 10 {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	for _, s := range seqs {
+		if len(s) != 16 {
+			t.Fatalf("length %d", len(s))
+		}
+		for i := 0; i < 8; i++ {
+			if s[i] != s[i+8] {
+				t.Fatalf("second half not a repeat: %v", s)
+			}
+		}
+	}
+}
+
+func TestMakeWindows(t *testing.T) {
+	stream := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	ws := MakeWindows(stream, 4)
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	w := ws[0]
+	for k := range w.Input {
+		if w.Target[k] != w.Input[k]+1 {
+			t.Fatalf("target misaligned: %+v", w)
+		}
+	}
+	if ws[1].Input[0] != 4 {
+		t.Fatalf("second window starts at %d", ws[1].Input[0])
+	}
+}
+
+func TestConcat(t *testing.T) {
+	enc := func(s string) []int {
+		out := make([]int, len(s))
+		for i := range s {
+			out[i] = int(s[i] - 'a')
+		}
+		return out
+	}
+	got := Concat([]string{"ab", "c"}, enc, 99)
+	want := []int{0, 1, 99, 2, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Concat = %v", got)
+		}
+	}
+	noSep := Concat([]string{"ab", "c"}, enc, -1)
+	if len(noSep) != 3 {
+		t.Fatalf("Concat without sep = %v", noSep)
+	}
+}
+
+// TestVarianceProblemMatchesFigure1 reproduces the exact instance in the
+// paper's Figure 1: variance 10 → n=11, variance 16 → m=7, answer 18.
+func TestVarianceProblemMatchesFigure1(t *testing.T) {
+	p := VarianceProblem(11, 7)
+	if !strings.Contains(p.Question, "10") {
+		t.Errorf("question lacks variance 10: %q", p.Question)
+	}
+	if !strings.Contains(p.Question, "16") {
+		t.Errorf("question lacks variance 16: %q", p.Question)
+	}
+	if p.Answer != "18" {
+		t.Errorf("answer = %q, want 18", p.Answer)
+	}
+	if len(p.Steps) == 0 {
+		t.Error("no chain-of-thought steps")
+	}
+}
+
+func TestArithChainProblem(t *testing.T) {
+	p := ArithChainProblem(5, 3, 2)
+	if p.Answer != "6" {
+		t.Errorf("answer = %q", p.Answer)
+	}
+	if len(p.Steps) != 2 {
+		t.Errorf("steps = %v", p.Steps)
+	}
+}
+
+func TestSumDiffProblem(t *testing.T) {
+	p := SumDiffProblem(10, 4)
+	if p.Answer != "7" {
+		t.Errorf("answer = %q", p.Answer)
+	}
+}
+
+func TestProblemSetWellFormed(t *testing.T) {
+	ps := ProblemSet(50, mathx.NewRNG(6))
+	for i, p := range ps {
+		if p.Question == "" || p.Answer == "" || len(p.Steps) == 0 {
+			t.Fatalf("problem %d malformed: %+v", i, p)
+		}
+	}
+}
+
+func TestFullTextCoTToggle(t *testing.T) {
+	p := ArithChainProblem(1, 2, 0)
+	with := p.FullText(true)
+	without := p.FullText(false)
+	if !strings.Contains(with, p.Steps[0]) {
+		t.Error("CoT text missing steps")
+	}
+	if strings.Contains(without, p.Steps[0]) {
+		t.Error("direct text leaked steps")
+	}
+	if !strings.HasSuffix(with, "answer "+p.Answer) || !strings.HasSuffix(without, "answer "+p.Answer) {
+		t.Error("answer suffix missing")
+	}
+}
+
+func TestAnalogyCorpusVocabulary(t *testing.T) {
+	lines := AnalogyCorpus(400, mathx.NewRNG(7))
+	if len(lines) < 400 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	all := strings.Join(lines, " ")
+	for _, w := range []string{"king", "queen", "man", "woman", "he", "she", "crown"} {
+		if !strings.Contains(all, w) {
+			t.Errorf("corpus missing %q", w)
+		}
+	}
+}
+
+func TestAnalogyCorpusGenderBalance(t *testing.T) {
+	lines := AnalogyCorpus(1000, mathx.NewRNG(8))
+	counts := map[string]int{}
+	for _, l := range lines {
+		for _, w := range strings.Fields(l) {
+			counts[w]++
+		}
+	}
+	if counts["king"] == 0 || counts["queen"] == 0 {
+		t.Fatal("royal words absent")
+	}
+	ratio := float64(counts["king"]) / float64(counts["queen"])
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("king/queen imbalance: %v", ratio)
+	}
+}
+
+func TestRunningChainProblem(t *testing.T) {
+	p := RunningChainProblem(3, []int{2, -1, 4})
+	if p.Answer != "8" {
+		t.Errorf("answer = %q", p.Answer)
+	}
+	if !strings.Contains(p.Question, "start 3") || !strings.Contains(p.Question, "sub 1") {
+		t.Errorf("question = %q", p.Question)
+	}
+	if p.Steps[1] != "5 - 1 = 4" {
+		t.Errorf("step = %q", p.Steps[1])
+	}
+}
+
+func TestRunningChainSetBounded(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	for _, p := range RunningChainSet(100, 3, rng) {
+		// Answer must be a single digit (running totals bounded to [0, 9]).
+		if len(p.Answer) != 1 || p.Answer[0] < '0' || p.Answer[0] > '9' {
+			t.Fatalf("answer out of range: %q", p.Answer)
+		}
+		if len(p.Steps) != 3 {
+			t.Fatalf("steps = %v", p.Steps)
+		}
+	}
+}

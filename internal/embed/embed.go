@@ -1,0 +1,222 @@
+// Package embed implements the word-embedding pipeline of the paper's §5:
+// the co-occurrence matrix M_N (Eq. 7's embedding map ι), the PPMI
+// transform that underlies the Eq. 10 co-occurrence-ratio explanation of
+// analogies, PCA compression of the high-dimensional columns, nearest-
+// neighbour search, and vector-arithmetic analogy solving (Eq. 9).
+package embed
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/mathx"
+)
+
+// Vocabulary maps words to contiguous ids in first-appearance order.
+type Vocabulary struct {
+	idOf   map[string]int
+	wordOf []string
+}
+
+// NewVocabulary builds a vocabulary from whitespace-tokenized lines.
+func NewVocabulary(lines []string) *Vocabulary {
+	v := &Vocabulary{idOf: map[string]int{}}
+	for _, l := range lines {
+		for _, w := range strings.Fields(l) {
+			if _, ok := v.idOf[w]; !ok {
+				v.idOf[w] = len(v.wordOf)
+				v.wordOf = append(v.wordOf, w)
+			}
+		}
+	}
+	return v
+}
+
+// Size returns the number of distinct words.
+func (v *Vocabulary) Size() int { return len(v.wordOf) }
+
+// ID returns the id of w and whether it is known.
+func (v *Vocabulary) ID(w string) (int, bool) {
+	id, ok := v.idOf[w]
+	return id, ok
+}
+
+// Word returns the surface form of id.
+func (v *Vocabulary) Word(id int) string { return v.wordOf[id] }
+
+// Cooccurrence builds the symmetric co-occurrence matrix M over lines: entry
+// (w, w') counts the occurrences of w' within window positions of w.
+// This is the N-gram co-occurrence matrix of §5 with N = window+1.
+func Cooccurrence(lines []string, v *Vocabulary, window int) *mathx.Mat {
+	m := mathx.NewMat(v.Size(), v.Size())
+	for _, l := range lines {
+		words := strings.Fields(l)
+		ids := make([]int, 0, len(words))
+		for _, w := range words {
+			if id, ok := v.idOf[w]; ok {
+				ids = append(ids, id)
+			}
+		}
+		for i, wi := range ids {
+			for j := i + 1; j <= i+window && j < len(ids); j++ {
+				wj := ids[j]
+				m.Set(wi, wj, m.At(wi, wj)+1)
+				m.Set(wj, wi, m.At(wj, wi)+1)
+			}
+		}
+	}
+	return m
+}
+
+// PPMI transforms a co-occurrence matrix into positive pointwise mutual
+// information: max(0, log( P(w,c) / (P(w)P(c)) )). PMI ratios are exactly
+// the statistics the paper's Eq. 10 invokes to explain analogy structure.
+func PPMI(m *mathx.Mat) *mathx.Mat {
+	n := m.Rows
+	rowSum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rowSum[i] += m.At(i, j)
+		}
+		total += rowSum[i]
+	}
+	out := mathx.NewMat(n, n)
+	if total == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if rowSum[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			c := m.At(i, j)
+			if c == 0 || rowSum[j] == 0 {
+				continue
+			}
+			pmi := math.Log(c * total / (rowSum[i] * rowSum[j]))
+			if pmi > 0 {
+				out.Set(i, j, pmi)
+			}
+		}
+	}
+	return out
+}
+
+// Embeddings holds one vector per word.
+type Embeddings struct {
+	Vocab *Vocabulary
+	Vecs  *mathx.Mat // Size() × dim
+}
+
+// FromMatrix treats each row of m as the embedding of the corresponding
+// word (the raw column/row-of-M_N embedding of §5).
+func FromMatrix(v *Vocabulary, m *mathx.Mat) *Embeddings {
+	return &Embeddings{Vocab: v, Vecs: m}
+}
+
+// Compress projects the embeddings onto their top-k principal components —
+// the §5 "standard statistical cure" for high-dimensional sparse columns
+// and the §7 compression discussion.
+func (e *Embeddings) Compress(k int, rng *mathx.RNG) *Embeddings {
+	proj, _ := mathx.PCA(e.Vecs, k, true, rng)
+	return &Embeddings{Vocab: e.Vocab, Vecs: proj}
+}
+
+// Vector returns the embedding of word w, or ok=false if unknown.
+func (e *Embeddings) Vector(w string) ([]float64, bool) {
+	id, ok := e.Vocab.ID(w)
+	if !ok {
+		return nil, false
+	}
+	return e.Vecs.Row(id), true
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embeddings) Dim() int { return e.Vecs.Cols }
+
+// Neighbor is a scored word.
+type Neighbor struct {
+	Word  string
+	Score float64
+}
+
+// Nearest returns the k words most cosine-similar to the query vector,
+// excluding the words in exclude.
+func (e *Embeddings) Nearest(query []float64, k int, exclude ...string) []Neighbor {
+	ex := map[string]bool{}
+	for _, w := range exclude {
+		ex[w] = true
+	}
+	var ns []Neighbor
+	for id := 0; id < e.Vocab.Size(); id++ {
+		w := e.Vocab.Word(id)
+		if ex[w] {
+			continue
+		}
+		ns = append(ns, Neighbor{Word: w, Score: mathx.CosineSimilarity(query, e.Vecs.Row(id))})
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Score != ns[j].Score {
+			return ns[i].Score > ns[j].Score
+		}
+		return ns[i].Word < ns[j].Word
+	})
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// Analogy solves "a is to b as c is to ?" by the Eq. 9 vector arithmetic
+// ι(b) - ι(a) + ι(c) and returns the nearest word (excluding a, b, c).
+func (e *Embeddings) Analogy(a, b, c string) (string, bool) {
+	va, ok1 := e.Vector(a)
+	vb, ok2 := e.Vector(b)
+	vc, ok3 := e.Vector(c)
+	if !ok1 || !ok2 || !ok3 {
+		return "", false
+	}
+	q := make([]float64, len(va))
+	for i := range q {
+		q[i] = vb[i] - va[i] + vc[i]
+	}
+	ns := e.Nearest(q, 1, a, b, c)
+	if len(ns) == 0 {
+		return "", false
+	}
+	return ns[0].Word, true
+}
+
+// AnalogyQuad is one analogy test item: A:B :: C:D.
+type AnalogyQuad struct{ A, B, C, D string }
+
+// AnalogyAccuracy scores the fraction of quads solved exactly.
+func (e *Embeddings) AnalogyAccuracy(quads []AnalogyQuad) float64 {
+	if len(quads) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, q := range quads {
+		if got, ok := e.Analogy(q.A, q.B, q.C); ok && got == q.D {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(quads))
+}
+
+// StandardQuads returns the gender/royalty analogy test set matching the
+// vocabulary of corpus.AnalogyCorpus.
+func StandardQuads() []AnalogyQuad {
+	return []AnalogyQuad{
+		{"man", "woman", "king", "queen"},
+		{"king", "queen", "man", "woman"},
+		{"man", "woman", "prince", "princess"},
+		{"prince", "princess", "king", "queen"},
+		{"man", "woman", "actor", "actress"},
+		{"man", "woman", "father", "mother"},
+		{"man", "woman", "brother", "sister"},
+		{"king", "queen", "father", "mother"},
+	}
+}

@@ -1,0 +1,185 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+)
+
+func TestVocabularyBasics(t *testing.T) {
+	v := NewVocabulary([]string{"a b a", "c"})
+	if v.Size() != 3 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	id, ok := v.ID("b")
+	if !ok || v.Word(id) != "b" {
+		t.Fatal("ID/Word round trip failed")
+	}
+	if _, ok := v.ID("zzz"); ok {
+		t.Fatal("unknown word found")
+	}
+}
+
+func TestCooccurrenceCounts(t *testing.T) {
+	lines := []string{"a b c"}
+	v := NewVocabulary(lines)
+	m := Cooccurrence(lines, v, 1)
+	ai, _ := v.ID("a")
+	bi, _ := v.ID("b")
+	ci, _ := v.ID("c")
+	if m.At(ai, bi) != 1 || m.At(bi, ai) != 1 {
+		t.Errorf("a-b co-occurrence = %v", m.At(ai, bi))
+	}
+	if m.At(ai, ci) != 0 {
+		t.Errorf("a-c at window 1 = %v, want 0", m.At(ai, ci))
+	}
+	m2 := Cooccurrence(lines, v, 2)
+	if m2.At(ai, ci) != 1 {
+		t.Errorf("a-c at window 2 = %v, want 1", m2.At(ai, ci))
+	}
+}
+
+func TestCooccurrenceSymmetric(t *testing.T) {
+	lines := corpus.AnalogyCorpus(200, mathx.NewRNG(1))
+	v := NewVocabulary(lines)
+	m := Cooccurrence(lines, v, 3)
+	for i := 0; i < v.Size(); i++ {
+		for j := 0; j < v.Size(); j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPPMIProperties(t *testing.T) {
+	lines := []string{"a b a b a b", "c d c d"}
+	v := NewVocabulary(lines)
+	m := Cooccurrence(lines, v, 1)
+	p := PPMI(m)
+	ai, _ := v.ID("a")
+	bi, _ := v.ID("b")
+	ci, _ := v.ID("c")
+	// a-b associate strongly; a-c never co-occur → 0.
+	if p.At(ai, bi) <= 0 {
+		t.Errorf("PPMI(a,b) = %v, want > 0", p.At(ai, bi))
+	}
+	if p.At(ai, ci) != 0 {
+		t.Errorf("PPMI(a,c) = %v, want 0", p.At(ai, ci))
+	}
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			if p.At(i, j) < 0 {
+				t.Fatal("negative PPMI")
+			}
+		}
+	}
+}
+
+func TestPPMIEmptyMatrix(t *testing.T) {
+	p := PPMI(mathx.NewMat(3, 3))
+	for _, v := range p.Data {
+		if v != 0 {
+			t.Fatal("PPMI of zero matrix nonzero")
+		}
+	}
+}
+
+func buildEmbeddings(t *testing.T, n int, seed uint64, compress int) *Embeddings {
+	t.Helper()
+	lines := corpus.AnalogyCorpus(n, mathx.NewRNG(seed))
+	v := NewVocabulary(lines)
+	m := Cooccurrence(lines, v, 4)
+	e := FromMatrix(v, PPMI(m))
+	if compress > 0 {
+		e = e.Compress(compress, mathx.NewRNG(seed+1))
+	}
+	return e
+}
+
+// TestKingQueenAnalogy is experiment E6's headline check: Eq. 9 holds on
+// distributional embeddings built from co-occurrence statistics.
+func TestKingQueenAnalogy(t *testing.T) {
+	e := buildEmbeddings(t, 3000, 2, 0)
+	got, ok := e.Analogy("man", "woman", "king")
+	if !ok {
+		t.Fatal("analogy failed to evaluate")
+	}
+	if got != "queen" {
+		t.Errorf("man:woman :: king:%q, want queen", got)
+	}
+}
+
+func TestAnalogyAccuracyHigh(t *testing.T) {
+	e := buildEmbeddings(t, 4000, 3, 0)
+	acc := e.AnalogyAccuracy(StandardQuads())
+	if acc < 0.6 {
+		t.Errorf("analogy accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+// TestCompressionPreservesAnalogies reproduces the §7 compression claim:
+// projecting to much lower rank keeps the analogy structure.
+func TestCompressionPreservesAnalogies(t *testing.T) {
+	full := buildEmbeddings(t, 4000, 4, 0)
+	small := buildEmbeddings(t, 4000, 4, 12)
+	if small.Dim() != 12 {
+		t.Fatalf("compressed dim = %d", small.Dim())
+	}
+	if small.Dim() >= full.Dim() {
+		t.Fatal("compression did not reduce dimension")
+	}
+	accFull := full.AnalogyAccuracy(StandardQuads())
+	accSmall := small.AnalogyAccuracy(StandardQuads())
+	if accSmall < accFull-0.30 {
+		t.Errorf("compression destroyed analogies: %v -> %v", accFull, accSmall)
+	}
+}
+
+func TestNearestExcludes(t *testing.T) {
+	e := buildEmbeddings(t, 1000, 5, 0)
+	vk, _ := e.Vector("king")
+	ns := e.Nearest(vk, 3, "king")
+	for _, n := range ns {
+		if n.Word == "king" {
+			t.Fatal("excluded word returned")
+		}
+	}
+	if len(ns) != 3 {
+		t.Fatalf("got %d neighbours", len(ns))
+	}
+	// Scores sorted descending.
+	for i := 1; i < len(ns); i++ {
+		if ns[i].Score > ns[i-1].Score {
+			t.Fatal("neighbours not sorted")
+		}
+	}
+}
+
+func TestNearestSelfIsTop(t *testing.T) {
+	e := buildEmbeddings(t, 1000, 6, 0)
+	vq, _ := e.Vector("queen")
+	ns := e.Nearest(vq, 1)
+	if len(ns) == 0 || ns[0].Word != "queen" {
+		t.Errorf("nearest to queen = %+v", ns)
+	}
+	if math.Abs(ns[0].Score-1) > 1e-9 {
+		t.Errorf("self-similarity = %v", ns[0].Score)
+	}
+}
+
+func TestAnalogyUnknownWord(t *testing.T) {
+	e := buildEmbeddings(t, 500, 7, 0)
+	if _, ok := e.Analogy("man", "woman", "xylophone"); ok {
+		t.Error("analogy with unknown word succeeded")
+	}
+}
+
+func TestVectorUnknown(t *testing.T) {
+	e := buildEmbeddings(t, 500, 8, 0)
+	if _, ok := e.Vector("nope"); ok {
+		t.Error("unknown vector found")
+	}
+}

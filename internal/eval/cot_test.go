@@ -1,0 +1,50 @@
+package eval
+
+import "testing"
+
+// TestChainOfThoughtBeatsDirect is experiment E3: on the running-chain
+// word-problem family, a model trained with worked steps (chain of thought)
+// solves far more held-out problems than the same model trained to emit the
+// answer directly — the Figure 1 phenomenon at toy scale.
+func TestChainOfThoughtBeatsDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	res, err := ChainOfThoughtExperiment(DefaultCoT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CoT=%.3f Direct=%.3f", res.CoTAccuracy, res.DirectAccuracy)
+	if res.CoTAccuracy < res.DirectAccuracy+0.2 {
+		t.Errorf("CoT (%.3f) did not clearly beat direct (%.3f)", res.CoTAccuracy, res.DirectAccuracy)
+	}
+	if res.CoTAccuracy < 0.6 {
+		t.Errorf("CoT accuracy %.3f below 0.6", res.CoTAccuracy)
+	}
+}
+
+func TestExtractAnswer(t *testing.T) {
+	cases := map[string]string{
+		"3 + 2 = 5 answer 5":            "5",
+		"answer 7":                      "7",
+		"no marker here":                "",
+		"answer":                        "",
+		"answer 3 ; revised answer 4":   "4",
+		"steps answer 9 trailing words": "9",
+	}
+	for in, want := range cases {
+		if got := ExtractAnswer(in); got != want {
+			t.Errorf("ExtractAnswer(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunningChainProblemCorrect(t *testing.T) {
+	p := RunningChainFixture()
+	if p.Answer != "8" {
+		t.Errorf("answer = %q", p.Answer)
+	}
+	if len(p.Steps) != 3 {
+		t.Errorf("steps = %v", p.Steps)
+	}
+}

@@ -1,0 +1,297 @@
+// Package eval implements the benchmarking methodology of the paper's §4:
+// standardized synthetic task sets (the stand-in for BIG-bench / the LM
+// Evaluation Harness), few-shot prompt construction (§3's in-context
+// learning evaluation), exact-match scoring, consistency checks, and a
+// leaderboard renderer.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+)
+
+// Generator is anything that can extend a text prompt — the model-facing
+// interface of the harness. core.LLM implements it.
+type Generator interface {
+	// Complete returns the continuation of prompt (not echoing the prompt),
+	// stopping after maxTokens tokens or at a natural boundary.
+	Complete(prompt string, maxTokens int) string
+}
+
+// QA is one task item.
+type QA struct {
+	Question string
+	Answer   string
+}
+
+// Task is a named set of QA items drawn from one distribution.
+type Task struct {
+	Name  string
+	Items []QA
+}
+
+// ---- Task generators (the synthetic BIG-bench) ----
+
+// letters used by the symbolic tasks.
+var letters = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+func randomWord(n int, rng *mathx.RNG) []string {
+	w := make([]string, n)
+	for i := range w {
+		w[i] = letters[rng.Intn(len(letters))]
+	}
+	return w
+}
+
+// CopyTask: echo a letter sequence ("copy a b c ->" → "a b c").
+func CopyTask(n, seqLen int, rng *mathx.RNG) Task {
+	t := Task{Name: "copy"}
+	for i := 0; i < n; i++ {
+		w := randomWord(seqLen, rng)
+		t.Items = append(t.Items, QA{
+			Question: "copy " + strings.Join(w, " ") + " ->",
+			Answer:   strings.Join(w, " "),
+		})
+	}
+	return t
+}
+
+// ReverseTask: reverse a letter sequence.
+func ReverseTask(n, seqLen int, rng *mathx.RNG) Task {
+	t := Task{Name: "reverse"}
+	for i := 0; i < n; i++ {
+		w := randomWord(seqLen, rng)
+		r := make([]string, len(w))
+		for j := range w {
+			r[len(w)-1-j] = w[j]
+		}
+		t.Items = append(t.Items, QA{
+			Question: "reverse " + strings.Join(w, " ") + " ->",
+			Answer:   strings.Join(r, " "),
+		})
+	}
+	return t
+}
+
+// ArithmeticTask: single-digit addition and subtraction.
+func ArithmeticTask(n int, rng *mathx.RNG) Task {
+	t := Task{Name: "arithmetic"}
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(10), rng.Intn(10)
+		if rng.Intn(2) == 0 {
+			t.Items = append(t.Items, QA{
+				Question: fmt.Sprintf("%d + %d =", a, b),
+				Answer:   fmt.Sprintf("%d", a+b),
+			})
+		} else {
+			if a < b {
+				a, b = b, a
+			}
+			t.Items = append(t.Items, QA{
+				Question: fmt.Sprintf("%d - %d =", a, b),
+				Answer:   fmt.Sprintf("%d", a-b),
+			})
+		}
+	}
+	return t
+}
+
+// NegationTask probes the negation handling the paper cites benchmarks for:
+// "not true ->" → "false" and compositions like "not not false".
+func NegationTask(n int, rng *mathx.RNG) Task {
+	t := Task{Name: "negation"}
+	for i := 0; i < n; i++ {
+		depth := 1 + rng.Intn(3)
+		val := rng.Intn(2) == 1
+		q := ""
+		res := val
+		for d := 0; d < depth; d++ {
+			q += "not "
+			res = !res
+		}
+		t.Items = append(t.Items, QA{
+			Question: q + boolWord(val) + " ->",
+			Answer:   boolWord(res),
+		})
+	}
+	return t
+}
+
+func boolWord(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// CompositionTask requires two chained operations ("compositionality" in
+// §4): reverse then take the first letter.
+func CompositionTask(n, seqLen int, rng *mathx.RNG) Task {
+	t := Task{Name: "composition"}
+	for i := 0; i < n; i++ {
+		w := randomWord(seqLen, rng)
+		t.Items = append(t.Items, QA{
+			Question: "last of " + strings.Join(w, " ") + " ->",
+			Answer:   w[len(w)-1],
+		})
+	}
+	return t
+}
+
+// WordProblemTask wraps the Figure 1 problem families as a QA task; when
+// withCoT is true the few-shot examples include the worked steps (chain-of-
+// thought prompting).
+func WordProblemTask(n int, withCoT bool, rng *mathx.RNG) (Task, []corpus.Problem) {
+	name := "wordproblems"
+	if withCoT {
+		name += "+cot"
+	}
+	t := Task{Name: name}
+	probs := corpus.ProblemSet(n, rng)
+	for _, p := range probs {
+		t.Items = append(t.Items, QA{Question: p.Question, Answer: p.Answer})
+	}
+	return t, probs
+}
+
+// Suite returns the default benchmark suite.
+func Suite(rng *mathx.RNG) []Task {
+	return []Task{
+		CopyTask(30, 3, rng),
+		ReverseTask(30, 3, rng),
+		ArithmeticTask(30, rng),
+		NegationTask(30, rng),
+		CompositionTask(30, 3, rng),
+	}
+}
+
+// ---- Scoring ----
+
+// PromptConfig controls few-shot prompt construction.
+type PromptConfig struct {
+	Shots     int    // in-context examples per item (0 = zero-shot)
+	Separator string // between examples; default "\n"
+	MaxTokens int    // completion budget; default 16
+}
+
+// BuildPrompt renders a few-shot prompt: shots solved examples followed by
+// the query question.
+func BuildPrompt(task Task, itemIdx int, cfg PromptConfig, rng *mathx.RNG) string {
+	sep := cfg.Separator
+	if sep == "" {
+		sep = "\n"
+	}
+	var b strings.Builder
+	used := map[int]bool{itemIdx: true}
+	for s := 0; s < cfg.Shots && len(used) < len(task.Items); s++ {
+		j := rng.Intn(len(task.Items))
+		for used[j] {
+			j = rng.Intn(len(task.Items))
+		}
+		used[j] = true
+		b.WriteString(task.Items[j].Question)
+		b.WriteString(" ")
+		b.WriteString(task.Items[j].Answer)
+		b.WriteString(sep)
+	}
+	b.WriteString(task.Items[itemIdx].Question)
+	return b.String()
+}
+
+// ScoreTask evaluates exact-match accuracy of g on the task under the given
+// prompting configuration. The completion is trimmed and compared up to the
+// expected answer length.
+func ScoreTask(g Generator, task Task, cfg PromptConfig, rng *mathx.RNG) float64 {
+	if len(task.Items) == 0 {
+		return 0
+	}
+	maxTok := cfg.MaxTokens
+	if maxTok == 0 {
+		maxTok = 16
+	}
+	correct := 0
+	for i := range task.Items {
+		prompt := BuildPrompt(task, i, cfg, rng)
+		out := g.Complete(prompt, maxTok)
+		if MatchAnswer(out, task.Items[i].Answer) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(task.Items))
+}
+
+// MatchAnswer reports whether a completion begins with the expected answer
+// (after whitespace normalization), the standard exact-match criterion.
+func MatchAnswer(completion, answer string) bool {
+	cf := strings.Fields(completion)
+	af := strings.Fields(answer)
+	if len(cf) < len(af) {
+		return false
+	}
+	for i := range af {
+		if cf[i] != af[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistencyScore measures answer agreement between two phrasings of the
+// same items (§4's consistency benchmarks): the fraction of items where the
+// model gives the same (normalized) answer to both forms.
+func ConsistencyScore(g Generator, a, b Task, maxTokens int) float64 {
+	n := len(a.Items)
+	if n == 0 || n != len(b.Items) {
+		return 0
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		ra := strings.Join(strings.Fields(g.Complete(a.Items[i].Question, maxTokens)), " ")
+		rb := strings.Join(strings.Fields(g.Complete(b.Items[i].Question, maxTokens)), " ")
+		if ra == rb {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// ---- Leaderboard ----
+
+// Row is one leaderboard entry.
+type Row struct {
+	Model    string
+	Task     string
+	Shots    int
+	Accuracy float64
+}
+
+// Leaderboard accumulates results across models and tasks.
+type Leaderboard struct {
+	Rows []Row
+}
+
+// Add appends a result.
+func (l *Leaderboard) Add(model, task string, shots int, acc float64) {
+	l.Rows = append(l.Rows, Row{Model: model, Task: task, Shots: shots, Accuracy: acc})
+}
+
+// Format renders the board sorted by task then accuracy (descending).
+func (l *Leaderboard) Format() string {
+	rows := append([]Row(nil), l.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Task != rows[j].Task {
+			return rows[i].Task < rows[j].Task
+		}
+		return rows[i].Accuracy > rows[j].Accuracy
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-14s %6s %9s\n", "Model", "Task", "Shots", "Accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-14s %6d %8.1f%%\n", r.Model, r.Task, r.Shots, 100*r.Accuracy)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"strings"
+)
+
+// The metrics below mirror the HELM-style auxiliary measurements the paper
+// mentions in §4 beyond plain accuracy: degenerate repetition, lexical
+// diversity, verbatim regurgitation of training data, and benchmark
+// contamination (test items leaking into the training set — the §4
+// footnote's memorization pitfall).
+
+// RepetitionRate returns the fraction of tokens in text that repeat the
+// immediately preceding token — a cheap detector of degenerate loops in
+// greedy decoding.
+func RepetitionRate(text string) float64 {
+	f := strings.Fields(text)
+	if len(f) < 2 {
+		return 0
+	}
+	rep := 0
+	for i := 1; i < len(f); i++ {
+		if f[i] == f[i-1] {
+			rep++
+		}
+	}
+	return float64(rep) / float64(len(f)-1)
+}
+
+// DistinctN returns the ratio of distinct n-grams to total n-grams in text
+// (1.0 = maximally diverse). Returns 1 for texts shorter than n tokens.
+func DistinctN(text string, n int) float64 {
+	f := strings.Fields(text)
+	if len(f) < n || n <= 0 {
+		return 1
+	}
+	seen := map[string]bool{}
+	total := 0
+	for i := 0; i+n <= len(f); i++ {
+		seen[strings.Join(f[i:i+n], " ")] = true
+		total++
+	}
+	return float64(len(seen)) / float64(total)
+}
+
+// LongestCommonRun returns the length (in tokens) of the longest contiguous
+// token run shared by text and any training line — the regurgitation
+// measurement behind HELM's copyright/memorization metrics.
+func LongestCommonRun(text string, trainLines []string) int {
+	gen := strings.Fields(text)
+	best := 0
+	for _, line := range trainLines {
+		train := strings.Fields(line)
+		for i := range gen {
+			for j := range train {
+				k := 0
+				for i+k < len(gen) && j+k < len(train) && gen[i+k] == train[j+k] {
+					k++
+				}
+				if k > best {
+					best = k
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ContaminationReport describes benchmark leakage: test items whose full
+// question+answer text appears verbatim in the training corpus.
+type ContaminationReport struct {
+	Contaminated []int // indices of leaked task items
+	Rate         float64
+}
+
+// DetectContamination checks each task item against the training lines
+// (whitespace-normalized substring match of "question answer").
+func DetectContamination(task Task, trainLines []string) ContaminationReport {
+	norm := func(s string) string { return strings.Join(strings.Fields(s), " ") }
+	var normLines []string
+	for _, l := range trainLines {
+		normLines = append(normLines, norm(l))
+	}
+	rep := ContaminationReport{}
+	for i, it := range task.Items {
+		needle := norm(it.Question + " " + it.Answer)
+		for _, l := range normLines {
+			if strings.Contains(l, needle) {
+				rep.Contaminated = append(rep.Contaminated, i)
+				break
+			}
+		}
+	}
+	if len(task.Items) > 0 {
+		rep.Rate = float64(len(rep.Contaminated)) / float64(len(task.Items))
+	}
+	return rep
+}
+
+// FilterContaminated returns a copy of the task without the leaked items —
+// the mitigation the paper's references prescribe.
+func FilterContaminated(task Task, rep ContaminationReport) Task {
+	bad := map[int]bool{}
+	for _, i := range rep.Contaminated {
+		bad[i] = true
+	}
+	out := Task{Name: task.Name + "-decontaminated"}
+	for i, it := range task.Items {
+		if !bad[i] {
+			out.Items = append(out.Items, it)
+		}
+	}
+	return out
+}

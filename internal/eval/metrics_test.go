@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRepetitionRate(t *testing.T) {
+	cases := map[string]float64{
+		"a a a a":   1,
+		"a b c d":   0,
+		"a a b b":   2.0 / 3,
+		"single":    0,
+		"":          0,
+		"x y x y x": 0,
+	}
+	for in, want := range cases {
+		if got := RepetitionRate(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("RepetitionRate(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestDistinctN(t *testing.T) {
+	if got := DistinctN("a b a b", 2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("distinct-2 = %v", got) // bigrams: ab, ba, ab → 2/3
+	}
+	if got := DistinctN("a b c", 1); got != 1 {
+		t.Errorf("distinct-1 of unique tokens = %v", got)
+	}
+	if got := DistinctN("a", 3); got != 1 {
+		t.Errorf("short text = %v", got)
+	}
+}
+
+func TestLongestCommonRun(t *testing.T) {
+	train := []string{"the cat sat on the mat", "dogs bark loudly"}
+	if got := LongestCommonRun("he said the cat sat down", train); got != 3 {
+		t.Errorf("run = %d, want 3 (the cat sat)", got)
+	}
+	if got := LongestCommonRun("zebra quantum", train); got != 0 {
+		t.Errorf("run = %d, want 0", got)
+	}
+	if got := LongestCommonRun("dogs bark loudly", train); got != 3 {
+		t.Errorf("full-line run = %d", got)
+	}
+}
+
+func TestDetectContamination(t *testing.T) {
+	task := Task{Name: "t", Items: []QA{
+		{Question: "copy a b ->", Answer: "a b"},
+		{Question: "copy c d ->", Answer: "c d"},
+	}}
+	// Training corpus contains item 0 verbatim (whitespace-normalized).
+	train := []string{"some text copy a   b -> a b more text", "unrelated"}
+	rep := DetectContamination(task, train)
+	if len(rep.Contaminated) != 1 || rep.Contaminated[0] != 0 {
+		t.Fatalf("contaminated = %v", rep.Contaminated)
+	}
+	if math.Abs(rep.Rate-0.5) > 1e-12 {
+		t.Errorf("rate = %v", rep.Rate)
+	}
+	clean := FilterContaminated(task, rep)
+	if len(clean.Items) != 1 || clean.Items[0].Question != "copy c d ->" {
+		t.Fatalf("filtered = %+v", clean.Items)
+	}
+	if clean.Name != "t-decontaminated" {
+		t.Errorf("name = %q", clean.Name)
+	}
+}
+
+func TestContaminationCleanCorpus(t *testing.T) {
+	task := Task{Name: "t", Items: []QA{{Question: "q", Answer: "a"}}}
+	rep := DetectContamination(task, []string{"nothing relevant"})
+	if rep.Rate != 0 || len(rep.Contaminated) != 0 {
+		t.Errorf("false positive: %+v", rep)
+	}
+}

@@ -1,0 +1,95 @@
+package eval
+
+import "strings"
+
+// ROUGE text-comparison metrics for free-form answers — the §4 alternative
+// to exact match "if the answer is free-form text". ROUGE-N measures
+// n-gram recall/precision overlap; ROUGE-L uses the longest common
+// subsequence.
+
+// RougeScore bundles precision, recall and F1.
+type RougeScore struct {
+	Precision, Recall, F1 float64
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func ngrams(tokens []string, n int) map[string]int {
+	out := map[string]int{}
+	for i := 0; i+n <= len(tokens); i++ {
+		out[strings.Join(tokens[i:i+n], " ")]++
+	}
+	return out
+}
+
+// RougeN computes n-gram overlap between a candidate and a reference.
+func RougeN(candidate, reference string, n int) RougeScore {
+	c := ngrams(strings.Fields(candidate), n)
+	r := ngrams(strings.Fields(reference), n)
+	var overlap, cTotal, rTotal int
+	for g, rc := range r {
+		rTotal += rc
+		if cc, ok := c[g]; ok {
+			if cc < rc {
+				overlap += cc
+			} else {
+				overlap += rc
+			}
+		}
+	}
+	for _, cc := range c {
+		cTotal += cc
+	}
+	var s RougeScore
+	if cTotal > 0 {
+		s.Precision = float64(overlap) / float64(cTotal)
+	}
+	if rTotal > 0 {
+		s.Recall = float64(overlap) / float64(rTotal)
+	}
+	s.F1 = f1(s.Precision, s.Recall)
+	return s
+}
+
+// RougeL computes the longest-common-subsequence variant.
+func RougeL(candidate, reference string) RougeScore {
+	c := strings.Fields(candidate)
+	r := strings.Fields(reference)
+	l := lcs(c, r)
+	var s RougeScore
+	if len(c) > 0 {
+		s.Precision = float64(l) / float64(len(c))
+	}
+	if len(r) > 0 {
+		s.Recall = float64(l) / float64(len(r))
+	}
+	s.F1 = f1(s.Precision, s.Recall)
+	return s
+}
+
+// lcs returns the longest-common-subsequence length of two token slices.
+func lcs(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestRougeNIdentical(t *testing.T) {
+	s := RougeN("the cat sat", "the cat sat", 1)
+	if !almost(s.Precision, 1) || !almost(s.Recall, 1) || !almost(s.F1, 1) {
+		t.Errorf("identical ROUGE-1 = %+v", s)
+	}
+}
+
+func TestRougeNDisjoint(t *testing.T) {
+	s := RougeN("a b c", "x y z", 1)
+	if s.F1 != 0 {
+		t.Errorf("disjoint ROUGE-1 = %+v", s)
+	}
+}
+
+func TestRougeNPartial(t *testing.T) {
+	// candidate "the cat" vs reference "the cat sat": recall 2/3, prec 1.
+	s := RougeN("the cat", "the cat sat", 1)
+	if !almost(s.Precision, 1) || !almost(s.Recall, 2.0/3) {
+		t.Errorf("partial ROUGE-1 = %+v", s)
+	}
+}
+
+func TestRougeNClippedCounts(t *testing.T) {
+	// Candidate repeats "the" 3 times but reference has it once: overlap
+	// is clipped to 1.
+	s := RougeN("the the the", "the cat", 1)
+	if !almost(s.Recall, 0.5) {
+		t.Errorf("clipped recall = %v", s.Recall)
+	}
+	if !almost(s.Precision, 1.0/3) {
+		t.Errorf("clipped precision = %v", s.Precision)
+	}
+}
+
+func TestRougeBigrams(t *testing.T) {
+	s := RougeN("the cat sat down", "the cat sat", 2)
+	// Reference bigrams: "the cat", "cat sat" — both present. Recall 1.
+	if !almost(s.Recall, 1) {
+		t.Errorf("bigram recall = %v", s.Recall)
+	}
+	// Candidate bigrams: 3, overlap 2 → precision 2/3.
+	if !almost(s.Precision, 2.0/3) {
+		t.Errorf("bigram precision = %v", s.Precision)
+	}
+}
+
+func TestRougeLOrderSensitive(t *testing.T) {
+	// Same unigram bag, different order: LCS penalizes reordering where
+	// ROUGE-1 does not.
+	r1 := RougeN("sat cat the", "the cat sat", 1)
+	rl := RougeL("sat cat the", "the cat sat")
+	if !almost(r1.F1, 1) {
+		t.Errorf("ROUGE-1 = %+v", r1)
+	}
+	if rl.F1 >= 0.99 {
+		t.Errorf("ROUGE-L should penalize reorder: %+v", rl)
+	}
+}
+
+func TestRougeLKnownLCS(t *testing.T) {
+	// LCS("a b c d", "a x c y") = "a c" → 2; prec 2/4, rec 2/4.
+	s := RougeL("a b c d", "a x c y")
+	if !almost(s.Precision, 0.5) || !almost(s.Recall, 0.5) {
+		t.Errorf("ROUGE-L = %+v", s)
+	}
+}
+
+func TestRougeEmpty(t *testing.T) {
+	if s := RougeL("", "a b"); s.F1 != 0 {
+		t.Errorf("empty candidate = %+v", s)
+	}
+	if s := RougeN("a", "", 1); s.F1 != 0 {
+		t.Errorf("empty reference = %+v", s)
+	}
+}

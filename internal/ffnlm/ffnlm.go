@@ -1,0 +1,140 @@
+// Package ffnlm implements the fixed-window feed-forward language model of
+// the paper's §5 (the Bengio et al neural probabilistic LM): the L input
+// words are embedded, their vectors concatenated into a single L·p vector,
+// and a fully connected FFN maps it to next-word logits. It is the "deep
+// learning version of the L-gram models" — the historical midpoint between
+// N-gram counting and recurrent/transformer models, and the baseline whose
+// fixed context motivates adding memory (Eq. 12) and attention (Eq. 13).
+package ffnlm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the model hyperparameters.
+type Config struct {
+	Vocab   int
+	Dim     int // per-word embedding dimension p
+	Context int // L: number of preceding words visible
+	Hidden  int // FFN hidden width
+}
+
+// Model is the fixed-window neural LM.
+type Model struct {
+	Cfg   Config
+	Embed *nn.Embedding
+	Net   *nn.MLP // (L·Dim) → Hidden → Vocab
+}
+
+// New builds the model.
+func New(cfg Config, rng *mathx.RNG) (*Model, error) {
+	if cfg.Vocab <= 0 || cfg.Dim <= 0 || cfg.Context <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("ffnlm: non-positive hyperparameter in %+v", cfg)
+	}
+	return &Model{
+		Cfg:   cfg,
+		Embed: nn.NewEmbedding(cfg.Vocab, cfg.Dim, rng),
+		Net:   nn.NewMLP([]int{cfg.Context * cfg.Dim, cfg.Hidden, cfg.Vocab}, nn.Tanh, rng),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, rng *mathx.RNG) *Model {
+	m, err := New(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Parameters implements nn.Module.
+func (m *Model) Parameters() []*autograd.Node {
+	return append(m.Embed.Parameters(), m.Net.Parameters()...)
+}
+
+// NumParameters counts trainable scalars.
+func (m *Model) NumParameters() int { return nn.NumParameters(m) }
+
+// contextAt returns the L tokens preceding position i in input, left-padded
+// with token 0 when the history is short.
+func (m *Model) contextAt(input []int, i int) []int {
+	ctx := make([]int, m.Cfg.Context)
+	for k := 0; k < m.Cfg.Context; k++ {
+		j := i - m.Cfg.Context + 1 + k
+		if j >= 0 {
+			ctx[k] = input[j]
+		}
+	}
+	return ctx
+}
+
+// Forward returns the len(input)×Vocab logits node: row i predicts the
+// token after position i from the window ending at i. Unlike the
+// transformer, information outside the fixed window is invisible — the
+// structural limitation §5 calls out.
+func (m *Model) Forward(input []int) *autograd.Node {
+	if len(input) == 0 {
+		panic("ffnlm: empty input")
+	}
+	rows := make([]*autograd.Node, len(input))
+	for i := range input {
+		emb := m.Embed.Forward(m.contextAt(input, i))
+		// Concatenate the L embedding rows into one 1×(L·Dim) vector —
+		// the "direct sum of the input vectors" of §5.
+		parts := make([]*autograd.Node, m.Cfg.Context)
+		for k := 0; k < m.Cfg.Context; k++ {
+			parts[k] = autograd.SliceRows(emb, k, k+1)
+		}
+		rows[i] = autograd.ConcatCols(parts...)
+	}
+	x := autograd.ConcatRows(rows...)
+	return m.Net.Forward(x)
+}
+
+// ForwardLogits returns the raw logits tensor (evaluation interface shared
+// with the other model families).
+func (m *Model) ForwardLogits(input []int) *tensor.Tensor {
+	return m.Forward(input).Value
+}
+
+// Loss computes the Eq. 3 objective over one window (targets -1 ignored).
+func (m *Model) Loss(input, target []int) *autograd.Node {
+	return autograd.CrossEntropy(m.Forward(input), target)
+}
+
+// CrossEntropy evaluates held-out mean NLL without gradient state.
+func (m *Model) CrossEntropy(input, target []int) float64 {
+	lp := tensor.LogSoftmaxRows(m.ForwardLogits(input))
+	total, n := 0.0, 0
+	for i, t := range target {
+		if t < 0 {
+			continue
+		}
+		total -= lp.Row(i)[t]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Perplexity is exp(CrossEntropy).
+func (m *Model) Perplexity(input, target []int) float64 {
+	return math.Exp(m.CrossEntropy(input, target))
+}
+
+// NextLogits scores the continuation of a prefix (inference entry point).
+func (m *Model) NextLogits(prefix []int) []float64 {
+	if len(prefix) == 0 {
+		panic("ffnlm: empty prefix")
+	}
+	logits := m.ForwardLogits(prefix)
+	return append([]float64(nil), logits.Row(len(prefix)-1)...)
+}

@@ -1,0 +1,158 @@
+package ffnlm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func tinyCfg() Config { return Config{Vocab: 6, Dim: 8, Context: 3, Hidden: 16} }
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}, mathx.NewRNG(1)); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	m := MustNew(tinyCfg(), mathx.NewRNG(1))
+	out := m.Forward([]int{1, 2, 3, 4})
+	if out.Value.Shape[0] != 4 || out.Value.Shape[1] != 6 {
+		t.Fatalf("shape %v", out.Value.Shape)
+	}
+}
+
+// TestFixedWindowBlindness: tokens older than Context positions must be
+// invisible — the defining limitation of §5's L-gram models.
+func TestFixedWindowBlindness(t *testing.T) {
+	m := MustNew(tinyCfg(), mathx.NewRNG(2)) // context 3
+	a := m.ForwardLogits([]int{1, 2, 3, 4, 5})
+	b := m.ForwardLogits([]int{5, 2, 3, 4, 5}) // differs only at position 0
+	// Prediction at position 4 sees tokens 2..4 only → identical rows.
+	for j := 0; j < 6; j++ {
+		if math.Abs(a.At(4, j)-b.At(4, j)) > 1e-12 {
+			t.Fatal("token outside the window influenced the prediction")
+		}
+	}
+	// But position 2 (window 0..2) must differ.
+	diff := 0.0
+	for j := 0; j < 6; j++ {
+		diff += math.Abs(a.At(2, j) - b.At(2, j))
+	}
+	if diff == 0 {
+		t.Fatal("token inside the window had no influence")
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	m := MustNew(Config{Vocab: 4, Dim: 3, Context: 2, Hidden: 5}, mathx.NewRNG(3))
+	input := []int{0, 1, 2}
+	target := []int{1, 2, 3}
+	nn.ZeroGrad(m)
+	autograd.Backward(m.Loss(input, target))
+	const h = 1e-5
+	for pi, p := range m.Parameters() {
+		for i := 0; i < p.Value.Size(); i += 2 {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lp := m.Loss(input, target).Value.Data[0]
+			p.Value.Data[i] = orig - h
+			lm := m.Loss(input, target).Value.Data[0]
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-p.Grad.Data[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("param %d elem %d: analytic %v numeric %v", pi, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestLearnsCycleViaTrainRun(t *testing.T) {
+	m := MustNew(Config{Vocab: 4, Dim: 8, Context: 2, Hidden: 24}, mathx.NewRNG(4))
+	in := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	tg := []int{1, 2, 3, 0, 1, 2, 3, 0}
+	data := []train.Batch{{Input: in, Target: tg}}
+	res, err := train.Run(m, data, train.Config{
+		Steps: 300, Schedule: train.Constant(0.05), Optimizer: train.SGD{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTrainLoss() > 0.1 {
+		t.Errorf("loss = %v after training", res.FinalTrainLoss())
+	}
+	if acc := train.Accuracy(m, data, nil); acc < 0.99 {
+		t.Errorf("cycle accuracy = %v", acc)
+	}
+}
+
+// TestCannotLearnLongDependency: a dependency at distance > Context is
+// unlearnable, in contrast with the LSTM/transformer (the §5 motivation for
+// memory and attention).
+func TestCannotLearnLongDependency(t *testing.T) {
+	// Sequences: first token 0 or 1, then 4 fillers (2), final target equals
+	// the first token. Context=3 cannot see position 0 from position 4.
+	m := MustNew(Config{Vocab: 3, Dim: 8, Context: 3, Hidden: 24}, mathx.NewRNG(5))
+	var data []train.Batch
+	for _, first := range []int{0, 1} {
+		in := []int{first, 2, 2, 2, 2}
+		tg := []int{-1, -1, -1, -1, first}
+		data = append(data, train.Batch{Input: in, Target: tg})
+	}
+	if _, err := train.Run(m, data, train.Config{
+		Steps: 400, Schedule: train.Constant(0.05), Optimizer: train.SGD{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The final-position windows of the two sequences are identical, so the
+	// logits must be identical: the model provably cannot separate them.
+	a := m.ForwardLogits(data[0].Input)
+	b := m.ForwardLogits(data[1].Input)
+	for j := 0; j < 3; j++ {
+		if math.Abs(a.At(4, j)-b.At(4, j)) > 1e-12 {
+			t.Fatal("model distinguished sequences it cannot see")
+		}
+	}
+}
+
+func TestNextLogits(t *testing.T) {
+	m := MustNew(tinyCfg(), mathx.NewRNG(6))
+	l := m.NextLogits([]int{1, 2})
+	if len(l) != 6 {
+		t.Fatalf("logits len %d", len(l))
+	}
+}
+
+func TestPerplexityUntrained(t *testing.T) {
+	m := MustNew(tinyCfg(), mathx.NewRNG(7))
+	in := []int{0, 1, 2, 3, 4, 5}
+	tg := []int{1, 2, 3, 4, 5, 0}
+	pp := m.Perplexity(in, tg)
+	if pp < 3 || pp > 12 {
+		t.Errorf("untrained perplexity = %v, want near 6", pp)
+	}
+}
+
+func TestNumParameters(t *testing.T) {
+	cfg := Config{Vocab: 10, Dim: 4, Context: 2, Hidden: 8}
+	m := MustNew(cfg, mathx.NewRNG(8))
+	want := 10*4 + (2*4*8 + 8) + (8*10 + 10)
+	if got := m.NumParameters(); got != want {
+		t.Errorf("params = %d, want %d", got, want)
+	}
+}
+
+func TestShortHistoryPadding(t *testing.T) {
+	m := MustNew(tinyCfg(), mathx.NewRNG(9))
+	// Single-token input must not panic (history left-padded).
+	out := m.ForwardLogits([]int{5})
+	if out.Shape[0] != 1 {
+		t.Fatal("bad shape for single token")
+	}
+	_ = tensor.New(1) // keep tensor import meaningful
+}

@@ -1,0 +1,184 @@
+package grammar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reestimate runs iters rounds of Inside-Outside EM on the CNF grammar's
+// rule probabilities, fitting them to the sentence corpus (Appendix A's
+// "algorithm for learning a grammar from a corpus": the rule structure is
+// fixed, the probabilities are learned). It returns a new CNF; the receiver
+// is unchanged. Sentences outside the grammar's language are skipped.
+//
+// EM guarantees the corpus log-likelihood is non-decreasing per iteration —
+// the invariant the tests check.
+func (c *CNF) Reestimate(corpus [][]string, iters int) (*CNF, error) {
+	cur := c.clone()
+	for it := 0; it < iters; it++ {
+		binCount := make([]float64, len(cur.Binary))
+		unCount := make([]float64, len(cur.Unary))
+		used := 0
+		for _, sent := range corpus {
+			if cur.accumulate(sent, binCount, unCount) {
+				used++
+			}
+		}
+		if used == 0 {
+			return nil, fmt.Errorf("grammar: no corpus sentence is in the language")
+		}
+		// Normalize per left-hand side.
+		totals := map[string]float64{}
+		for i, r := range cur.Binary {
+			totals[r.Lhs] += binCount[i]
+		}
+		for i, r := range cur.Unary {
+			totals[r.Lhs] += unCount[i]
+		}
+		for i := range cur.Binary {
+			if t := totals[cur.Binary[i].Lhs]; t > 0 {
+				cur.Binary[i].Prob = binCount[i] / t
+			}
+		}
+		for i := range cur.Unary {
+			if t := totals[cur.Unary[i].Lhs]; t > 0 {
+				cur.Unary[i].Prob = unCount[i] / t
+			}
+		}
+	}
+	return cur, nil
+}
+
+func (c *CNF) clone() *CNF {
+	return &CNF{
+		Start:  c.Start,
+		Binary: append([]Rule(nil), c.Binary...),
+		Unary:  append([]Rule(nil), c.Unary...),
+	}
+}
+
+// LogLikelihood returns the summed log inside probability of the sentences
+// that parse (and the number that did).
+func (c *CNF) LogLikelihood(corpus [][]string) (ll float64, parsed int) {
+	for _, sent := range corpus {
+		p := c.InsideProb(sent)
+		if p > 0 {
+			ll += math.Log(p)
+			parsed++
+		}
+	}
+	return ll, parsed
+}
+
+// accumulate adds one sentence's expected rule counts (inside-outside) into
+// binCount/unCount. It reports whether the sentence parses.
+func (c *CNF) accumulate(tokens []string, binCount, unCount []float64) bool {
+	n := len(tokens)
+	if n == 0 {
+		return false
+	}
+	idx := func(i, j int) int { return i*n + j }
+
+	// Inside pass.
+	inside := make([]map[string]float64, n*n)
+	for i := range inside {
+		inside[i] = map[string]float64{}
+	}
+	for i, tok := range tokens {
+		for _, r := range c.Unary {
+			if r.Rhs[0] == tok {
+				inside[idx(i, i)][r.Lhs] += r.Prob
+			}
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span - 1
+			for k := i; k < j; k++ {
+				left, right := inside[idx(i, k)], inside[idx(k+1, j)]
+				if len(left) == 0 || len(right) == 0 {
+					continue
+				}
+				for _, r := range c.Binary {
+					pl, ok1 := left[r.Rhs[0]]
+					if !ok1 {
+						continue
+					}
+					pr, ok2 := right[r.Rhs[1]]
+					if !ok2 {
+						continue
+					}
+					inside[idx(i, j)][r.Lhs] += r.Prob * pl * pr
+				}
+			}
+		}
+	}
+	total := inside[idx(0, n-1)][c.Start]
+	if total <= 0 {
+		return false
+	}
+
+	// Outside pass.
+	outside := make([]map[string]float64, n*n)
+	for i := range outside {
+		outside[i] = map[string]float64{}
+	}
+	outside[idx(0, n-1)][c.Start] = 1
+	for span := n; span >= 2; span-- {
+		for i := 0; i+span <= n; i++ {
+			j := i + span - 1
+			out := outside[idx(i, j)]
+			if len(out) == 0 {
+				continue
+			}
+			for k := i; k < j; k++ {
+				left, right := inside[idx(i, k)], inside[idx(k+1, j)]
+				for _, r := range c.Binary {
+					oa, ok := out[r.Lhs]
+					if !ok || oa == 0 {
+						continue
+					}
+					pl, ok1 := left[r.Rhs[0]]
+					pr, ok2 := right[r.Rhs[1]]
+					if !ok1 || !ok2 {
+						continue
+					}
+					outside[idx(i, k)][r.Rhs[0]] += oa * r.Prob * pr
+					outside[idx(k+1, j)][r.Rhs[1]] += oa * r.Prob * pl
+				}
+			}
+		}
+	}
+
+	// Expected counts.
+	for ri, r := range c.Binary {
+		for span := 2; span <= n; span++ {
+			for i := 0; i+span <= n; i++ {
+				j := i + span - 1
+				oa, ok := outside[idx(i, j)][r.Lhs]
+				if !ok || oa == 0 {
+					continue
+				}
+				for k := i; k < j; k++ {
+					pl, ok1 := inside[idx(i, k)][r.Rhs[0]]
+					pr, ok2 := inside[idx(k+1, j)][r.Rhs[1]]
+					if !ok1 || !ok2 {
+						continue
+					}
+					binCount[ri] += oa * r.Prob * pl * pr / total
+				}
+			}
+		}
+	}
+	for ri, r := range c.Unary {
+		for i, tok := range tokens {
+			if r.Rhs[0] != tok {
+				continue
+			}
+			if oa, ok := outside[idx(i, i)][r.Lhs]; ok && oa > 0 {
+				unCount[ri] += oa * r.Prob / total
+			}
+		}
+	}
+	return true
+}

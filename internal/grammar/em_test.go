@@ -1,0 +1,145 @@
+package grammar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// coinGrammar: S → a | b with adjustable probabilities.
+func coinGrammar(pa float64) *CNF {
+	g := MustNew("S", []Rule{
+		{Lhs: "S", Rhs: []string{"a"}, Prob: pa},
+		{Lhs: "S", Rhs: []string{"b"}, Prob: 1 - pa},
+	})
+	return g.ToCNF()
+}
+
+func TestReestimateRecoversTerminalFrequencies(t *testing.T) {
+	// Corpus: 70 "a", 30 "b". Starting from a wrong prior, EM should land on
+	// P(S→a) ≈ 0.7 in one iteration (complete-data case).
+	var corpus [][]string
+	for i := 0; i < 70; i++ {
+		corpus = append(corpus, []string{"a"})
+	}
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus, []string{"b"})
+	}
+	cnf := coinGrammar(0.2)
+	learned, err := cnf.Reestimate(corpus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range learned.Unary {
+		if r.Rhs[0] == "a" && math.Abs(r.Prob-0.7) > 1e-9 {
+			t.Errorf("P(S→a) = %v, want 0.7", r.Prob)
+		}
+		if r.Rhs[0] == "b" && math.Abs(r.Prob-0.3) > 1e-9 {
+			t.Errorf("P(S→b) = %v, want 0.3", r.Prob)
+		}
+	}
+}
+
+func TestReestimateMonotoneLikelihood(t *testing.T) {
+	// EM's defining invariant: corpus log-likelihood never decreases.
+	g := MustNew("S", []Rule{
+		{Lhs: "S", Rhs: []string{"S", "S"}, Prob: 0.3},
+		{Lhs: "S", Rhs: []string{"a"}, Prob: 0.5},
+		{Lhs: "S", Rhs: []string{"b"}, Prob: 0.2},
+	})
+	cnf := g.ToCNF()
+	// Sample a corpus from a *different* distribution.
+	truth := MustNew("S", []Rule{
+		{Lhs: "S", Rhs: []string{"S", "S"}, Prob: 0.15},
+		{Lhs: "S", Rhs: []string{"a"}, Prob: 0.25},
+		{Lhs: "S", Rhs: []string{"b"}, Prob: 0.6},
+	})
+	rng := mathx.NewRNG(1)
+	var corpus [][]string
+	for i := 0; i < 120; i++ {
+		s := truth.GenerateSentence(rng, 6)
+		if len(s) <= 6 {
+			corpus = append(corpus, s)
+		}
+	}
+	cur := cnf
+	prev := math.Inf(-1)
+	for it := 0; it < 5; it++ {
+		ll, parsed := cur.LogLikelihood(corpus)
+		if parsed != len(corpus) {
+			t.Fatalf("iteration %d: only %d/%d sentences parse", it, parsed, len(corpus))
+		}
+		if ll+1e-9 < prev {
+			t.Fatalf("log-likelihood decreased at iteration %d: %v -> %v", it, prev, ll)
+		}
+		prev = ll
+		next, err := cur.Reestimate(corpus, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	// Terminal ratio should move toward the sampling distribution (more b
+	// than a in the corpus).
+	var pa, pb float64
+	for _, r := range cur.Unary {
+		switch r.Rhs[0] {
+		case "a":
+			pa = r.Prob
+		case "b":
+			pb = r.Prob
+		}
+	}
+	if pb <= pa {
+		t.Errorf("EM did not shift mass toward the frequent terminal: a=%v b=%v", pa, pb)
+	}
+}
+
+func TestReestimateProbabilitiesNormalized(t *testing.T) {
+	g := Arithmetic()
+	cnf := g.ToCNF()
+	rng := mathx.NewRNG(2)
+	var corpus [][]string
+	for i := 0; i < 60; i++ {
+		s := g.GenerateSentence(rng, 8)
+		if len(s) <= 9 {
+			corpus = append(corpus, s)
+		}
+	}
+	learned, err := cnf.Reestimate(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]float64{}
+	for _, r := range learned.Binary {
+		totals[r.Lhs] += r.Prob
+	}
+	for _, r := range learned.Unary {
+		totals[r.Lhs] += r.Prob
+	}
+	for lhs, tot := range totals {
+		if math.Abs(tot-1) > 1e-9 {
+			t.Errorf("probabilities for %s sum to %v", lhs, tot)
+		}
+	}
+}
+
+func TestReestimateRejectsAlienCorpus(t *testing.T) {
+	cnf := coinGrammar(0.5)
+	if _, err := cnf.Reestimate([][]string{{"z"}, {"q"}}, 1); err == nil {
+		t.Error("corpus outside the language accepted")
+	}
+}
+
+func TestReestimateLeavesOriginalUntouched(t *testing.T) {
+	cnf := coinGrammar(0.5)
+	before := cnf.Unary[0].Prob
+	_, err := cnf.Reestimate([][]string{{"a"}, {"a"}, {"b"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnf.Unary[0].Prob != before {
+		t.Error("Reestimate mutated the receiver")
+	}
+}

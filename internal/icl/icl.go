@@ -1,0 +1,287 @@
+// Package icl implements the in-context-learning experiment of the paper's
+// §4 and §7 (after Garg et al and Akyürek et al): a transformer is trained
+// on episodes of (x, y) pairs from random linear functions and must predict
+// y for a query x presented in-context, with no weight updates. Its error is
+// compared against the explicit computational models the paper discusses —
+// exact least squares, ridge regression, and k steps of gradient descent —
+// to ask which algorithm the trained network implements.
+package icl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+// Episode is one in-context regression task: K labelled examples and a
+// query drawn from the same random linear function y = w·x (+ noise).
+type Episode struct {
+	Xs     [][]float64 // K × d context inputs
+	Ys     []float64   // K context labels
+	QueryX []float64   // query input
+	QueryY float64     // ground-truth query label
+}
+
+// GenEpisode samples an episode with d-dimensional inputs, k context
+// examples and observation noise of the given std.
+func GenEpisode(d, k int, noise float64, rng *mathx.RNG) Episode {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = rng.Norm()
+	}
+	ep := Episode{QueryX: make([]float64, d)}
+	for j := 0; j < k; j++ {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = rng.Norm()
+		}
+		ep.Xs = append(ep.Xs, x)
+		ep.Ys = append(ep.Ys, mathx.Dot(w, x)+noise*rng.Norm())
+	}
+	for i := range ep.QueryX {
+		ep.QueryX[i] = rng.Norm()
+	}
+	ep.QueryY = mathx.Dot(w, ep.QueryX)
+	return ep
+}
+
+// ---- Computational-model baselines ----
+
+// PredictOLS solves exact least squares on the context and applies it to
+// the query. Underdetermined systems fall back to ridge with a tiny
+// regularizer.
+func PredictOLS(ep Episode) float64 {
+	return PredictRidge(ep, 1e-8)
+}
+
+// PredictRidge fits ridge regression with strength lambda on the context.
+func PredictRidge(ep Episode, lambda float64) float64 {
+	k := len(ep.Xs)
+	if k == 0 {
+		return 0
+	}
+	d := len(ep.Xs[0])
+	a := mathx.NewMat(k, d)
+	for i, x := range ep.Xs {
+		copy(a.Row(i), x)
+	}
+	w, err := mathx.LeastSquares(a, ep.Ys, lambda)
+	if err != nil {
+		return 0
+	}
+	return mathx.Dot(w, ep.QueryX)
+}
+
+// PredictGD runs steps of full-batch gradient descent from w = 0 at
+// learning rate lr on the context squared loss, then applies the iterate.
+// One step of GD is the weakest of the paper's candidate CMs.
+func PredictGD(ep Episode, steps int, lr float64) float64 {
+	if len(ep.Xs) == 0 {
+		return 0
+	}
+	d := len(ep.Xs[0])
+	w := make([]float64, d)
+	k := float64(len(ep.Xs))
+	for s := 0; s < steps; s++ {
+		grad := make([]float64, d)
+		for i, x := range ep.Xs {
+			err := mathx.Dot(w, x) - ep.Ys[i]
+			for j := range grad {
+				grad[j] += 2 * err * x[j] / k
+			}
+		}
+		for j := range w {
+			w[j] -= lr * grad[j]
+		}
+	}
+	return mathx.Dot(w, ep.QueryX)
+}
+
+// PredictZero is the trivial baseline (always 0 — the prior mean).
+func PredictZero(Episode) float64 { return 0 }
+
+// MSE evaluates a predictor over episodes.
+func MSE(pred func(Episode) float64, eps []Episode) float64 {
+	if len(eps) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, ep := range eps {
+		d := pred(ep) - ep.QueryY
+		total += d * d
+	}
+	return total / float64(len(eps))
+}
+
+// ---- The in-context transformer ----
+
+// Model wraps a transformer core with continuous input/output projections.
+// Episodes use the standard alternating encoding: x-tokens [x, 0, 0] and
+// y-tokens [0…0, y, 1]. The model is supervised to predict y_i at every
+// x_i position (where y_i is not yet visible), so each episode provides K
+// training signals, and inference reads the prediction at the final
+// (query) x position.
+type Model struct {
+	D    int // input dimension
+	In   *nn.Linear
+	Core *transformer.Model
+	Head *nn.Linear // Dim → 1
+}
+
+// NewModel builds an in-context regressor for d-dimensional inputs with up
+// to maxK context examples.
+func NewModel(d, dim, layers, heads, maxK int, rng *mathx.RNG) (*Model, error) {
+	core, err := transformer.New(transformer.Config{
+		Vocab: 2, // token embeddings unused; minimal table
+		Dim:   dim, Layers: layers, Heads: heads, Window: 2*maxK + 1,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		D:    d,
+		In:   nn.NewLinear(d+2, dim, true, rng),
+		Core: core,
+		Head: nn.NewLinear(dim, 1, true, rng),
+	}, nil
+}
+
+// MustNewModel panics on error.
+func MustNewModel(d, dim, layers, heads, maxK int, rng *mathx.RNG) *Model {
+	m, err := NewModel(d, dim, layers, heads, maxK, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Parameters implements nn.Module. Token-embedding and vocab-output
+// parameters of the core are excluded: this model bypasses them.
+func (m *Model) Parameters() []*autograd.Node {
+	var ps []*autograd.Node
+	ps = append(ps, m.In.Parameters()...)
+	ps = append(ps, m.Core.PosTable)
+	for _, b := range m.Core.Blocks {
+		ps = append(ps, b.Parameters()...)
+	}
+	ps = append(ps, m.Core.FinalNorm.Parameters()...)
+	ps = append(ps, m.Head.Parameters()...)
+	return ps
+}
+
+// encode renders the episode as a (2K+1)×(d+2) matrix of continuous tokens:
+// x-token at even rows, y-token at odd rows, query x last.
+func (m *Model) encode(ep Episode) *tensor.Tensor {
+	k := len(ep.Xs)
+	t := tensor.New(2*k+1, m.D+2)
+	for i, x := range ep.Xs {
+		copy(t.Row(2*i), x)
+		yr := t.Row(2*i + 1)
+		yr[m.D] = ep.Ys[i]
+		yr[m.D+1] = 1
+	}
+	copy(t.Row(2*k), ep.QueryX)
+	return t
+}
+
+// forward returns the (2K+1)×1 per-position prediction node.
+func (m *Model) forward(ep Episode) *autograd.Node {
+	tokens := autograd.Const(m.encode(ep))
+	x := m.In.Forward(tokens)
+	l := x.Value.Shape[0]
+	x = autograd.Add(x, autograd.SliceRows(m.Core.PosTable, 0, l))
+	h := m.Core.HiddenStates(x)
+	return m.Head.Forward(h)
+}
+
+// Predict returns the model's query prediction for an episode.
+func (m *Model) Predict(ep Episode) float64 {
+	out := m.forward(ep)
+	return out.Value.Data[out.Value.Shape[0]-1]
+}
+
+// EpisodeLoss is the mean squared error over every x position: at position
+// 2i the model predicts y_i having seen (x_1, y_1, …, x_i), and at the
+// final position it predicts the query label.
+func (m *Model) EpisodeLoss(ep Episode) *autograd.Node {
+	out := m.forward(ep)
+	k := len(ep.Xs)
+	preds := make([]*autograd.Node, 0, k+1)
+	targets := make([]float64, 0, k+1)
+	for i := 0; i < k; i++ {
+		preds = append(preds, autograd.SliceRows(out, 2*i, 2*i+1))
+		targets = append(targets, ep.Ys[i])
+	}
+	preds = append(preds, autograd.SliceRows(out, 2*k, 2*k+1))
+	targets = append(targets, ep.QueryY)
+	stacked := autograd.ConcatRows(preds...)
+	return autograd.MSE(stacked, tensor.FromSlice(targets, len(targets), 1))
+}
+
+// Train meta-trains the model on freshly sampled episodes (d fixed, k
+// sampled in [1, maxK]), averaging gradients over batch episodes per step,
+// and returns the loss curve (mean per 50 steps).
+func (m *Model) Train(steps, batch, maxK int, noise, lr float64, rng *mathx.RNG) []float64 {
+	if batch <= 0 {
+		batch = 1
+	}
+	opt := train.NewAdam(0)
+	params := m.Parameters()
+	var curve []float64
+	window := 0.0
+	const span = 50
+	for s := 0; s < steps; s++ {
+		stepLoss := 0.0
+		for b := 0; b < batch; b++ {
+			k := 1 + rng.Intn(maxK)
+			ep := GenEpisode(m.D, k, noise, rng)
+			loss := m.EpisodeLoss(ep)
+			autograd.Backward(autograd.Scale(loss, 1/float64(batch)))
+			stepLoss += loss.Value.Data[0]
+		}
+		train.ClipGradNorm(params, 1)
+		opt.Step(params, lr)
+		window += stepLoss / float64(batch)
+		if (s+1)%span == 0 {
+			curve = append(curve, window/span)
+			window = 0
+		}
+	}
+	return curve
+}
+
+// Compare evaluates the trained model against all baseline CMs on n fresh
+// episodes with k context examples, returning MSEs keyed by name.
+func Compare(m *Model, n, k int, noise float64, rng *mathx.RNG) map[string]float64 {
+	eps := make([]Episode, n)
+	for i := range eps {
+		eps[i] = GenEpisode(m.D, k, noise, rng)
+	}
+	return map[string]float64{
+		"transformer": MSE(m.Predict, eps),
+		"ols":         MSE(PredictOLS, eps),
+		"ridge":       MSE(func(e Episode) float64 { return PredictRidge(e, 0.1) }, eps),
+		"gd1":         MSE(func(e Episode) float64 { return PredictGD(e, 1, 0.2) }, eps),
+		"gd10":        MSE(func(e Episode) float64 { return PredictGD(e, 10, 0.2) }, eps),
+		"zero":        MSE(PredictZero, eps),
+	}
+}
+
+// FormatComparison renders a comparison map deterministically.
+func FormatComparison(res map[string]float64) string {
+	order := []string{"zero", "gd1", "gd10", "ridge", "ols", "transformer"}
+	s := ""
+	for _, k := range order {
+		if v, ok := res[k]; ok {
+			s += fmt.Sprintf("%-12s %.4f\n", k, v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package icl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestGenEpisodeShapes(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	ep := GenEpisode(3, 5, 0, rng)
+	if len(ep.Xs) != 5 || len(ep.Ys) != 5 || len(ep.QueryX) != 3 {
+		t.Fatalf("episode shapes: %d xs, %d ys, %d query", len(ep.Xs), len(ep.Ys), len(ep.QueryX))
+	}
+}
+
+func TestGenEpisodeLinearConsistency(t *testing.T) {
+	// With zero noise, OLS on d well-conditioned examples recovers w exactly
+	// and predicts the query perfectly.
+	rng := mathx.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		ep := GenEpisode(4, 8, 0, rng)
+		if err := math.Abs(PredictOLS(ep) - ep.QueryY); err > 1e-6 {
+			t.Fatalf("OLS error %v on noiseless determined episode", err)
+		}
+	}
+}
+
+func TestOLSUnderdetermined(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	ep := GenEpisode(8, 2, 0, rng) // fewer examples than dims
+	pred := PredictOLS(ep)
+	if math.IsNaN(pred) || math.IsInf(pred, 0) {
+		t.Fatalf("OLS diverged: %v", pred)
+	}
+}
+
+func TestRidgeShrinksTowardZero(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	ep := GenEpisode(3, 6, 0, rng)
+	small := PredictRidge(ep, 1e-6)
+	big := PredictRidge(ep, 1e6)
+	if math.Abs(big) >= math.Abs(small) && math.Abs(small) > 1e-9 {
+		t.Errorf("heavy ridge did not shrink: %v vs %v", big, small)
+	}
+}
+
+func TestGDApproachesOLS(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	var gd1, gd100, ols float64
+	n := 50
+	for i := 0; i < n; i++ {
+		ep := GenEpisode(3, 10, 0, rng)
+		d1 := PredictGD(ep, 1, 0.1) - ep.QueryY
+		d100 := PredictGD(ep, 100, 0.1) - ep.QueryY
+		do := PredictOLS(ep) - ep.QueryY
+		gd1 += d1 * d1
+		gd100 += d100 * d100
+		ols += do * do
+	}
+	if gd100 >= gd1 {
+		t.Errorf("more GD steps did not help: %v vs %v", gd100/float64(n), gd1/float64(n))
+	}
+	if gd100/float64(n) > ols/float64(n)+0.05 {
+		t.Errorf("100-step GD (%v) far from OLS (%v)", gd100/float64(n), ols/float64(n))
+	}
+}
+
+func TestMSEBasics(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	eps := []Episode{GenEpisode(2, 3, 0, rng)}
+	if m := MSE(PredictZero, eps); m != eps[0].QueryY*eps[0].QueryY {
+		t.Errorf("zero-predictor MSE = %v", m)
+	}
+	if !math.IsNaN(MSE(PredictZero, nil)) {
+		t.Error("empty MSE not NaN")
+	}
+}
+
+func TestModelForwardShape(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	m := MustNewModel(2, 16, 1, 2, 8, rng)
+	ep := GenEpisode(2, 4, 0, rng)
+	pred := m.Predict(ep)
+	if math.IsNaN(pred) || math.IsInf(pred, 0) {
+		t.Fatalf("prediction = %v", pred)
+	}
+}
+
+func TestModelParametersExcludeVocab(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	m := MustNewModel(2, 16, 1, 2, 8, rng)
+	for _, p := range m.Parameters() {
+		if p == m.Core.TokEmb.W {
+			t.Fatal("token embedding leaked into trainable params")
+		}
+		if p == m.Core.Output.W {
+			t.Fatal("vocab head leaked into trainable params")
+		}
+	}
+}
+
+// TestICLApproachesRidge is experiment E11: after meta-training, the
+// transformer's in-context regression error is far below the zero and
+// 1-step-GD baselines, moving toward the ridge/OLS solutions, and error
+// falls as the number of in-context examples grows.
+func TestICLApproachesRidge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meta-training test")
+	}
+	rng := mathx.NewRNG(9)
+	d, maxK := 1, 8
+	m := MustNewModel(d, 32, 2, 2, maxK, rng)
+	m.Train(1200, 8, maxK, 0.3, 0.003, rng)
+	res := Compare(m, 100, 6, 0.3, mathx.NewRNG(10))
+	t.Logf("\n%s", FormatComparison(res))
+	if res["transformer"] >= res["zero"]*0.5 {
+		t.Errorf("ICL barely beats zero: %v vs %v", res["transformer"], res["zero"])
+	}
+	if res["transformer"] >= res["gd1"] {
+		t.Errorf("ICL worse than 1-step GD: %v vs %v", res["transformer"], res["gd1"])
+	}
+	// The defining in-context-learning signature: error falls with context.
+	few := Compare(m, 200, 1, 0.3, mathx.NewRNG(12))["transformer"]
+	many := Compare(m, 200, 7, 0.3, mathx.NewRNG(12))["transformer"]
+	if many >= few {
+		t.Errorf("error did not fall with context: k=1 %v, k=7 %v", few, many)
+	}
+}
+
+func TestTrainReturnsCurve(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	m := MustNewModel(2, 16, 1, 2, 4, rng)
+	curve := m.Train(100, 2, 4, 0, 0.002, rng)
+	if len(curve) != 2 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for _, v := range curve {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in training curve")
+		}
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	s := FormatComparison(map[string]float64{"zero": 1, "transformer": 0.25})
+	if s == "" || len(s) < 10 {
+		t.Errorf("format = %q", s)
+	}
+}

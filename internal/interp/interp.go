@@ -1,0 +1,198 @@
+// Package interp implements the mechanistic-interpretability toolkit of the
+// paper's §7: attention-pattern analysis, induction-head scoring (the
+// "A B … A → B" circuit of Elhage/Olsson et al that the paper highlights),
+// and head ablation for causal attribution.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+// InductionScore measures how strongly an attention head implements the
+// induction pattern on seq: for every position i whose token occurred
+// earlier at position j, the induction circuit attends from i to j+1 (the
+// token that followed the previous occurrence). The score is the mean
+// attention weight on that target across all such positions; a head that
+// never looks there scores ~1/L, a crisp induction head scores near 1.
+func InductionScore(att *tensor.Tensor, seq []int) float64 {
+	if att.Shape[0] != len(seq) {
+		panic("interp: attention/sequence length mismatch")
+	}
+	total, n := 0.0, 0
+	for i := 1; i < len(seq); i++ {
+		// Most recent previous occurrence of seq[i].
+		j := -1
+		for k := i - 1; k >= 0; k-- {
+			if seq[k] == seq[i] {
+				j = k
+				break
+			}
+		}
+		if j < 0 || j+1 > i {
+			continue
+		}
+		total += att.At(i, j+1)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// PrefixMatchingScore measures attention from position i back to the
+// previous occurrence j itself (the "matching" half of the circuit, before
+// the one-step shift).
+func PrefixMatchingScore(att *tensor.Tensor, seq []int) float64 {
+	total, n := 0.0, 0
+	for i := 1; i < len(seq); i++ {
+		j := -1
+		for k := i - 1; k >= 0; k-- {
+			if seq[k] == seq[i] {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			continue
+		}
+		total += att.At(i, j)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// PreviousTokenScore measures the mean attention each position places on
+// its immediate predecessor — the "previous-token head" that composes with
+// the matching head to form the induction circuit.
+func PreviousTokenScore(att *tensor.Tensor) float64 {
+	l := att.Shape[0]
+	if l < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 1; i < l; i++ {
+		total += att.At(i, i-1)
+	}
+	return total / float64(l-1)
+}
+
+// HeadScore identifies a head by layer and index with a score.
+type HeadScore struct {
+	Layer, Head int
+	Score       float64
+}
+
+// ScoreHeads runs the model on each sequence and returns the mean induction
+// score for every head, sorted by (layer, head).
+func ScoreHeads(m *transformer.Model, seqs [][]int) []HeadScore {
+	var sums []([]float64)
+	counts := 0
+	for _, seq := range seqs {
+		var tr transformer.Trace
+		m.Forward(seq, &tr)
+		if sums == nil {
+			sums = make([][]float64, len(tr.Layers))
+			for l := range sums {
+				sums[l] = make([]float64, len(tr.Layers[l].Attention))
+			}
+		}
+		for l, lt := range tr.Layers {
+			for h, att := range lt.Attention {
+				sums[l][h] += InductionScore(att, seq)
+			}
+		}
+		counts++
+	}
+	var out []HeadScore
+	for l := range sums {
+		for h := range sums[l] {
+			out = append(out, HeadScore{Layer: l, Head: h, Score: sums[l][h] / float64(counts)})
+		}
+	}
+	return out
+}
+
+// BestHead returns the highest-scoring entry.
+func BestHead(scores []HeadScore) HeadScore {
+	if len(scores) == 0 {
+		panic("interp: no head scores")
+	}
+	best := scores[0]
+	for _, s := range scores[1:] {
+		if s.Score > best.Score {
+			best = s
+		}
+	}
+	return best
+}
+
+// RepeatAccuracy measures greedy next-token accuracy on the second halves
+// of repeated sequences — the behavioural signature of induction (the model
+// predicts the repetition rather than the unigram prior).
+func RepeatAccuracy(m *transformer.Model, seqs [][]int) float64 {
+	correct, total := 0, 0
+	for _, seq := range seqs {
+		logits := m.ForwardLogits(seq)
+		half := len(seq) / 2
+		for i := half; i < len(seq)-1; i++ {
+			pred := argmaxRow(logits, i)
+			if pred == seq[i+1] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func argmaxRow(t *tensor.Tensor, i int) int {
+	row := t.Row(i)
+	best, bv := 0, row[0]
+	for j, v := range row {
+		if v > bv {
+			best, bv = j, v
+		}
+	}
+	return best
+}
+
+// Ablation zeroes one attention head's value projection, removing its
+// contribution to the residual stream while leaving its attention pattern
+// computable. Restore undoes the edit.
+type Ablation struct {
+	saved []float64
+	dst   *tensor.Tensor
+}
+
+// AblateHead zeroes head h of block layer and returns a handle to restore
+// it. It panics on out-of-range indices.
+func AblateHead(m *transformer.Model, layer, head int) *Ablation {
+	if layer < 0 || layer >= len(m.Blocks) {
+		panic(fmt.Sprintf("interp: layer %d out of range", layer))
+	}
+	attn := m.Blocks[layer].Attn
+	if head < 0 || head >= attn.NumHeads() {
+		panic(fmt.Sprintf("interp: head %d out of range", head))
+	}
+	wv := attn.HeadValueWeights(head)
+	a := &Ablation{saved: append([]float64(nil), wv.Data...), dst: wv}
+	for i := range wv.Data {
+		wv.Data[i] = 0
+	}
+	return a
+}
+
+// Restore reinstates the ablated weights.
+func (a *Ablation) Restore() {
+	copy(a.dst.Data, a.saved)
+}

@@ -1,0 +1,219 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+// handAttention builds an L×L row-stochastic matrix with all mass on the
+// given target per row (target[i] < 0 → uniform over prefix).
+func handAttention(targets []int) *tensor.Tensor {
+	l := len(targets)
+	att := tensor.New(l, l)
+	for i := 0; i < l; i++ {
+		if targets[i] >= 0 {
+			att.Set(i, targets[i], 1)
+			continue
+		}
+		for j := 0; j <= i; j++ {
+			att.Set(i, j, 1/float64(i+1))
+		}
+	}
+	return att
+}
+
+func TestInductionScorePerfectHead(t *testing.T) {
+	// seq = a b c a b: at i=3 (a), previous a at 0 → target 1; at i=4 (b),
+	// previous b at 1 → target 2.
+	seq := []int{0, 1, 2, 0, 1}
+	targets := []int{-1, -1, -1, 1, 2}
+	att := handAttention(targets)
+	if s := InductionScore(att, seq); math.Abs(s-1) > 1e-12 {
+		t.Errorf("perfect induction score = %v", s)
+	}
+}
+
+func TestInductionScoreUniformIsLow(t *testing.T) {
+	seq := []int{0, 1, 2, 0, 1}
+	att := handAttention([]int{-1, -1, -1, -1, -1})
+	if s := InductionScore(att, seq); s > 0.3 {
+		t.Errorf("uniform attention induction score = %v", s)
+	}
+}
+
+func TestPrefixMatchingScore(t *testing.T) {
+	seq := []int{0, 1, 0}
+	att := handAttention([]int{-1, -1, 0}) // i=2 attends to previous 0 at j=0
+	if s := PrefixMatchingScore(att, seq); math.Abs(s-1) > 1e-12 {
+		t.Errorf("matching score = %v", s)
+	}
+}
+
+func TestPreviousTokenScore(t *testing.T) {
+	att := handAttention([]int{-1, 0, 1, 2})
+	if s := PreviousTokenScore(att); math.Abs(s-1) > 1e-12 {
+		t.Errorf("previous-token score = %v", s)
+	}
+}
+
+func trainInductionModel(t *testing.T, layers int, steps int) (*transformer.Model, [][]int) {
+	t.Helper()
+	rng := mathx.NewRNG(42)
+	vocab, seqLen := 8, 16
+	cfg := transformer.Config{
+		Vocab: vocab, Dim: 32, Layers: layers, Heads: 2, Window: seqLen,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}
+	m := transformer.MustNew(cfg, rng)
+	seqs := corpus.RepeatedBigramCorpus(60, seqLen, vocab, rng)
+	var data []train.Batch
+	for _, s := range seqs {
+		// Supervise only the repeated half (the first half is unpredictable).
+		tg := make([]int, len(s)-1)
+		for i := range tg {
+			if i+1 >= len(s)/2 {
+				tg[i] = s[i+1]
+			} else {
+				tg[i] = -1
+			}
+		}
+		data = append(data, train.Batch{Input: s[:len(s)-1], Target: tg})
+	}
+	_, err := train.Run(m, data, train.Config{
+		Steps: steps, BatchSize: 4, Schedule: train.Constant(0.002),
+		Optimizer: train.NewAdam(0), ClipNorm: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, seqs
+}
+
+// TestInductionScoreRises is experiment E8: after training on repeated
+// sequences, some head in layer ≥ 2 develops an induction score far above
+// the untrained baseline, and repeat accuracy is high.
+func TestInductionScoreRises(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := mathx.NewRNG(7)
+	vocab, seqLen := 8, 16
+	untrained := transformer.MustNew(transformer.Config{
+		Vocab: vocab, Dim: 32, Layers: 2, Heads: 2, Window: seqLen,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}, rng)
+	seqs := corpus.RepeatedBigramCorpus(20, seqLen, vocab, mathx.NewRNG(9))
+	baseBest := BestHead(ScoreHeads(untrained, seqs))
+
+	m, trainSeqs := trainInductionModel(t, 2, 300)
+	best := BestHead(ScoreHeads(m, seqs))
+	if best.Score < baseBest.Score+0.1 {
+		t.Errorf("induction score did not rise: untrained %v, trained %v", baseBest.Score, best.Score)
+	}
+	// Behaviour: repeat accuracy beats chance (1/vocab) by a wide margin.
+	acc := RepeatAccuracy(m, trainSeqs)
+	if acc < 0.5 {
+		t.Errorf("repeat accuracy = %v", acc)
+	}
+}
+
+func TestScoreHeadsShape(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	m := transformer.MustNew(transformer.Config{
+		Vocab: 6, Dim: 16, Layers: 3, Heads: 4, Window: 10,
+		Pos: transformer.PosLearned, Act: nn.ReLU,
+	}, rng)
+	seqs := corpus.RepeatedBigramCorpus(3, 10, 6, rng)
+	scores := ScoreHeads(m, seqs)
+	if len(scores) != 12 {
+		t.Fatalf("got %d head scores", len(scores))
+	}
+	for _, s := range scores {
+		if s.Score < 0 || s.Score > 1 {
+			t.Fatalf("score out of range: %+v", s)
+		}
+	}
+}
+
+func TestAblationZeroesAndRestores(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	m := transformer.MustNew(transformer.Config{
+		Vocab: 6, Dim: 8, Layers: 1, Heads: 2, Window: 6,
+		Pos: transformer.PosLearned, Act: nn.ReLU,
+	}, rng)
+	seq := []int{1, 2, 3, 4}
+	before := m.ForwardLogits(seq).Clone()
+	ab := AblateHead(m, 0, 0)
+	during := m.ForwardLogits(seq)
+	diff := 0.0
+	for i := range before.Data {
+		diff += math.Abs(before.Data[i] - during.Data[i])
+	}
+	if diff == 0 {
+		t.Error("ablation had no effect")
+	}
+	ab.Restore()
+	after := m.ForwardLogits(seq)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("restore incomplete")
+		}
+	}
+}
+
+func TestAblationPanicsOutOfRange(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	m := transformer.MustNew(transformer.Config{
+		Vocab: 4, Dim: 8, Layers: 1, Heads: 2, Window: 4,
+		Pos: transformer.PosLearned, Act: nn.ReLU,
+	}, rng)
+	for _, fn := range []func(){
+		func() { AblateHead(m, 5, 0) },
+		func() { AblateHead(m, 0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAblatingInductionHeadHurtsRepeats: removing the best induction head
+// should reduce repeat accuracy more than removing the worst head.
+func TestAblatingInductionHeadHurtsRepeats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	m, seqs := trainInductionModel(t, 2, 300)
+	scores := ScoreHeads(m, seqs)
+	best := BestHead(scores)
+	worst := scores[0]
+	for _, s := range scores {
+		if s.Score < worst.Score {
+			worst = s
+		}
+	}
+	base := RepeatAccuracy(m, seqs)
+	abBest := AblateHead(m, best.Layer, best.Head)
+	accNoBest := RepeatAccuracy(m, seqs)
+	abBest.Restore()
+	abWorst := AblateHead(m, worst.Layer, worst.Head)
+	accNoWorst := RepeatAccuracy(m, seqs)
+	abWorst.Restore()
+	t.Logf("base=%.3f noBest=%.3f noWorst=%.3f (best head %d/%d score %.3f)",
+		base, accNoBest, accNoWorst, best.Layer, best.Head, best.Score)
+	if accNoBest > base {
+		t.Errorf("removing the top induction head improved accuracy: %v -> %v", base, accNoBest)
+	}
+}

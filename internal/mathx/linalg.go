@@ -1,0 +1,272 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix of float64.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("mathx: NewMat with negative dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (shared storage) of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// MatMul returns a*b. It panics on inner-dimension mismatch.
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mathx: MatMul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a·x for a Rows x Cols matrix and length-Cols vector.
+func MatVec(a *Mat, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("mathx: MatVec dimension mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// CosineSimilarity returns a·b / (|a||b|), or 0 when either vector is zero.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// ErrSingular reports that a linear system was (numerically) singular.
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// Solve solves a·x = b by Gaussian elimination with partial pivoting.
+// a is Rows x Rows and is not modified. It returns ErrSingular when a pivot
+// underflows.
+func Solve(a *Mat, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mathx: Solve dimension mismatch")
+	}
+	// Augmented working copy.
+	w := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, best := col, math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			wp, wc := w.Row(p), w.Row(col)
+			for j := range wp {
+				wp[j], wc[j] = wc[j], wp[j]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		piv := w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			wr, wc := w.Row(r), w.Row(col)
+			for j := col; j < n; j++ {
+				wr[j] -= f * wc[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := w.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min_x |A·x - y|^2 via the normal equations
+// (AᵀA + ridge·I)·x = Aᵀy. ridge >= 0; a small positive ridge regularizes
+// ill-conditioned designs (ridge regression).
+func LeastSquares(a *Mat, y []float64, ridge float64) ([]float64, error) {
+	if a.Rows != len(y) {
+		panic("mathx: LeastSquares dimension mismatch")
+	}
+	at := a.T()
+	ata := MatMul(at, a)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+ridge)
+	}
+	aty := MatVec(at, y)
+	return Solve(ata, aty)
+}
+
+// PowerIteration returns the dominant eigenvalue and unit eigenvector of the
+// symmetric matrix a, using iters rounds starting from a deterministic seed
+// vector derived from rng.
+func PowerIteration(a *Mat, iters int, rng *RNG) (float64, []float64) {
+	n := a.Rows
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Norm()
+	}
+	normalize(v)
+	for t := 0; t < iters; t++ {
+		v = MatVec(a, v)
+		if Norm2(v) == 0 {
+			// Degenerate: restart from a basis vector.
+			v[0] = 1
+		}
+		normalize(v)
+	}
+	av := MatVec(a, v)
+	return Dot(v, av), v
+}
+
+func normalize(v []float64) {
+	n := Norm2(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// TopEigen computes the k leading eigenpairs of the symmetric matrix a by
+// power iteration with deflation. Eigenvalues are returned in descending
+// order of magnitude; eigvecs[i] is the unit eigenvector for eigvals[i].
+func TopEigen(a *Mat, k, iters int, rng *RNG) (eigvals []float64, eigvecs [][]float64) {
+	work := a.Clone()
+	for c := 0; c < k; c++ {
+		lam, v := PowerIteration(work, iters, rng)
+		eigvals = append(eigvals, lam)
+		eigvecs = append(eigvecs, v)
+		// Deflate: work -= lam * v vᵀ
+		for i := 0; i < work.Rows; i++ {
+			row := work.Row(i)
+			for j := range row {
+				row[j] -= lam * v[i] * v[j]
+			}
+		}
+	}
+	return eigvals, eigvecs
+}
+
+// PCA projects the rows of x (samples x features) onto the top k principal
+// components of the (uncentered if center is false) covariance. It returns
+// the projected samples (samples x k) and the components (k x features).
+// This is the compression step the paper applies to co-occurrence columns.
+func PCA(x *Mat, k int, center bool, rng *RNG) (*Mat, *Mat) {
+	n, d := x.Rows, x.Cols
+	if k > d {
+		k = d
+	}
+	work := x.Clone()
+	if center {
+		for j := 0; j < d; j++ {
+			m := 0.0
+			for i := 0; i < n; i++ {
+				m += work.At(i, j)
+			}
+			m /= float64(n)
+			for i := 0; i < n; i++ {
+				work.Set(i, j, work.At(i, j)-m)
+			}
+		}
+	}
+	// Covariance (features x features), scaled by 1/n.
+	cov := MatMul(work.T(), work)
+	for i := range cov.Data {
+		cov.Data[i] /= float64(n)
+	}
+	_, vecs := TopEigen(cov, k, 100, rng)
+	comp := NewMat(k, d)
+	for i, v := range vecs {
+		copy(comp.Row(i), v)
+	}
+	proj := MatMul(work, comp.T())
+	return proj, comp
+}

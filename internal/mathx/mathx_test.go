@@ -1,0 +1,428 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	if m := Mean(xs); !almostEqual(m, 0, 0.03) {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 1, 0.05) {
+		t.Errorf("normal variance = %v, want ~1", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := NewRNG(5)
+	w := []float64{1, 2, 7}
+	counts := make([]float64, 3)
+	n := 30000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := counts[i] / float64(n)
+		if !almostEqual(got, want, 0.02) {
+			t.Errorf("category %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero weights")
+		}
+	}()
+	NewRNG(1).Categorical([]float64{0, 0})
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Errorf("mean = %v, want 3", m)
+	}
+	if v := Variance(xs); v != 2 {
+		t.Errorf("variance = %v, want 2", v)
+	}
+}
+
+// TestVarianceFirstN checks the closed form var(1..n) = (n^2-1)/12 used in
+// the paper's Figure 1 word problem.
+func TestVarianceFirstN(t *testing.T) {
+	for _, n := range []int{3, 7, 11, 20} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		want := (float64(n)*float64(n) - 1) / 12
+		if v := Variance(xs); !almostEqual(v, want, 1e-9) {
+			t.Errorf("var(1..%d) = %v, want %v", n, v, want)
+		}
+	}
+}
+
+// TestVarianceFirstNEven checks var(2,4,..,2m) = (m^2-1)/3 from Figure 1.
+func TestVarianceFirstNEven(t *testing.T) {
+	for _, m := range []int{3, 7, 10} {
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = float64(2 * (i + 1))
+		}
+		want := (float64(m)*float64(m) - 1) / 3
+		if v := Variance(xs); !almostEqual(v, want, 1e-9) {
+			t.Errorf("var(evens to %d) = %v, want %v", 2*m, v, want)
+		}
+	}
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if c := Correlation(xs, ys); !almostEqual(c, 1, 1e-12) {
+		t.Errorf("correlation = %v, want 1", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := Correlation(xs, neg); !almostEqual(c, -1, 1e-12) {
+		t.Errorf("correlation = %v, want -1", c)
+	}
+}
+
+func TestLogSumExpStable(t *testing.T) {
+	xs := []float64{1000, 1000}
+	want := 1000 + math.Log(2)
+	if got := LogSumExp(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("LogSumExp = %v, want %v", got, want)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	p := Softmax(xs, 1)
+	if s := Sum(p); !almostEqual(s, 1, 1e-12) {
+		t.Errorf("softmax sums to %v", s)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Errorf("softmax not monotone: %v", p)
+	}
+	// High beta approaches argmax (paper Eq. 8 remark).
+	sharp := Softmax(xs, 100)
+	if sharp[2] < 0.999 {
+		t.Errorf("beta=100 softmax not concentrated: %v", sharp)
+	}
+	// beta=0 is uniform.
+	flat := Softmax(xs, 0)
+	for _, v := range flat {
+		if !almostEqual(v, 1.0/3, 1e-12) {
+			t.Errorf("beta=0 softmax not uniform: %v", flat)
+		}
+	}
+}
+
+func TestSoftmaxSumsToOneQuick(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.Abs(v) > 200 {
+				return true // skip pathological inputs
+			}
+		}
+		p := Softmax([]float64{a, b, c}, 1)
+		return almostEqual(Sum(p), 1, 1e-9) && p[0] >= 0 && p[1] >= 0 && p[2] >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := &Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Mat{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := NewRNG(9)
+	a := NewMat(4, 7)
+	for i := range a.Data {
+		a.Data[i] = r.Norm()
+	}
+	tt := a.T().T()
+	for i := range a.Data {
+		if a.Data[i] != tt.Data[i] {
+			t.Fatal("transpose twice changed the matrix")
+		}
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := &Mat{Rows: 2, Cols: 2, Data: []float64{2, 1, 1, 3}}
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := &Mat{Rows: 2, Cols: 2, Data: []float64{1, 2, 2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveRoundTripQuick(t *testing.T) {
+	r := NewRNG(13)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(6)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		// Diagonal dominance guarantees nonsingularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.Norm()
+		}
+		b := MatVec(a, want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-6) {
+				t.Fatalf("trial %d: solve mismatch %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresRecoversLine(t *testing.T) {
+	// y = 3 + 2x exactly.
+	a := NewMat(5, 2)
+	y := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, float64(i))
+		y[i] = 3 + 2*float64(i)
+	}
+	x, err := LeastSquares(a, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-8) || !almostEqual(x[1], 2, 1e-8) {
+		t.Errorf("coef = %v, want [3 2]", x)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	a := NewMat(4, 1)
+	y := []float64{2, 4, 6, 8}
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+	}
+	x0, _ := LeastSquares(a, y, 0)
+	x1, _ := LeastSquares(a, y, 100)
+	if !(math.Abs(x1[0]) < math.Abs(x0[0])) {
+		t.Errorf("ridge did not shrink: %v vs %v", x1[0], x0[0])
+	}
+}
+
+func TestPowerIterationDominantEig(t *testing.T) {
+	// Symmetric with eigenvalues 5 and 1 (eigvecs along (1,1)/(1,-1)).
+	a := &Mat{Rows: 2, Cols: 2, Data: []float64{3, 2, 2, 3}}
+	lam, v := PowerIteration(a, 200, NewRNG(17))
+	if !almostEqual(lam, 5, 1e-6) {
+		t.Errorf("dominant eigenvalue = %v, want 5", lam)
+	}
+	if !almostEqual(math.Abs(v[0]), math.Abs(v[1]), 1e-6) {
+		t.Errorf("eigenvector = %v, want ±(1,1)/√2", v)
+	}
+}
+
+func TestTopEigenOrthogonal(t *testing.T) {
+	a := &Mat{Rows: 3, Cols: 3, Data: []float64{4, 1, 0, 1, 3, 0, 0, 0, 1}}
+	vals, vecs := TopEigen(a, 2, 300, NewRNG(23))
+	if vals[0] < vals[1] {
+		t.Errorf("eigenvalues out of order: %v", vals)
+	}
+	if d := math.Abs(Dot(vecs[0], vecs[1])); d > 1e-4 {
+		t.Errorf("eigenvectors not orthogonal: dot=%v", d)
+	}
+}
+
+func TestPCAReducesToDominantDirection(t *testing.T) {
+	// Points along direction (3,4)/5 with tiny noise: first PC should align.
+	r := NewRNG(29)
+	x := NewMat(200, 2)
+	for i := 0; i < 200; i++ {
+		tv := r.Norm()
+		x.Set(i, 0, 3*tv+0.01*r.Norm())
+		x.Set(i, 1, 4*tv+0.01*r.Norm())
+	}
+	_, comp := PCA(x, 1, true, r)
+	c := comp.Row(0)
+	cos := math.Abs(CosineSimilarity(c, []float64{3, 4}))
+	if cos < 0.999 {
+		t.Errorf("first PC misaligned: cos=%v comp=%v", cos, c)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * math.Pow(x, -0.076)
+	}
+	f := FitPowerLaw(xs, ys)
+	if !almostEqual(f.Alpha, -0.076, 1e-9) {
+		t.Errorf("alpha = %v, want -0.076", f.Alpha)
+	}
+	if !almostEqual(f.C(), 3.5, 1e-9) {
+		t.Errorf("C = %v, want 3.5", f.C())
+	}
+	if !almostEqual(f.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitKnown(t *testing.T) {
+	s, b := LinearFit([]float64{0, 1, 2}, []float64{1, 3, 5})
+	if !almostEqual(s, 2, 1e-12) || !almostEqual(b, 1, 1e-12) {
+		t.Errorf("fit = (%v, %v), want (2, 1)", s, b)
+	}
+}
+
+func TestFitAnsatzRecoversGeneratedSurface(t *testing.T) {
+	truth := AnsatzFit{AlphaP: 0.076, AlphaD: 0.095, Pc: 100, Dc: 1000}
+	var ps, ds, ls []float64
+	for _, p := range []float64{10, 30, 100, 300} {
+		for _, d := range []float64{100, 1000, 10000} {
+			ps = append(ps, p)
+			ds = append(ds, d)
+			ls = append(ls, truth.Eval(p, d))
+		}
+	}
+	fit := FitAnsatz(ps, ds, ls)
+	if fit.RMSE > 0.05 {
+		t.Errorf("ansatz fit RMSE = %v, want < 0.05 (fit=%+v)", fit.RMSE, fit)
+	}
+	// Predictions at held-out points should be close in log space.
+	for _, p := range []float64{50, 200} {
+		pred := fit.Eval(p, 3000)
+		want := truth.Eval(p, 3000)
+		if math.Abs(math.Log(pred)-math.Log(want)) > 0.15 {
+			t.Errorf("ansatz extrapolation at P=%v: got %v want %v", p, pred, want)
+		}
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{3, 9, 2, 9}
+	if i, v := ArgMax(xs); i != 1 || v != 9 {
+		t.Errorf("ArgMax = (%d, %v)", i, v)
+	}
+	if i, v := ArgMin(xs); i != 2 || v != 2 {
+		t.Errorf("ArgMin = (%d, %v)", i, v)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if Clip(5, 0, 1) != 1 || Clip(-5, 0, 1) != 0 || Clip(0.5, 0, 1) != 0.5 {
+		t.Error("Clip misbehaved")
+	}
+}
+
+func TestLinspaceLogspace(t *testing.T) {
+	ls := Linspace(0, 1, 5)
+	if len(ls) != 5 || ls[0] != 0 || ls[4] != 1 {
+		t.Errorf("Linspace = %v", ls)
+	}
+	lg := Logspace(0, 2, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if !almostEqual(lg[i], want[i], 1e-9) {
+			t.Errorf("Logspace = %v", lg)
+		}
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if c := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); c != 0 {
+		t.Errorf("orthogonal cos = %v", c)
+	}
+	if c := CosineSimilarity([]float64{1, 1}, []float64{2, 2}); !almostEqual(c, 1, 1e-12) {
+		t.Errorf("parallel cos = %v", c)
+	}
+	if c := CosineSimilarity([]float64{0, 0}, []float64{1, 2}); c != 0 {
+		t.Errorf("zero-vector cos = %v", c)
+	}
+}

@@ -1,0 +1,153 @@
+package mathx
+
+import "math"
+
+// PowerLawFit holds the result of fitting y = C * x^alpha by ordinary least
+// squares in log-log space, as done for the paper's Figure 2 scaling plots.
+type PowerLawFit struct {
+	Alpha float64 // exponent (slope in log-log space)
+	LogC  float64 // intercept: log(C)
+	R2    float64 // coefficient of determination in log-log space
+}
+
+// C returns the multiplicative constant of the fitted law.
+func (f PowerLawFit) C() float64 { return math.Exp(f.LogC) }
+
+// Predict evaluates the fitted law at x.
+func (f PowerLawFit) Predict(x float64) float64 {
+	return f.C() * math.Pow(x, f.Alpha)
+}
+
+// FitPowerLaw fits y ≈ C·x^alpha by linear regression of log y on log x.
+// All xs and ys must be strictly positive; the function panics otherwise.
+func FitPowerLaw(xs, ys []float64) PowerLawFit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("mathx: FitPowerLaw needs >= 2 matched points")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("mathx: FitPowerLaw requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept := LinearFit(lx, ly)
+	// R^2 in log space.
+	var ssRes, ssTot float64
+	my := Mean(ly)
+	for i := range lx {
+		pred := intercept + slope*lx[i]
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - my) * (ly[i] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return PowerLawFit{Alpha: slope, LogC: intercept, R2: r2}
+}
+
+// LinearFit returns the OLS slope and intercept of y on x.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("mathx: LinearFit needs >= 2 matched points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	return slope, intercept
+}
+
+// AnsatzFit holds the parameters of the paper's Eq. 4 joint scaling ansatz
+//
+//	L(P, D) = [ (Pc/P)^(αP/αD) + Dc/D ]^αD
+//
+// fitted to a grid of (P, D, L) observations.
+type AnsatzFit struct {
+	AlphaP, AlphaD float64
+	Pc, Dc         float64
+	RMSE           float64 // root-mean-square error of log-loss residuals
+}
+
+// Eval evaluates the ansatz at model size p and dataset size d.
+func (a AnsatzFit) Eval(p, d float64) float64 {
+	inner := math.Pow(a.Pc/p, a.AlphaP/a.AlphaD) + a.Dc/d
+	return math.Pow(inner, a.AlphaD)
+}
+
+// FitAnsatz fits Eq. 4 by coarse-to-fine grid search over (αP, αD, Pc, Dc),
+// minimizing squared log-loss residuals. ps, ds, ls are matched observations.
+// The search is bounded and deterministic; it is adequate for the small
+// sweeps this repository runs (the paper's authors used similar nonlinear
+// fits over a handful of decades).
+func FitAnsatz(ps, ds, ls []float64) AnsatzFit {
+	if len(ps) != len(ds) || len(ds) != len(ls) || len(ps) < 4 {
+		panic("mathx: FitAnsatz needs >= 4 matched observations")
+	}
+	best := AnsatzFit{RMSE: math.Inf(1)}
+	pMax := ps[0]
+	dMax := ds[0]
+	for i := range ps {
+		pMax = math.Max(pMax, ps[i])
+		dMax = math.Max(dMax, ds[i])
+	}
+	alphas := []float64{0.02, 0.05, 0.08, 0.12, 0.2, 0.3, 0.5, 0.76, 1.0}
+	scales := []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+	for _, ap := range alphas {
+		for _, ad := range alphas {
+			for _, sp := range scales {
+				for _, sd := range scales {
+					cand := AnsatzFit{AlphaP: ap, AlphaD: ad, Pc: sp * pMax, Dc: sd * dMax}
+					cand.RMSE = ansatzRMSE(cand, ps, ds, ls)
+					if cand.RMSE < best.RMSE {
+						best = cand
+					}
+				}
+			}
+		}
+	}
+	// One local refinement pass around the best cell.
+	for pass := 0; pass < 2; pass++ {
+		step := 0.5 / float64(pass+1)
+		for _, fp := range []float64{1 - step/2, 1, 1 + step/2} {
+			for _, fd := range []float64{1 - step/2, 1, 1 + step/2} {
+				for _, fpc := range []float64{1 - step, 1, 1 + step} {
+					for _, fdc := range []float64{1 - step, 1, 1 + step} {
+						cand := AnsatzFit{
+							AlphaP: best.AlphaP * fp, AlphaD: best.AlphaD * fd,
+							Pc: best.Pc * fpc, Dc: best.Dc * fdc,
+						}
+						cand.RMSE = ansatzRMSE(cand, ps, ds, ls)
+						if cand.RMSE < best.RMSE {
+							best = cand
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func ansatzRMSE(a AnsatzFit, ps, ds, ls []float64) float64 {
+	var s float64
+	for i := range ps {
+		pred := a.Eval(ps[i], ds[i])
+		if pred <= 0 || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return math.Inf(1)
+		}
+		d := math.Log(pred) - math.Log(ls[i])
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(ps)))
+}

@@ -1,0 +1,159 @@
+package mathx
+
+import "math"
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It returns NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Correlation returns the Pearson correlation coefficient of xs and ys.
+// It panics if the lengths differ and returns NaN when either series is
+// constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("mathx: Correlation length mismatch")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ArgMax returns the index of the largest element (first on ties) and that
+// value. It panics on empty input.
+func ArgMax(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, x := range xs {
+		if x > bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// ArgMin returns the index of the smallest element (first on ties) and that
+// value. It panics on empty input.
+func ArgMin(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("mathx: ArgMin of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, x := range xs {
+		if x < bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// LogSumExp returns log(sum_i exp(xs[i])) computed stably. It returns -Inf
+// for empty input.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	_, m := ArgMax(xs)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes the softmax of xs (with inverse temperature beta, i.e. the
+// Boltzmann distribution of the paper's Eq. 8) into a new slice.
+func Softmax(xs []float64, beta float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	scaled := make([]float64, len(xs))
+	for i, x := range xs {
+		scaled[i] = beta * x
+	}
+	lse := LogSumExp(scaled)
+	for i, x := range scaled {
+		out[i] = math.Exp(x - lse)
+	}
+	return out
+}
+
+// Clip returns x clamped into [lo, hi].
+func Clip(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be >= 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("mathx: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Logspace returns n values evenly spaced in log10 between 10^loExp and
+// 10^hiExp inclusive.
+func Logspace(loExp, hiExp float64, n int) []float64 {
+	exps := Linspace(loExp, hiExp, n)
+	out := make([]float64, n)
+	for i, e := range exps {
+		out[i] = math.Pow(10, e)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package ngram
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func benchStream(n int) []int {
+	rng := mathx.NewRNG(1)
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.Intn(64)
+	}
+	return s
+}
+
+func BenchmarkTrain(b *testing.B) {
+	for _, order := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("order%d", order), func(b *testing.B) {
+			stream := benchStream(10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := New(order, 64)
+				m.Train(stream)
+			}
+		})
+	}
+}
+
+func BenchmarkPerplexity(b *testing.B) {
+	stream := benchStream(10000)
+	m := New(3, 64)
+	m.AddK = 0.1
+	m.Train(stream)
+	test := benchStream(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Perplexity(test)
+	}
+}

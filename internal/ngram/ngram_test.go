@@ -1,0 +1,231 @@
+package ngram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUnigramFrequencies(t *testing.T) {
+	// Eq. 1: P(w) = count(w)/total.
+	m := New(1, 4)
+	m.Train([]int{0, 0, 0, 1, 2, 2, 3, 3, 3, 3})
+	if p := m.Prob(nil, 0); !almostEqual(p, 0.3, 1e-12) {
+		t.Errorf("P(0) = %v, want 0.3", p)
+	}
+	if p := m.Prob(nil, 3); !almostEqual(p, 0.4, 1e-12) {
+		t.Errorf("P(3) = %v, want 0.4", p)
+	}
+	counts := m.UnigramCounts()
+	if counts[0] != 3 || counts[3] != 4 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestBigramConditional(t *testing.T) {
+	// Eq. 6: count ratio. Stream: 0 1 0 2 0 1 → P(1|0)=2/3, P(2|0)=1/3.
+	m := New(2, 3)
+	m.Train([]int{0, 1, 0, 2, 0, 1})
+	if p := m.Prob([]int{0}, 1); !almostEqual(p, 2.0/3, 1e-12) {
+		t.Errorf("P(1|0) = %v", p)
+	}
+	if p := m.Prob([]int{0}, 2); !almostEqual(p, 1.0/3, 1e-12) {
+		t.Errorf("P(2|0) = %v", p)
+	}
+}
+
+func TestDistSumsToOne(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	m := New(3, 5)
+	stream := make([]int, 500)
+	for i := range stream {
+		stream[i] = rng.Intn(5)
+	}
+	m.Train(stream)
+	for _, ctx := range [][]int{nil, {1}, {1, 2}, {4, 4}} {
+		d := m.Dist(ctx)
+		if s := mathx.Sum(d); !almostEqual(s, 1, 1e-9) {
+			t.Errorf("dist(%v) sums to %v", ctx, s)
+		}
+	}
+}
+
+func TestAddKSmoothingNonzero(t *testing.T) {
+	m := New(2, 10)
+	m.AddK = 1
+	m.Train([]int{0, 1, 2})
+	// Unseen continuation must be nonzero but small.
+	p := m.Prob([]int{0}, 9)
+	if p <= 0 {
+		t.Fatal("smoothed probability is zero")
+	}
+	if p >= m.Prob([]int{0}, 1) {
+		t.Error("unseen as likely as seen")
+	}
+	if s := mathx.Sum(m.Dist([]int{0})); !almostEqual(s, 1, 1e-9) {
+		t.Errorf("smoothed dist sums to %v", s)
+	}
+}
+
+func TestBackoffToLowerOrder(t *testing.T) {
+	m := New(3, 4)
+	m.Train([]int{0, 1, 2, 0, 1, 2})
+	// Context (3,3) never seen at order 2, nor 3 at order 1 → falls back to
+	// unigram.
+	p := m.Prob([]int{3, 3}, 2)
+	uni := m.Prob(nil, 2)
+	if !almostEqual(p, uni, 1e-12) {
+		t.Errorf("backoff prob %v != unigram %v", p, uni)
+	}
+}
+
+func TestInterpolationMixesOrders(t *testing.T) {
+	m := New(2, 3)
+	m.Interpolation = []float64{0.4, 0.6}
+	m.Train([]int{0, 1, 0, 1, 0, 2})
+	// P = 0.4*P_uni(1) + 0.6*P_bi(1|0).
+	want := 0.4*(2.0/6) + 0.6*(2.0/3)
+	if p := m.Prob([]int{0}, 1); !almostEqual(p, want, 1e-12) {
+		t.Errorf("interpolated P = %v, want %v", p, want)
+	}
+}
+
+func TestCrossEntropyOnTrainingData(t *testing.T) {
+	// A deterministic cycle is perfectly predictable by a bigram model:
+	// cross entropy ~ 0 for all but the first token.
+	stream := make([]int, 300)
+	for i := range stream {
+		stream[i] = i % 3
+	}
+	m := New(2, 3)
+	m.Train(stream)
+	ce := m.CrossEntropy(stream[1:])
+	if ce > 0.01 {
+		t.Errorf("cross entropy on deterministic cycle = %v", ce)
+	}
+}
+
+func TestPerplexityUniformStream(t *testing.T) {
+	// IID uniform tokens → perplexity ≈ vocab for any model.
+	rng := mathx.NewRNG(2)
+	vocab := 8
+	stream := make([]int, 8000)
+	for i := range stream {
+		stream[i] = rng.Intn(vocab)
+	}
+	m := New(1, vocab)
+	m.Train(stream[:6000])
+	pp := m.Perplexity(stream[6000:])
+	if pp < 7 || pp > 9 {
+		t.Errorf("perplexity = %v, want ~8", pp)
+	}
+}
+
+// TestHigherOrderHelpsOnStructuredData verifies the paper's §5 claim that
+// modest N (3-4) beats unigram on structured text, using a deterministic
+// pattern with long dependencies.
+func TestHigherOrderHelpsOnStructuredData(t *testing.T) {
+	pattern := []int{0, 1, 2, 3, 0, 2, 1, 3}
+	stream := make([]int, 0, 4000)
+	for len(stream) < 4000 {
+		stream = append(stream, pattern...)
+	}
+	train, test := stream[:3000], stream[3000:]
+	uni := New(1, 4)
+	uni.AddK = 0.1
+	uni.Train(train)
+	tri := New(3, 4)
+	tri.AddK = 0.1
+	tri.Train(train)
+	ppUni := uni.Perplexity(test)
+	ppTri := tri.Perplexity(test)
+	if ppTri >= ppUni {
+		t.Errorf("trigram pp %v not better than unigram pp %v", ppTri, ppUni)
+	}
+	if ppTri > 1.5 {
+		t.Errorf("trigram pp on deterministic pattern = %v, want ~1", ppTri)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	m := New(1, 3)
+	m.Train([]int{0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
+	rng := mathx.NewRNG(3)
+	n := 20000
+	counts := make([]float64, 3)
+	got := m.Sample(nil, n, rng)
+	for _, tkn := range got {
+		counts[tkn]++
+	}
+	if f := counts[0] / float64(n); !almostEqual(f, 0.7, 0.02) {
+		t.Errorf("sample freq of 0 = %v, want ~0.7", f)
+	}
+}
+
+func TestSampleRespectsContext(t *testing.T) {
+	// After token 5, only token 6 ever follows.
+	m := New(2, 8)
+	m.Train([]int{5, 6, 5, 6, 5, 6, 7, 5, 6})
+	rng := mathx.NewRNG(4)
+	for i := 0; i < 20; i++ {
+		out := m.Sample([]int{5}, 1, rng)
+		if out[0] != 6 {
+			t.Fatalf("sampled %d after 5, want 6", out[0])
+		}
+	}
+}
+
+func TestDistinctContextsGrowth(t *testing.T) {
+	// The §5 argument: the number of distinct N-gram contexts grows rapidly
+	// with N on random data.
+	rng := mathx.NewRNG(5)
+	stream := make([]int, 2000)
+	for i := range stream {
+		stream[i] = rng.Intn(10)
+	}
+	m2 := New(2, 10)
+	m2.Train(stream)
+	m4 := New(4, 10)
+	m4.Train(stream)
+	if m4.DistinctContexts() <= m2.DistinctContexts() {
+		t.Errorf("contexts: order4=%d order2=%d", m4.DistinctContexts(), m2.DistinctContexts())
+	}
+}
+
+func TestZeroProbWithoutSmoothing(t *testing.T) {
+	m := New(1, 4)
+	m.Train([]int{0, 1})
+	if p := m.Prob(nil, 3); p != 0 {
+		t.Errorf("unseen unsmoothed prob = %v", p)
+	}
+	// Cross entropy stays finite thanks to the floor.
+	if ce := m.CrossEntropy([]int{3, 3}); math.IsInf(ce, 1) {
+		t.Error("cross entropy diverged")
+	}
+}
+
+func TestTrainIncremental(t *testing.T) {
+	a := New(2, 3)
+	a.Train([]int{0, 1, 2})
+	a.Train([]int{2, 1, 0})
+	b := New(2, 3)
+	b.Train([]int{0, 1, 2})
+	// Incremental training treats each call as a separate stream, so the
+	// bigram (2,2) across the boundary must NOT be counted.
+	if p := a.Prob([]int{2}, 2); p != 0 && !almostEqual(p, b.Prob([]int{2}, 2), 1e-12) {
+		// Each Train call is independent; (2→2) never occurs within a call.
+		t.Errorf("cross-boundary bigram counted: %v", p)
+	}
+}
+
+func TestNewPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 5)
+}

@@ -1,0 +1,239 @@
+// Package nn provides the neural-network layer library used by the language
+// models in this repository: linear maps, embeddings, layer normalization,
+// and the feed-forward network of the paper's Eq. 11, together with a
+// parameter registry that training code iterates over.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	// Parameters returns every trainable leaf node, in a stable order.
+	Parameters() []*autograd.Node
+}
+
+// NumParameters counts the scalar parameters of a module.
+func NumParameters(m Module) int {
+	n := 0
+	for _, p := range m.Parameters() {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// ZeroGrad clears every parameter gradient of m.
+func ZeroGrad(m Module) {
+	for _, p := range m.Parameters() {
+		p.ZeroGrad()
+	}
+}
+
+// Activation names a pointwise nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	GELU
+	Tanh
+)
+
+// Apply applies the activation to a node.
+func (a Activation) Apply(x *autograd.Node) *autograd.Node {
+	switch a {
+	case ReLU:
+		return autograd.ReLU(x)
+	case GELU:
+		return autograd.GELU(x)
+	case Tanh:
+		return autograd.Tanh(x)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// Linear is a learnable affine map x → x·W + b for row-major inputs
+// (rows are positions/examples, columns are features).
+type Linear struct {
+	W *autograd.Node // in×out
+	B *autograd.Node // 1×out, nil when bias disabled
+}
+
+// NewLinear creates a Linear with weights drawn N(0, 1/sqrt(in)) — the
+// "expected norm independent of the hyperparameters" initialization the
+// paper describes in §6 (var(W) ~ 1/p).
+func NewLinear(in, out int, bias bool, rng *mathx.RNG) *Linear {
+	l := &Linear{
+		W: autograd.Param(tensor.New(in, out).RandNorm(rng, 1/math.Sqrt(float64(in)))),
+	}
+	if bias {
+		l.B = autograd.Param(tensor.New(1, out))
+	}
+	return l
+}
+
+// Forward applies the affine map to an n×in node.
+func (l *Linear) Forward(x *autograd.Node) *autograd.Node {
+	y := autograd.MatMul(x, l.W)
+	if l.B != nil {
+		y = autograd.AddBias(y, l.B)
+	}
+	return y
+}
+
+// Parameters implements Module.
+func (l *Linear) Parameters() []*autograd.Node {
+	if l.B == nil {
+		return []*autograd.Node{l.W}
+	}
+	return []*autograd.Node{l.W, l.B}
+}
+
+// Embedding is a learnable token-embedding table (the map ι of Eq. 7).
+type Embedding struct {
+	W *autograd.Node // vocab×dim
+}
+
+// NewEmbedding creates a vocab×dim embedding with N(0, std) entries.
+func NewEmbedding(vocab, dim int, rng *mathx.RNG) *Embedding {
+	return &Embedding{W: autograd.Param(tensor.New(vocab, dim).RandNorm(rng, 0.02*math.Sqrt(512/float64(dim))))}
+}
+
+// Forward gathers the embedding rows for ids.
+func (e *Embedding) Forward(ids []int) *autograd.Node {
+	return autograd.Embedding(e.W, ids)
+}
+
+// Parameters implements Module.
+func (e *Embedding) Parameters() []*autograd.Node { return []*autograd.Node{e.W} }
+
+// LayerNorm is learnable row-wise normalization.
+type LayerNorm struct {
+	Gain, Bias *autograd.Node // 1×dim
+	Eps        float64
+}
+
+// NewLayerNorm creates a LayerNorm over the trailing dimension dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	return &LayerNorm{
+		Gain: autograd.Param(tensor.New(1, dim).Fill(1)),
+		Bias: autograd.Param(tensor.New(1, dim)),
+		Eps:  1e-5,
+	}
+}
+
+// Forward normalizes each row of x.
+func (l *LayerNorm) Forward(x *autograd.Node) *autograd.Node {
+	return autograd.LayerNorm(x, l.Gain, l.Bias, l.Eps)
+}
+
+// Parameters implements Module.
+func (l *LayerNorm) Parameters() []*autograd.Node {
+	return []*autograd.Node{l.Gain, l.Bias}
+}
+
+// FFN is the feed-forward block of Eq. 11 with a single hidden layer:
+// v = W1·act(W0·u + b0) + b1. Hidden width is typically 4×dim in
+// transformer blocks (the paper's ph = 4p).
+type FFN struct {
+	In, Out *Linear
+	Act     Activation
+}
+
+// NewFFN builds an FFN mapping dim → hidden → dim.
+func NewFFN(dim, hidden int, act Activation, rng *mathx.RNG) *FFN {
+	return &FFN{
+		In:  NewLinear(dim, hidden, true, rng),
+		Out: NewLinear(hidden, dim, true, rng),
+		Act: act,
+	}
+}
+
+// Forward applies the two-layer network row-wise.
+func (f *FFN) Forward(x *autograd.Node) *autograd.Node {
+	return f.Out.Forward(f.Act.Apply(f.In.Forward(x)))
+}
+
+// Parameters implements Module.
+func (f *FFN) Parameters() []*autograd.Node {
+	return append(f.In.Parameters(), f.Out.Parameters()...)
+}
+
+// MLP is a general multi-layer perceptron (the fully connected FFN of
+// Eq. 11 with arbitrary depth), used for probe models and the FFN-L-gram
+// baseline of §5.
+type MLP struct {
+	Layers []*Linear
+	Act    Activation
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. [in, h1, h2, out].
+func NewMLP(sizes []int, act Activation, rng *mathx.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least in and out sizes")
+	}
+	m := &MLP{Act: act}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(sizes[i], sizes[i+1], true, rng))
+	}
+	return m
+}
+
+// Forward applies all layers with the activation between (not after) them.
+func (m *MLP) Forward(x *autograd.Node) *autograd.Node {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = m.Act.Apply(x)
+		}
+	}
+	return x
+}
+
+// Parameters implements Module.
+func (m *MLP) Parameters() []*autograd.Node {
+	var ps []*autograd.Node
+	for _, l := range m.Layers {
+		ps = append(ps, l.Parameters()...)
+	}
+	return ps
+}
+
+// Sequential composes modules that share the Forward(node) signature.
+type forwarder interface {
+	Module
+	Forward(*autograd.Node) *autograd.Node
+}
+
+// Sequential chains forward modules.
+type Sequential struct {
+	mods []forwarder
+}
+
+// NewSequential builds a sequential container; each module must implement
+// Forward(*autograd.Node) *autograd.Node.
+func NewSequential(mods ...forwarder) *Sequential { return &Sequential{mods: mods} }
+
+// Forward applies each module in order.
+func (s *Sequential) Forward(x *autograd.Node) *autograd.Node {
+	for _, m := range s.mods {
+		x = m.Forward(x)
+	}
+	return x
+}
+
+// Parameters implements Module.
+func (s *Sequential) Parameters() []*autograd.Node {
+	var ps []*autograd.Node
+	for _, m := range s.mods {
+		ps = append(ps, m.Parameters()...)
+	}
+	return ps
+}

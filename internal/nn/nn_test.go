@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestLinearShapesAndBias(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	l := NewLinear(4, 3, true, rng)
+	x := autograd.Const(tensor.New(5, 4).RandNorm(rng, 1))
+	y := l.Forward(x)
+	if y.Value.Shape[0] != 5 || y.Value.Shape[1] != 3 {
+		t.Fatalf("output shape %v", y.Value.Shape)
+	}
+	if len(l.Parameters()) != 2 {
+		t.Fatalf("want 2 params with bias")
+	}
+	nb := NewLinear(4, 3, false, rng)
+	if len(nb.Parameters()) != 1 {
+		t.Fatalf("want 1 param without bias")
+	}
+}
+
+func TestLinearInitScale(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	l := NewLinear(256, 256, false, rng)
+	std := mathx.Std(l.W.Value.Data)
+	want := 1 / math.Sqrt(256)
+	if math.Abs(std-want) > want/5 {
+		t.Errorf("init std = %v, want ~%v (1/sqrt(in))", std, want)
+	}
+}
+
+func TestEmbeddingForward(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	e := NewEmbedding(10, 4, rng)
+	out := e.Forward([]int{3, 3, 7})
+	if out.Value.Shape[0] != 3 || out.Value.Shape[1] != 4 {
+		t.Fatalf("shape %v", out.Value.Shape)
+	}
+	for j := 0; j < 4; j++ {
+		if out.Value.At(0, j) != out.Value.At(1, j) {
+			t.Fatal("same token produced different embeddings")
+		}
+	}
+}
+
+func TestLayerNormForward(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	ln := NewLayerNorm(6)
+	x := autograd.Const(tensor.New(3, 6).RandNorm(rng, 5))
+	y := ln.Forward(x)
+	for i := 0; i < 3; i++ {
+		if m := mathx.Mean(y.Value.Row(i)); math.Abs(m) > 1e-9 {
+			t.Errorf("row %d mean %v", i, m)
+		}
+	}
+}
+
+func TestFFNTrainsXOR(t *testing.T) {
+	// XOR is not linearly separable; a single hidden layer must solve it.
+	rng := mathx.NewRNG(5)
+	f := NewFFN(2, 8, Tanh, rng)
+	head := NewLinear(2, 1, true, rng)
+	x := tensor.FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	y := tensor.FromSlice([]float64{0, 1, 1, 0}, 4, 1)
+	params := append(f.Parameters(), head.Parameters()...)
+	var loss *autograd.Node
+	for step := 0; step < 2000; step++ {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		out := head.Forward(f.Forward(autograd.Const(x)))
+		loss = autograd.MSE(out, y)
+		autograd.Backward(loss)
+		for _, p := range params {
+			tensor.AddScaledInPlace(p.Value, -0.2, p.Grad)
+		}
+	}
+	if loss.Value.Data[0] > 0.02 {
+		t.Errorf("XOR loss = %v, want < 0.02", loss.Value.Data[0])
+	}
+}
+
+func TestMLPDepthAndParams(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	m := NewMLP([]int{3, 5, 7, 2}, ReLU, rng)
+	if len(m.Layers) != 3 {
+		t.Fatalf("layers = %d", len(m.Layers))
+	}
+	want := (3*5 + 5) + (5*7 + 7) + (7*2 + 2)
+	if got := NumParameters(m); got != want {
+		t.Errorf("NumParameters = %d, want %d", got, want)
+	}
+	x := autograd.Const(tensor.New(4, 3).RandNorm(rng, 1))
+	y := m.Forward(x)
+	if y.Value.Shape[1] != 2 {
+		t.Errorf("output dim %v", y.Value.Shape)
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	l := NewLinear(2, 2, true, rng)
+	x := autograd.Const(tensor.New(3, 2).RandNorm(rng, 1))
+	autograd.Backward(autograd.MeanAll(l.Forward(x)))
+	if mathx.Sum(l.W.Grad.Data) == 0 {
+		t.Fatal("no gradient accumulated")
+	}
+	ZeroGrad(l)
+	if mathx.Sum(l.W.Grad.Data) != 0 || mathx.Sum(l.B.Grad.Data) != 0 {
+		t.Fatal("ZeroGrad left residue")
+	}
+}
+
+func TestSequentialComposes(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	s := NewSequential(NewLinear(3, 4, true, rng), NewLayerNorm(4), NewFFN(4, 8, GELU, rng))
+	x := autograd.Const(tensor.New(2, 3).RandNorm(rng, 1))
+	y := s.Forward(x)
+	if y.Value.Shape[0] != 2 || y.Value.Shape[1] != 4 {
+		t.Fatalf("shape %v", y.Value.Shape)
+	}
+	if len(s.Parameters()) != 2+2+4 {
+		t.Errorf("param groups = %d", len(s.Parameters()))
+	}
+}
+
+func TestActivations(t *testing.T) {
+	x := autograd.Const(tensor.FromSlice([]float64{-1, 0, 2}, 1, 3))
+	if got := ReLU.Apply(x).Value.Data; got[0] != 0 || got[2] != 2 {
+		t.Errorf("relu = %v", got)
+	}
+	if got := Tanh.Apply(x).Value.Data; math.Abs(got[2]-math.Tanh(2)) > 1e-12 {
+		t.Errorf("tanh = %v", got)
+	}
+	g := GELU.Apply(x).Value.Data
+	if g[1] != 0 || g[2] < 1.9 {
+		t.Errorf("gelu = %v", g)
+	}
+}

@@ -1,0 +1,25 @@
+package othello
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func BenchmarkLegalMoves(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	g := RandomGame(8, 30, rng)
+	mid := g.States[len(g.States)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mid.LegalMoves()
+	}
+}
+
+func BenchmarkRandomGame(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomGame(8, 60, rng)
+	}
+}

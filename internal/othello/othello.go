@@ -1,0 +1,232 @@
+// Package othello implements the board game used by the paper's §7
+// world-model probing experiment (Li et al's Othello-GPT): full rules on an
+// n×n board (8×8 standard; 6×6 for fast tests), legal-move generation,
+// flip application, and random legal self-play game generation. The "main
+// point" the paper highlights — that the function from move sequences to
+// board state is easily computable yet nonlocal and nonlinear — is exactly
+// what this engine provides ground truth for.
+package othello
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mathx"
+)
+
+// Cell contents.
+type Cell int8
+
+// Board cell states.
+const (
+	Empty Cell = 0
+	Black Cell = 1
+	White Cell = 2
+)
+
+// Opponent returns the other player.
+func Opponent(c Cell) Cell {
+	switch c {
+	case Black:
+		return White
+	case White:
+		return Black
+	}
+	return Empty
+}
+
+// Board is an n×n Othello position with the player to move.
+type Board struct {
+	N      int
+	Cells  []Cell // row-major, len N*N
+	ToMove Cell
+}
+
+var dirs = [8][2]int{{-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 1}, {1, -1}, {1, 0}, {1, 1}}
+
+// NewBoard returns the standard initial position on an n×n board (n even,
+// n >= 4): the four centre squares alternately filled, Black to move.
+func NewBoard(n int) *Board {
+	if n < 4 || n%2 != 0 {
+		panic("othello: board size must be even and >= 4")
+	}
+	b := &Board{N: n, Cells: make([]Cell, n*n), ToMove: Black}
+	h := n / 2
+	b.set(h-1, h-1, White)
+	b.set(h, h, White)
+	b.set(h-1, h, Black)
+	b.set(h, h-1, Black)
+	return b
+}
+
+func (b *Board) at(r, c int) Cell     { return b.Cells[r*b.N+c] }
+func (b *Board) set(r, c int, v Cell) { b.Cells[r*b.N+c] = v }
+func (b *Board) inside(r, c int) bool { return r >= 0 && r < b.N && c >= 0 && c < b.N }
+
+// Clone returns a deep copy.
+func (b *Board) Clone() *Board {
+	return &Board{N: b.N, Cells: append([]Cell(nil), b.Cells...), ToMove: b.ToMove}
+}
+
+// Move is a square index r*N + c.
+type Move int
+
+// RC converts a move to row, column on an n×n board.
+func (m Move) RC(n int) (int, int) { return int(m) / n, int(m) % n }
+
+// Notation renders a move in algebraic form ("E3": column letter + 1-based
+// row), the encoding the paper quotes for Othello-GPT inputs.
+func (m Move) Notation(n int) string {
+	r, c := m.RC(n)
+	return fmt.Sprintf("%c%d", 'A'+c, r+1)
+}
+
+// flips returns the list of opponent stones flipped by playing mv for the
+// side to move, or nil when the move is illegal.
+func (b *Board) flips(mv Move) []int {
+	r0, c0 := mv.RC(b.N)
+	if !b.inside(r0, c0) || b.at(r0, c0) != Empty {
+		return nil
+	}
+	me := b.ToMove
+	opp := Opponent(me)
+	var all []int
+	for _, d := range dirs {
+		var line []int
+		r, c := r0+d[0], c0+d[1]
+		for b.inside(r, c) && b.at(r, c) == opp {
+			line = append(line, r*b.N+c)
+			r, c = r+d[0], c+d[1]
+		}
+		if len(line) > 0 && b.inside(r, c) && b.at(r, c) == me {
+			all = append(all, line...)
+		}
+	}
+	return all
+}
+
+// LegalMoves lists the legal moves for the side to move, in ascending
+// square order.
+func (b *Board) LegalMoves() []Move {
+	var ms []Move
+	for i := 0; i < b.N*b.N; i++ {
+		if len(b.flips(Move(i))) > 0 {
+			ms = append(ms, Move(i))
+		}
+	}
+	return ms
+}
+
+// IsLegal reports whether mv is legal for the side to move.
+func (b *Board) IsLegal(mv Move) bool { return len(b.flips(mv)) > 0 }
+
+// Play applies mv for the side to move, flipping captured stones, then
+// advances the turn (passing automatically if the opponent has no move;
+// if neither side can move the game is over and ToMove is Empty).
+// It returns an error for illegal moves.
+func (b *Board) Play(mv Move) error {
+	fl := b.flips(mv)
+	if len(fl) == 0 {
+		return fmt.Errorf("othello: illegal move %s", mv.Notation(b.N))
+	}
+	r, c := mv.RC(b.N)
+	b.set(r, c, b.ToMove)
+	for _, i := range fl {
+		b.Cells[i] = b.ToMove
+	}
+	next := Opponent(b.ToMove)
+	b.ToMove = next
+	if len(b.LegalMoves()) == 0 {
+		b.ToMove = Opponent(next) // pass back
+		if len(b.LegalMoves()) == 0 {
+			b.ToMove = Empty // game over
+		}
+	}
+	return nil
+}
+
+// GameOver reports whether neither player can move.
+func (b *Board) GameOver() bool { return b.ToMove == Empty }
+
+// Count returns the number of stones of each colour.
+func (b *Board) Count() (black, white int) {
+	for _, c := range b.Cells {
+		switch c {
+		case Black:
+			black++
+		case White:
+			white++
+		}
+	}
+	return black, white
+}
+
+// String renders the board for debugging.
+func (b *Board) String() string {
+	var sb strings.Builder
+	sym := map[Cell]byte{Empty: '.', Black: 'X', White: 'O'}
+	for r := 0; r < b.N; r++ {
+		for c := 0; c < b.N; c++ {
+			sb.WriteByte(sym[b.at(r, c)])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Game is a complete random-legal game: the move list and the board state
+// before each move (the probe targets of experiment E9).
+type Game struct {
+	N      int
+	Moves  []Move
+	States []*Board // States[i] is the position in which Moves[i] was played
+	Final  *Board
+}
+
+// RandomGame plays uniformly random legal moves until the game ends or
+// maxMoves is reached.
+func RandomGame(n, maxMoves int, rng *mathx.RNG) *Game {
+	b := NewBoard(n)
+	g := &Game{N: n}
+	for len(g.Moves) < maxMoves && !b.GameOver() {
+		ms := b.LegalMoves()
+		if len(ms) == 0 {
+			break
+		}
+		mv := ms[rng.Intn(len(ms))]
+		g.States = append(g.States, b.Clone())
+		g.Moves = append(g.Moves, mv)
+		if err := b.Play(mv); err != nil {
+			panic(err) // unreachable: mv came from LegalMoves
+		}
+	}
+	g.Final = b
+	return g
+}
+
+// Corpus generates m random games.
+func Corpus(m, n, maxMoves int, rng *mathx.RNG) []*Game {
+	gs := make([]*Game, m)
+	for i := range gs {
+		gs[i] = RandomGame(n, maxMoves, rng)
+	}
+	return gs
+}
+
+// VocabSize returns the move-token vocabulary for an n×n board: one token
+// per square plus a BOS token (index n²).
+func VocabSize(n int) int { return n*n + 1 }
+
+// BOSToken is the sequence-start token id for an n×n board.
+func BOSToken(n int) int { return n * n }
+
+// EncodeMoves converts a game's moves to a token sequence with leading BOS,
+// the input format of the next-move-prediction model.
+func EncodeMoves(g *Game) []int {
+	out := make([]int, 0, len(g.Moves)+1)
+	out = append(out, BOSToken(g.N))
+	for _, m := range g.Moves {
+		out = append(out, int(m))
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package othello
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestNewBoardSetup(t *testing.T) {
+	b := NewBoard(8)
+	black, white := b.Count()
+	if black != 2 || white != 2 {
+		t.Fatalf("initial stones: %d black %d white", black, white)
+	}
+	if b.at(3, 3) != White || b.at(4, 4) != White || b.at(3, 4) != Black || b.at(4, 3) != Black {
+		t.Fatalf("initial layout wrong:\n%s", b)
+	}
+	if b.ToMove != Black {
+		t.Fatal("black should move first")
+	}
+}
+
+func TestNewBoardValidation(t *testing.T) {
+	for _, n := range []int{3, 5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d accepted", n)
+				}
+			}()
+			NewBoard(n)
+		}()
+	}
+}
+
+func TestInitialLegalMoves(t *testing.T) {
+	b := NewBoard(8)
+	ms := b.LegalMoves()
+	if len(ms) != 4 {
+		t.Fatalf("initial legal moves = %d, want 4 (%v)", len(ms), ms)
+	}
+	// The classic four: D3, C4, F5, E6 → (r2,c3), (r3,c2), (r4,c5), (r5,c4).
+	want := map[Move]bool{Move(2*8 + 3): true, Move(3*8 + 2): true, Move(4*8 + 5): true, Move(5*8 + 4): true}
+	for _, m := range ms {
+		if !want[m] {
+			t.Errorf("unexpected legal move %s", m.Notation(8))
+		}
+	}
+}
+
+func TestPlayFlips(t *testing.T) {
+	b := NewBoard(8)
+	// Black D3 (row 2, col 3) flips D4 (row 3, col 3).
+	if err := b.Play(Move(2*8 + 3)); err != nil {
+		t.Fatal(err)
+	}
+	if b.at(3, 3) != Black {
+		t.Fatalf("flip missing:\n%s", b)
+	}
+	black, white := b.Count()
+	if black != 4 || white != 1 {
+		t.Fatalf("after first move: %d black, %d white", black, white)
+	}
+	if b.ToMove != White {
+		t.Fatal("turn did not pass")
+	}
+}
+
+func TestIllegalMoveRejected(t *testing.T) {
+	b := NewBoard(8)
+	if err := b.Play(Move(0)); err == nil {
+		t.Fatal("corner accepted as first move")
+	}
+	if err := b.Play(Move(3*8 + 3)); err == nil {
+		t.Fatal("occupied square accepted")
+	}
+}
+
+func TestNotation(t *testing.T) {
+	if got := Move(2*8 + 4).Notation(8); got != "E3" {
+		t.Errorf("notation = %q, want E3", got)
+	}
+	if got := Move(0).Notation(8); got != "A1" {
+		t.Errorf("notation = %q, want A1", got)
+	}
+}
+
+// TestStoneCountInvariant: total stones grow by exactly one per move.
+func TestStoneCountInvariant(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	b := NewBoard(6)
+	prev, _ := b.Count()
+	prevW := 0
+	_, prevW = b.Count()
+	for !b.GameOver() {
+		ms := b.LegalMoves()
+		if len(ms) == 0 {
+			break
+		}
+		if err := b.Play(ms[rng.Intn(len(ms))]); err != nil {
+			t.Fatal(err)
+		}
+		bl, wh := b.Count()
+		if bl+wh != prev+prevW+1 {
+			t.Fatalf("stones %d+%d, expected %d", bl, wh, prev+prevW+1)
+		}
+		prev, prevW = bl, wh
+	}
+}
+
+// TestFlipsAreSandwiched: every flipped stone lies strictly between the new
+// stone and an existing own stone along some direction (the defining rule).
+func TestFlipsAreSandwiched(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	for trial := 0; trial < 10; trial++ {
+		b := NewBoard(6)
+		for step := 0; step < 10 && !b.GameOver(); step++ {
+			ms := b.LegalMoves()
+			if len(ms) == 0 {
+				break
+			}
+			mv := ms[rng.Intn(len(ms))]
+			me := b.ToMove
+			before := b.Clone()
+			if err := b.Play(mv); err != nil {
+				t.Fatal(err)
+			}
+			// Every cell that changed colour (other than the placed one)
+			// must previously have held the opponent.
+			r0, c0 := mv.RC(6)
+			for i, c := range b.Cells {
+				if before.Cells[i] != c && i != r0*6+c0 {
+					if before.Cells[i] != Opponent(me) || c != me {
+						t.Fatalf("illegal flip at %d: %v -> %v", i, before.Cells[i], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomGameEndsLegally(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	g := RandomGame(6, 64, rng)
+	if len(g.Moves) == 0 {
+		t.Fatal("empty game")
+	}
+	if len(g.Moves) != len(g.States) {
+		t.Fatalf("moves %d != states %d", len(g.Moves), len(g.States))
+	}
+	// Replay: each recorded state must accept its recorded move.
+	for i, st := range g.States {
+		if !st.IsLegal(g.Moves[i]) {
+			t.Fatalf("recorded move %d illegal in its state", i)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(3, 6, 20, mathx.NewRNG(7))
+	b := Corpus(3, 6, 20, mathx.NewRNG(7))
+	for i := range a {
+		if len(a[i].Moves) != len(b[i].Moves) {
+			t.Fatal("nondeterministic corpus")
+		}
+		for j := range a[i].Moves {
+			if a[i].Moves[j] != b[i].Moves[j] {
+				t.Fatal("nondeterministic moves")
+			}
+		}
+	}
+}
+
+func TestEncodeMoves(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	g := RandomGame(6, 10, rng)
+	ids := EncodeMoves(g)
+	if ids[0] != BOSToken(6) {
+		t.Fatalf("missing BOS: %v", ids[0])
+	}
+	if len(ids) != len(g.Moves)+1 {
+		t.Fatalf("length %d", len(ids))
+	}
+	for _, id := range ids {
+		if id < 0 || id >= VocabSize(6) {
+			t.Fatalf("token %d out of vocab", id)
+		}
+	}
+}
+
+func TestPassHandling(t *testing.T) {
+	// Construct a position where one side must pass: fill a small board so
+	// White has no move after Black's move. We verify via random play on 4×4
+	// boards that ToMove is never a player with zero legal moves.
+	rng := mathx.NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		b := NewBoard(4)
+		for !b.GameOver() {
+			ms := b.LegalMoves()
+			if len(ms) == 0 {
+				t.Fatalf("player to move has no moves but game not over:\n%s", b)
+			}
+			if err := b.Play(ms[rng.Intn(len(ms))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFullGameFillsOrBlocks(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	g := RandomGame(8, 100, rng)
+	black, white := g.Final.Count()
+	total := black + white
+	if total < 10 {
+		t.Errorf("game ended after only %d stones", total)
+	}
+	if !g.Final.GameOver() && len(g.Moves) < 100 {
+		t.Error("game stopped early without being over")
+	}
+}

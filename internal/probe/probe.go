@@ -1,0 +1,251 @@
+// Package probe implements the probing methodology of the paper's §7:
+// linear/ridge classifiers trained to predict postulated targets from model
+// activations, the Hewitt-Manning structural probe that recovers parse-tree
+// distances from a low-rank projection of embeddings, and activation
+// interventions that test whether probed structure is causally used.
+package probe
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Linear is a multi-class ridge-regression probe: one-vs-all linear readout
+// with argmax decision. Following §7, the probe model is deliberately
+// simple so that success reflects structure in the representation, not
+// probe capacity.
+type Linear struct {
+	Classes int
+	W       *mathx.Mat // Classes × (dim+1), last column is the bias
+}
+
+// TrainLinear fits a probe from activation vectors xs to integer labels ys
+// in [0, classes) with ridge strength ridge.
+func TrainLinear(xs [][]float64, ys []int, classes int, ridge float64) (*Linear, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("probe: need matched non-empty xs/ys (%d, %d)", len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	design := mathx.NewMat(len(xs), dim+1)
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("probe: inconsistent activation dims")
+		}
+		copy(design.Row(i), x)
+		design.Set(i, dim, 1) // bias feature
+	}
+	p := &Linear{Classes: classes, W: mathx.NewMat(classes, dim+1)}
+	for c := 0; c < classes; c++ {
+		target := make([]float64, len(ys))
+		for i, y := range ys {
+			if y == c {
+				target[i] = 1
+			}
+		}
+		w, err := mathx.LeastSquares(design, target, ridge)
+		if err != nil {
+			return nil, fmt.Errorf("probe: class %d: %w", c, err)
+		}
+		copy(p.W.Row(c), w)
+	}
+	return p, nil
+}
+
+// Scores returns the per-class scores for activation x.
+func (p *Linear) Scores(x []float64) []float64 {
+	s := make([]float64, p.Classes)
+	for c := 0; c < p.Classes; c++ {
+		row := p.W.Row(c)
+		acc := row[len(row)-1]
+		for i, xi := range x {
+			acc += row[i] * xi
+		}
+		s[c] = acc
+	}
+	return s
+}
+
+// Predict returns the argmax class for activation x.
+func (p *Linear) Predict(x []float64) int {
+	i, _ := mathx.ArgMax(p.Scores(x))
+	return i
+}
+
+// Accuracy scores the probe on a labelled set.
+func (p *Linear) Accuracy(xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i, x := range xs {
+		if p.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// MajorityBaseline returns the accuracy of always predicting the most
+// frequent label — the control every probe must beat (§7's caution about
+// probes picking up trivial signal).
+func MajorityBaseline(ys []int, classes int) float64 {
+	if len(ys) == 0 {
+		return math.NaN()
+	}
+	counts := make([]float64, classes)
+	for _, y := range ys {
+		counts[y]++
+	}
+	_, m := mathx.ArgMax(counts)
+	return m / float64(len(ys))
+}
+
+// ---- Structural probe (parse-tree distances) ----
+
+// Structural is the Hewitt-Manning probe: a rank-k projection P such that
+// ||P(u_i - u_j)||² approximates the parse-tree distance between words i
+// and j. The paper reports rank ≈ 50 suffices at d ≈ 1000 for BERT.
+type Structural struct {
+	P *mathx.Mat // k × dim
+}
+
+// Sentence is one structural-probe training item: per-word embeddings and
+// the gold pairwise tree distances.
+type Sentence struct {
+	Embeddings [][]float64 // L × dim
+	Distances  [][]int     // L × L tree distances
+}
+
+// TrainStructural learns a rank-k projection by gradient descent on the
+// squared-distance regression loss. iters and lr control the optimizer.
+func TrainStructural(data []Sentence, rank, iters int, lr float64, rng *mathx.RNG) (*Structural, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("probe: no sentences")
+	}
+	dim := len(data[0].Embeddings[0])
+	p := mathx.NewMat(rank, dim)
+	for i := range p.Data {
+		p.Data[i] = rng.Norm() / math.Sqrt(float64(dim))
+	}
+	grad := mathx.NewMat(rank, dim)
+	for it := 0; it < iters; it++ {
+		for i := range grad.Data {
+			grad.Data[i] = 0
+		}
+		count := 0
+		for _, s := range data {
+			l := len(s.Embeddings)
+			for i := 0; i < l; i++ {
+				for j := i + 1; j < l; j++ {
+					diff := make([]float64, dim)
+					for d := 0; d < dim; d++ {
+						diff[d] = s.Embeddings[i][d] - s.Embeddings[j][d]
+					}
+					proj := mathx.MatVec(p, diff)
+					pred := mathx.Dot(proj, proj)
+					target := float64(s.Distances[i][j])
+					// d(pred)/dP = 2 * proj ⊗ diff; loss = (pred - target)².
+					coef := 4 * (pred - target)
+					for r := 0; r < rank; r++ {
+						prow := grad.Row(r)
+						pr := coef * proj[r]
+						for d := 0; d < dim; d++ {
+							prow[d] += pr * diff[d]
+						}
+					}
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("probe: no word pairs")
+		}
+		scale := lr / float64(count)
+		// Clip the update norm: the quartic loss surface explodes for large
+		// initial distances, and a bounded step keeps descent stable.
+		norm := 0.0
+		for _, g := range grad.Data {
+			norm += scale * g * scale * g
+		}
+		norm = math.Sqrt(norm)
+		if norm > 1 {
+			scale /= norm
+		}
+		for i := range p.Data {
+			p.Data[i] -= scale * grad.Data[i]
+		}
+	}
+	return &Structural{P: p}, nil
+}
+
+// Distance returns the probe's predicted squared distance between two
+// embeddings.
+func (s *Structural) Distance(a, b []float64) float64 {
+	diff := make([]float64, len(a))
+	for i := range a {
+		diff[i] = a[i] - b[i]
+	}
+	proj := mathx.MatVec(s.P, diff)
+	return mathx.Dot(proj, proj)
+}
+
+// Evaluate returns the Pearson correlation between predicted and gold
+// distances over all word pairs, plus the root-mean-square error.
+func (s *Structural) Evaluate(data []Sentence) (corr, rmse float64) {
+	var preds, golds []float64
+	for _, snt := range data {
+		l := len(snt.Embeddings)
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				preds = append(preds, s.Distance(snt.Embeddings[i], snt.Embeddings[j]))
+				golds = append(golds, float64(snt.Distances[i][j]))
+			}
+		}
+	}
+	if len(preds) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	corr = mathx.Correlation(preds, golds)
+	se := 0.0
+	for i := range preds {
+		d := preds[i] - golds[i]
+		se += d * d
+	}
+	rmse = math.Sqrt(se / float64(len(preds)))
+	return corr, rmse
+}
+
+// ---- Interventions ----
+
+// Intervene shifts activation x along the probe's decision direction so the
+// probe flips from its current prediction to target, returning the edited
+// copy. strength scales the step. This is the §7 Othello-GPT manipulation:
+// change the representation minimally, then check downstream behaviour.
+func (p *Linear) Intervene(x []float64, target int, strength float64) []float64 {
+	cur := p.Predict(x)
+	out := append([]float64(nil), x...)
+	if cur == target {
+		return out
+	}
+	// Move along (w_target - w_cur), the direction that raises the target
+	// score fastest while lowering the current one.
+	wt := p.W.Row(target)
+	wc := p.W.Row(cur)
+	dir := make([]float64, len(x))
+	for i := range x {
+		dir[i] = wt[i] - wc[i]
+	}
+	n := mathx.Norm2(dir)
+	if n == 0 {
+		return out
+	}
+	// Step just far enough to cross the decision boundary, times strength.
+	gap := p.Scores(x)[cur] - p.Scores(x)[target]
+	step := strength * (gap/(n*n) + 1e-6)
+	for i := range out {
+		out[i] += step * dir[i]
+	}
+	return out
+}

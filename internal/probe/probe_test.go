@@ -1,0 +1,230 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+)
+
+func TestLinearProbeSeparable(t *testing.T) {
+	// Two well-separated Gaussian blobs.
+	rng := mathx.NewRNG(1)
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		mu := float64(c*6 - 3)
+		xs = append(xs, []float64{mu + rng.Norm(), mu + rng.Norm()})
+		ys = append(ys, c)
+	}
+	p, err := TrainLinear(xs, ys, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Accuracy(xs, ys); acc < 0.97 {
+		t.Errorf("separable accuracy = %v", acc)
+	}
+}
+
+func TestLinearProbeMultiClass(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	centers := [][]float64{{5, 0}, {0, 5}, {-5, -5}}
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		xs = append(xs, []float64{centers[c][0] + rng.Norm(), centers[c][1] + rng.Norm()})
+		ys = append(ys, c)
+	}
+	p, err := TrainLinear(xs, ys, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Accuracy(xs, ys); acc < 0.95 {
+		t.Errorf("3-class accuracy = %v", acc)
+	}
+}
+
+func TestLinearProbeRejectsBadInput(t *testing.T) {
+	if _, err := TrainLinear(nil, nil, 2, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := TrainLinear([][]float64{{1, 2}, {1}}, []int{0, 1}, 2, 0); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestMajorityBaseline(t *testing.T) {
+	ys := []int{0, 0, 0, 1, 2}
+	if b := MajorityBaseline(ys, 3); math.Abs(b-0.6) > 1e-12 {
+		t.Errorf("baseline = %v", b)
+	}
+	if !math.IsNaN(MajorityBaseline(nil, 2)) {
+		t.Error("empty baseline not NaN")
+	}
+}
+
+func TestProbeBeatsBaselineOnStructuredData(t *testing.T) {
+	// Labels depend linearly on a hidden direction: a probe must beat the
+	// majority baseline by a wide margin.
+	rng := mathx.NewRNG(3)
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Norm(), rng.Norm(), rng.Norm()}
+		y := 0
+		if x[0]+0.5*x[1] > 0 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	p, _ := TrainLinear(xs, ys, 2, 0.01)
+	acc := p.Accuracy(xs, ys)
+	base := MajorityBaseline(ys, 2)
+	if acc < base+0.3 {
+		t.Errorf("probe %v vs baseline %v", acc, base)
+	}
+}
+
+// syntheticSentences builds structural-probe data where an exact solution
+// exists: the tree distance between two leaves equals the squared Euclidean
+// distance between their root-path edge-indicator vectors (indicator entries
+// are 0/1, so |a-b| = (a-b)² per coordinate). Noise dimensions are appended
+// so the probe must isolate the signal subspace.
+func syntheticSentences(n int, rng *mathx.RNG) []Sentence {
+	g := grammar.Arithmetic()
+	const signalDim, noiseDim = 20, 8
+	var out []Sentence
+	for len(out) < n {
+		tr := g.Generate(rng, 8)
+		leaves := tr.Leaves()
+		if len(leaves) < 3 || len(leaves) > 9 {
+			continue
+		}
+		d := grammar.LeafDistances(tr)
+		paths := edgePaths(tr)
+		if len(paths) != len(leaves) {
+			continue
+		}
+		ok := true
+		emb := make([][]float64, len(leaves))
+		for i, path := range paths {
+			v := make([]float64, signalDim+noiseDim)
+			for _, e := range path {
+				if e >= signalDim {
+					ok = false
+					break
+				}
+				v[e] = 1
+			}
+			for j := signalDim; j < signalDim+noiseDim; j++ {
+				v[j] = rng.Norm() * 0.05
+			}
+			emb[i] = v
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Sentence{Embeddings: emb, Distances: d})
+	}
+	return out
+}
+
+// edgePaths returns, for each leaf in order, the ids of the edges on its
+// root path.
+func edgePaths(t *grammar.Tree) [][]int {
+	var paths [][]int
+	edge := 0
+	var walk func(n *grammar.Tree, acc []int)
+	walk = func(n *grammar.Tree, acc []int) {
+		if len(n.Children) == 0 {
+			paths = append(paths, append([]int(nil), acc...))
+			return
+		}
+		for _, c := range n.Children {
+			id := edge
+			edge++
+			walk(c, append(acc, id))
+		}
+	}
+	walk(t, nil)
+	return paths
+}
+
+func TestStructuralProbeLearnsDistances(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	data := syntheticSentences(30, rng)
+	s, err := TrainStructural(data, 4, 400, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, rmse := s.Evaluate(data)
+	if corr < 0.55 {
+		t.Errorf("distance correlation = %v, want > 0.55", corr)
+	}
+	if math.IsNaN(rmse) {
+		t.Error("rmse NaN")
+	}
+}
+
+// TestLowRankSufficient is experiment E10's shape: a low-rank projection
+// achieves correlation close to a higher-rank one.
+func TestLowRankSufficient(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	data := syntheticSentences(30, rng)
+	low, err := TrainStructural(data, 3, 150, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := TrainStructural(data, 12, 150, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := low.Evaluate(data)
+	ch, _ := high.Evaluate(data)
+	if cl < ch-0.25 {
+		t.Errorf("rank-3 corr %v far below rank-12 corr %v", cl, ch)
+	}
+}
+
+func TestStructuralProbeErrors(t *testing.T) {
+	if _, err := TrainStructural(nil, 2, 10, 0.1, mathx.NewRNG(1)); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestInterveneFlipsProbe(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		mu := float64(c*4 - 2)
+		xs = append(xs, []float64{mu + 0.3*rng.Norm(), 0.3 * rng.Norm()})
+		ys = append(ys, c)
+	}
+	p, _ := TrainLinear(xs, ys, 2, 0.05)
+	// Take a class-0 point and push it to class 1.
+	x := xs[0]
+	if p.Predict(x) != 0 {
+		t.Skip("probe misclassifies chosen point")
+	}
+	edited := p.Intervene(x, 1, 1.5)
+	if p.Predict(edited) != 1 {
+		t.Errorf("intervention failed: scores %v -> %v", p.Scores(x), p.Scores(edited))
+	}
+	// Original unchanged (defensive copy).
+	if x[0] != xs[0][0] {
+		t.Error("intervention mutated input")
+	}
+	// No-op when already at the target class.
+	same := p.Intervene(edited, 1, 1.5)
+	for i := range same {
+		if same[i] != edited[i] {
+			t.Error("intervene changed an already-correct point")
+		}
+	}
+}

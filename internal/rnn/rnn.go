@@ -1,0 +1,236 @@
+// Package rnn implements the recurrent language models of the paper's §5
+// (Eq. 12): a vanilla (Elman) RNN and an LSTM, trained by backpropagation
+// through time via the autograd engine. Both serve as pre-transformer
+// baselines in the perplexity-ladder experiment (E5), and as the sequential
+// cost baseline of E12 (a window of length L requires L dependent steps).
+package rnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Kind selects the recurrence cell.
+type Kind int
+
+// Supported cells.
+const (
+	Elman Kind = iota // h_t = tanh(Wx·x_t + Wh·h_{t-1} + b)
+	LSTM              // gated cell with long-term memory (Hochreiter-Schmidhuber)
+)
+
+// Config holds the recurrent model hyperparameters.
+type Config struct {
+	Vocab  int
+	Dim    int // embedding dimension
+	Hidden int // state dimension q of Eq. 12
+	Kind   Kind
+}
+
+// Model is a recurrent language model.
+type Model struct {
+	Cfg   Config
+	Embed *nn.Embedding
+
+	// Elman parameters.
+	wx, wh *nn.Linear
+	// LSTM parameters: one projection [x, h] → 4·Hidden for gates i, f, o, g.
+	gates *nn.Linear
+
+	Out *nn.Linear // Hidden → Vocab
+}
+
+// New builds a recurrent LM.
+func New(cfg Config, rng *mathx.RNG) (*Model, error) {
+	if cfg.Vocab <= 0 || cfg.Dim <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("rnn: non-positive hyperparameter in %+v", cfg)
+	}
+	m := &Model{
+		Cfg:   cfg,
+		Embed: nn.NewEmbedding(cfg.Vocab, cfg.Dim, rng),
+		Out:   nn.NewLinear(cfg.Hidden, cfg.Vocab, true, rng),
+	}
+	switch cfg.Kind {
+	case Elman:
+		m.wx = nn.NewLinear(cfg.Dim, cfg.Hidden, true, rng)
+		m.wh = nn.NewLinear(cfg.Hidden, cfg.Hidden, false, rng)
+	case LSTM:
+		m.gates = nn.NewLinear(cfg.Dim+cfg.Hidden, 4*cfg.Hidden, true, rng)
+		// Bias the forget gate open (standard trick for trainability).
+		b := m.gates.B.Value.Row(0)
+		for i := cfg.Hidden; i < 2*cfg.Hidden; i++ {
+			b[i] = 1
+		}
+	default:
+		return nil, fmt.Errorf("rnn: unknown kind %d", cfg.Kind)
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, rng *mathx.RNG) *Model {
+	m, err := New(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Parameters implements nn.Module.
+func (m *Model) Parameters() []*autograd.Node {
+	ps := m.Embed.Parameters()
+	if m.wx != nil {
+		ps = append(ps, m.wx.Parameters()...)
+		ps = append(ps, m.wh.Parameters()...)
+	}
+	if m.gates != nil {
+		ps = append(ps, m.gates.Parameters()...)
+	}
+	return append(ps, m.Out.Parameters()...)
+}
+
+// NumParameters counts trainable scalars.
+func (m *Model) NumParameters() int { return nn.NumParameters(m) }
+
+// Forward runs the recurrence over ids and returns the L×Vocab logits —
+// the sequential computation whose wall-clock grows with L (§6's contrast
+// with the parallelizable transformer).
+func (m *Model) Forward(ids []int) *autograd.Node {
+	if len(ids) == 0 {
+		panic("rnn: empty sequence")
+	}
+	emb := m.Embed.Forward(ids)
+	h := autograd.Const(tensor.New(1, m.Cfg.Hidden))
+	var c *autograd.Node
+	if m.Cfg.Kind == LSTM {
+		c = autograd.Const(tensor.New(1, m.Cfg.Hidden))
+	}
+	outs := make([]*autograd.Node, len(ids))
+	for t := range ids {
+		x := autograd.SliceRows(emb, t, t+1)
+		switch m.Cfg.Kind {
+		case Elman:
+			h = autograd.Tanh(autograd.Add(m.wx.Forward(x), m.wh.Forward(h)))
+		case LSTM:
+			z := m.gates.Forward(autograd.ConcatCols(x, h))
+			q := m.Cfg.Hidden
+			i := autograd.Sigmoid(autograd.SliceCols(z, 0, q))
+			f := autograd.Sigmoid(autograd.SliceCols(z, q, 2*q))
+			o := autograd.Sigmoid(autograd.SliceCols(z, 2*q, 3*q))
+			g := autograd.Tanh(autograd.SliceCols(z, 3*q, 4*q))
+			c = autograd.Add(autograd.Mul(f, c), autograd.Mul(i, g))
+			h = autograd.Mul(o, autograd.Tanh(c))
+		}
+		outs[t] = m.Out.Forward(h)
+	}
+	return autograd.ConcatRows(outs...)
+}
+
+// Loss computes the Eq. 3 objective over one window (targets -1 ignored).
+func (m *Model) Loss(input, target []int) *autograd.Node {
+	return autograd.CrossEntropy(m.Forward(input), target)
+}
+
+// ForwardLogits returns the raw logits tensor for input, for evaluation
+// code that does not need gradient state.
+func (m *Model) ForwardLogits(input []int) *tensor.Tensor {
+	return m.Forward(input).Value
+}
+
+// CrossEntropy evaluates mean held-out NLL of the stream (teacher-forced),
+// without building gradient state.
+func (m *Model) CrossEntropy(input, target []int) float64 {
+	logits := m.Forward(input)
+	lp := tensor.LogSoftmaxRows(logits.Value)
+	total, n := 0.0, 0
+	for i, t := range target {
+		if t < 0 {
+			continue
+		}
+		total -= lp.Row(i)[t]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Perplexity is exp(CrossEntropy).
+func (m *Model) Perplexity(input, target []int) float64 {
+	return math.Exp(m.CrossEntropy(input, target))
+}
+
+// StepState is the inference-time recurrent state.
+type StepState struct {
+	h, c []float64
+}
+
+// NewState returns a zero state for step-wise generation.
+func (m *Model) NewState() *StepState {
+	s := &StepState{h: make([]float64, m.Cfg.Hidden)}
+	if m.Cfg.Kind == LSTM {
+		s.c = make([]float64, m.Cfg.Hidden)
+	}
+	return s
+}
+
+// Step consumes one token, updates the state in place, and returns the
+// next-token logits. Unlike the transformer's parallel attention, each call
+// depends on the previous one — the O(L) sequential chain of §6.
+func (m *Model) Step(s *StepState, id int) []float64 {
+	x := m.Embed.W.Value.Row(id)
+	switch m.Cfg.Kind {
+	case Elman:
+		nh := make([]float64, m.Cfg.Hidden)
+		for j := range nh {
+			nh[j] = m.wx.B.Value.Row(0)[j]
+		}
+		addMatVecT(nh, m.wx.W.Value, x)
+		addMatVecT(nh, m.wh.W.Value, s.h)
+		for j := range nh {
+			nh[j] = math.Tanh(nh[j])
+		}
+		s.h = nh
+	case LSTM:
+		q := m.Cfg.Hidden
+		z := make([]float64, 4*q)
+		copy(z, m.gates.B.Value.Row(0))
+		addMatVecT(z, m.gates.W.Value, append(append([]float64(nil), x...), s.h...))
+		nh := make([]float64, q)
+		nc := make([]float64, q)
+		for j := 0; j < q; j++ {
+			i := sigmoid(z[j])
+			f := sigmoid(z[q+j])
+			o := sigmoid(z[2*q+j])
+			g := math.Tanh(z[3*q+j])
+			nc[j] = f*s.c[j] + i*g
+			nh[j] = o * math.Tanh(nc[j])
+		}
+		s.h, s.c = nh, nc
+	}
+	logits := make([]float64, m.Cfg.Vocab)
+	copy(logits, m.Out.B.Value.Row(0))
+	addMatVecT(logits, m.Out.W.Value, s.h)
+	return logits
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// addMatVecT accumulates xᵀ·W into out for W with Shape [len(x), len(out)].
+func addMatVecT(out []float64, w *tensor.Tensor, x []float64) {
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := w.Row(i)
+		for j, wv := range row {
+			out[j] += xv * wv
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package sample implements autoregressive decoding (§3's "practical method
+// for sampling from the distribution"): the Eq. 8 Boltzmann/temperature
+// softmax over logits, greedy decoding (its β → ∞ limit), top-k and nucleus
+// truncation, and beam search.
+package sample
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// Stepper is a stateful next-token scorer: each Append consumes one token
+// and returns logits for the next position. transformer.Predictor and an
+// rnn.Model wrapped with StepperFunc both satisfy it.
+type Stepper interface {
+	Append(id int) []float64
+}
+
+// StepperFunc adapts a closure to Stepper.
+type StepperFunc func(id int) []float64
+
+// Append implements Stepper.
+func (f StepperFunc) Append(id int) []float64 { return f(id) }
+
+// Strategy picks the next token from logits.
+type Strategy interface {
+	Pick(logits []float64, rng *mathx.RNG) int
+}
+
+// Greedy always takes the argmax — the β → ∞ limit of Eq. 8.
+type Greedy struct{}
+
+// Pick implements Strategy.
+func (Greedy) Pick(logits []float64, _ *mathx.RNG) int {
+	i, _ := mathx.ArgMax(logits)
+	return i
+}
+
+// Temperature samples from softmax(logits / T) (Eq. 8 with β = 1/T).
+// T must be > 0.
+type Temperature struct{ T float64 }
+
+// Pick implements Strategy.
+func (s Temperature) Pick(logits []float64, rng *mathx.RNG) int {
+	if s.T <= 0 {
+		panic("sample: temperature must be positive (use Greedy for T→0)")
+	}
+	return rng.Categorical(mathx.Softmax(logits, 1/s.T))
+}
+
+// TopK samples at temperature T from only the K highest-logit tokens.
+type TopK struct {
+	K int
+	T float64
+}
+
+// Pick implements Strategy.
+func (s TopK) Pick(logits []float64, rng *mathx.RNG) int {
+	k := s.K
+	if k <= 0 || k > len(logits) {
+		k = len(logits)
+	}
+	idx := argsortDesc(logits)[:k]
+	sub := make([]float64, k)
+	for i, j := range idx {
+		sub[i] = logits[j]
+	}
+	t := s.T
+	if t <= 0 {
+		t = 1
+	}
+	return idx[rng.Categorical(mathx.Softmax(sub, 1/t))]
+}
+
+// TopP (nucleus) samples from the smallest set of tokens whose softmax
+// probability mass reaches P.
+type TopP struct {
+	P float64
+	T float64
+}
+
+// Pick implements Strategy.
+func (s TopP) Pick(logits []float64, rng *mathx.RNG) int {
+	t := s.T
+	if t <= 0 {
+		t = 1
+	}
+	probs := mathx.Softmax(logits, 1/t)
+	idx := argsortDesc(probs)
+	mass := 0.0
+	cut := len(idx)
+	for i, j := range idx {
+		mass += probs[j]
+		if mass >= s.P {
+			cut = i + 1
+			break
+		}
+	}
+	idx = idx[:cut]
+	sub := make([]float64, cut)
+	for i, j := range idx {
+		sub[i] = probs[j]
+	}
+	return idx[rng.Categorical(sub)]
+}
+
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// Generate feeds prompt into the stepper and then samples n further tokens
+// with the strategy, stopping early if stop (≥ 0) is produced. It returns
+// only the newly generated tokens.
+func Generate(s Stepper, prompt []int, n int, strat Strategy, stop int, rng *mathx.RNG) []int {
+	if len(prompt) == 0 {
+		panic("sample: empty prompt")
+	}
+	var logits []float64
+	for _, id := range prompt {
+		logits = s.Append(id)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		next := strat.Pick(logits, rng)
+		out = append(out, next)
+		if stop >= 0 && next == stop {
+			break
+		}
+		if i+1 < n {
+			logits = s.Append(next)
+		}
+	}
+	return out
+}
+
+// Beam is one beam-search hypothesis.
+type Beam struct {
+	Tokens  []int
+	LogProb float64
+}
+
+// BeamSearch explores width hypotheses using next, a stateless scorer from
+// prefix to next-token logits, generating n tokens beyond the prompt. It
+// returns hypotheses sorted by total log probability (best first). The
+// prompt is not included in the returned token slices.
+func BeamSearch(next func(prefix []int) []float64, prompt []int, n, width int) []Beam {
+	if width <= 0 {
+		width = 1
+	}
+	beams := []Beam{{}}
+	for step := 0; step < n; step++ {
+		var cands []Beam
+		for _, b := range beams {
+			prefix := append(append([]int(nil), prompt...), b.Tokens...)
+			logits := next(prefix)
+			logp := logSoftmax(logits)
+			for tok, lp := range logp {
+				cands = append(cands, Beam{
+					Tokens:  append(append([]int(nil), b.Tokens...), tok),
+					LogProb: b.LogProb + lp,
+				})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].LogProb > cands[j].LogProb })
+		if len(cands) > width {
+			cands = cands[:width]
+		}
+		beams = cands
+	}
+	return beams
+}
+
+func logSoftmax(logits []float64) []float64 {
+	lse := mathx.LogSumExp(logits)
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = v - lse
+	}
+	return out
+}
+
+// StreamCrossEntropy scores a held-out stream under a stateless next-logits
+// scorer: mean NLL of each token given its prefix — Eq. 3 for neural models.
+func StreamCrossEntropy(next func(prefix []int) []float64, stream []int) float64 {
+	if len(stream) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 1; i < len(stream); i++ {
+		logits := next(stream[:i])
+		lp := logSoftmax(logits)
+		total -= lp[stream[i]]
+	}
+	return total / float64(len(stream)-1)
+}
+
+// Perplexity is exp(StreamCrossEntropy).
+func Perplexity(next func(prefix []int) []float64, stream []int) float64 {
+	return math.Exp(StreamCrossEntropy(next, stream))
+}

@@ -1,0 +1,268 @@
+// Package scaling implements the scaling-law experiments of the paper's
+// §3-§4: parameter/data sweeps over transformer language models trained on
+// a synthetic corpus, power-law fits of held-out loss against model size,
+// dataset size and compute (Figure 2), the Eq. 4 joint ansatz, and the
+// Table 1 inventory of published LLM sizes checked against the §6
+// parameter-count rule 12·D·p².
+package scaling
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+// ---- Table 1 ----
+
+// ModelRow is one row of the paper's Table 1 plus the published
+// architecture hyperparameters needed to apply the 12·D·p² estimate.
+type ModelRow struct {
+	Year            int
+	Name            string
+	PublishedParams float64 // as quoted in Table 1
+	DatasetTokens   float64 // as quoted in Table 1 (0 = undisclosed)
+	Blocks          int     // published depth (transformer blocks)
+	Dim             int     // published embedding dimension p
+}
+
+// Table1 returns the paper's Table 1 with the public architecture shapes.
+// GPT-4's row is included with undisclosed architecture (Blocks = Dim = 0),
+// as in the paper ("1.4T (?)").
+func Table1() []ModelRow {
+	return []ModelRow{
+		{Year: 2018, Name: "GPT", PublishedParams: 110e6, DatasetTokens: 1e9, Blocks: 12, Dim: 768},
+		{Year: 2018, Name: "BERT", PublishedParams: 340e6, DatasetTokens: 3e9, Blocks: 24, Dim: 1024},
+		{Year: 2019, Name: "GPT-2", PublishedParams: 1.5e9, DatasetTokens: 10e9, Blocks: 48, Dim: 1600},
+		{Year: 2020, Name: "GPT-3", PublishedParams: 175e9, DatasetTokens: 500e9, Blocks: 96, Dim: 12288},
+		{Year: 2022, Name: "PaLM", PublishedParams: 540e9, DatasetTokens: 780e9, Blocks: 118, Dim: 18432},
+		{Year: 2023, Name: "GPT-4", PublishedParams: 1.4e12, DatasetTokens: 0, Blocks: 0, Dim: 0},
+	}
+}
+
+// Estimate returns the 12·D·p² parameter estimate for a row, or 0 when the
+// architecture is undisclosed.
+func (r ModelRow) Estimate() float64 {
+	if r.Blocks == 0 || r.Dim == 0 {
+		return 0
+	}
+	return float64(transformer.GPT3Estimate(r.Blocks, r.Dim))
+}
+
+// FormatTable1 renders the table with published vs estimated parameters.
+func FormatTable1(rows []ModelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-7s %14s %14s %14s\n", "Year", "Model", "Published", "12*D*p^2", "Tokens")
+	for _, r := range rows {
+		est := "n/a"
+		if e := r.Estimate(); e > 0 {
+			est = human(e)
+		}
+		toks := "?"
+		if r.DatasetTokens > 0 {
+			toks = human(r.DatasetTokens)
+		}
+		fmt.Fprintf(&b, "%-5d %-7s %14s %14s %14s\n", r.Year, r.Name, human(r.PublishedParams), est, toks)
+	}
+	return b.String()
+}
+
+func human(x float64) string {
+	switch {
+	case x >= 1e12:
+		return fmt.Sprintf("%.1fT", x/1e12)
+	case x >= 1e9:
+		return fmt.Sprintf("%.1fB", x/1e9)
+	case x >= 1e6:
+		return fmt.Sprintf("%.0fM", x/1e6)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}
+
+// ---- Sweeps (Figure 2) ----
+
+// Point is one sweep observation.
+type Point struct {
+	Params int     // trainable parameters P
+	Tokens int     // training tokens D
+	FLOPs  float64 // ≈ 6·P·D, the paper's compute axis
+	Loss   float64 // held-out cross entropy (Eq. 3)
+}
+
+// SweepConfig controls a scaling sweep on the PCFG corpus.
+type SweepConfig struct {
+	Dims       []int // model widths to sweep (Layers/Heads fixed below)
+	DataTokens []int // training-set sizes in tokens
+	Layers     int
+	Heads      int
+	Window     int
+	Steps      int // optimizer steps per cell
+	BatchSize  int
+	LR         float64
+	Seed       uint64
+}
+
+// DefaultSweep returns a laptop-scale sweep adequate to expose the power-
+// law trend (the paper's runs span decades; ours spans what a test suite
+// affords — the shape, not the absolute exponents, is the reproduction
+// target).
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Dims:       []int{8, 16, 32},
+		DataTokens: []int{512, 2048, 8192},
+		Layers:     1, Heads: 2, Window: 16,
+		Steps: 220, BatchSize: 4, LR: 0.004, Seed: 11,
+	}
+}
+
+// RunSweep trains one model per (dim, data) cell and measures held-out
+// loss, returning all observations.
+func RunSweep(cfg SweepConfig) ([]Point, error) {
+	rng := mathx.NewRNG(cfg.Seed)
+	g := grammar.TinyEnglish()
+	// One long shared stream; each cell trains on its prefix. Held-out data
+	// is disjoint by construction.
+	vocabLines := corpus.PCFGText(g, 4000, 10, rng)
+	tok := newWordEncoder(vocabLines)
+	stream := corpus.Concat(vocabLines, tok.encode, tok.sep)
+	maxData := 0
+	for _, d := range cfg.DataTokens {
+		if d > maxData {
+			maxData = d
+		}
+	}
+	if maxData+4*cfg.Window >= len(stream) {
+		return nil, fmt.Errorf("scaling: stream too short (%d) for data size %d", len(stream), maxData)
+	}
+	heldOut := corpus.MakeWindows(stream[maxData:maxData+40*cfg.Window], cfg.Window)
+	var points []Point
+	for _, dim := range cfg.Dims {
+		for _, data := range cfg.DataTokens {
+			mcfg := transformer.Config{
+				Vocab: tok.vocab, Dim: dim, Layers: cfg.Layers, Heads: cfg.Heads,
+				Window: cfg.Window, Pos: transformer.PosLearned, Act: nn.GELU,
+			}
+			model := transformer.MustNew(mcfg, mathx.NewRNG(cfg.Seed+uint64(dim*1000+data)))
+			windows := corpus.MakeWindows(stream[:data], cfg.Window)
+			batches := make([]train.Batch, len(windows))
+			for i, w := range windows {
+				batches[i] = train.Batch{Input: w.Input, Target: w.Target}
+			}
+			_, err := train.Run(model, batches, train.Config{
+				Steps: cfg.Steps, BatchSize: cfg.BatchSize,
+				Schedule:  train.WarmupCosine(cfg.LR, cfg.LR/10, cfg.Steps/10, cfg.Steps),
+				Optimizer: train.NewAdam(0), ClipNorm: 1, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var evalBatches []train.Batch
+			for _, w := range heldOut {
+				evalBatches = append(evalBatches, train.Batch{Input: w.Input, Target: w.Target})
+			}
+			loss := train.MeanLoss(model, evalBatches)
+			p := model.NumParameters()
+			// The paper's compute axis: training FLOPs ≈ 6 · P · (tokens
+			// processed), where tokens processed = steps × batch × window.
+			processed := float64(cfg.Steps * cfg.BatchSize * cfg.Window)
+			points = append(points, Point{
+				Params: p, Tokens: data,
+				FLOPs: 6 * float64(p) * processed,
+				Loss:  loss,
+			})
+		}
+	}
+	return points, nil
+}
+
+// wordEncoder is a minimal closed-vocabulary word tokenizer for the sweep.
+type wordEncoder struct {
+	idOf  map[string]int
+	vocab int
+	sep   int
+}
+
+func newWordEncoder(lines []string) *wordEncoder {
+	e := &wordEncoder{idOf: map[string]int{}}
+	for _, l := range lines {
+		for _, w := range strings.Fields(l) {
+			if _, ok := e.idOf[w]; !ok {
+				e.idOf[w] = len(e.idOf)
+			}
+		}
+	}
+	e.sep = len(e.idOf) // end-of-sentence token
+	e.vocab = len(e.idOf) + 1
+	return e
+}
+
+func (e *wordEncoder) encode(line string) []int {
+	var ids []int
+	for _, w := range strings.Fields(line) {
+		ids = append(ids, e.idOf[w])
+	}
+	return ids
+}
+
+// ---- Fits ----
+
+// FitLossVsParams fits L ∝ P^α using, for each distinct model size, the
+// observation with the largest data budget (the paper's "performance limited
+// by model size" regime).
+func FitLossVsParams(points []Point) mathx.PowerLawFit {
+	best := map[int]Point{}
+	for _, p := range points {
+		if cur, ok := best[p.Params]; !ok || p.Tokens > cur.Tokens {
+			best[p.Params] = p
+		}
+	}
+	var xs, ys []float64
+	for _, p := range best {
+		xs = append(xs, float64(p.Params))
+		ys = append(ys, p.Loss)
+	}
+	return mathx.FitPowerLaw(xs, ys)
+}
+
+// FitLossVsData fits L ∝ D^α using, for each data size, the largest model.
+func FitLossVsData(points []Point) mathx.PowerLawFit {
+	best := map[int]Point{}
+	for _, p := range points {
+		if cur, ok := best[p.Tokens]; !ok || p.Params > cur.Params {
+			best[p.Tokens] = p
+		}
+	}
+	var xs, ys []float64
+	for _, p := range best {
+		xs = append(xs, float64(p.Tokens))
+		ys = append(ys, p.Loss)
+	}
+	return mathx.FitPowerLaw(xs, ys)
+}
+
+// FitJointAnsatz fits the Eq. 4 surface to all points.
+func FitJointAnsatz(points []Point) mathx.AnsatzFit {
+	var ps, ds, ls []float64
+	for _, p := range points {
+		ps = append(ps, float64(p.Params))
+		ds = append(ds, float64(p.Tokens))
+		ls = append(ls, p.Loss)
+	}
+	return mathx.FitAnsatz(ps, ds, ls)
+}
+
+// FormatPoints renders sweep observations as the Figure 2 data series.
+func FormatPoints(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %10s %14s %10s\n", "Params", "Tokens", "FLOPs", "TestLoss")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12d %10d %14.3g %10.4f\n", p.Params, p.Tokens, p.FLOPs, p.Loss)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package scaling
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable1 is experiment E1: the 12·D·p² rule reproduces the published
+// parameter counts of Table 1 within a factor ~1.5 for every model with a
+// public architecture.
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		est := r.Estimate()
+		if r.Blocks == 0 {
+			if est != 0 {
+				t.Errorf("%s: estimate for undisclosed architecture", r.Name)
+			}
+			continue
+		}
+		ratio := est / r.PublishedParams
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("%s: estimate %g vs published %g (ratio %.2f)",
+				r.Name, est, r.PublishedParams, ratio)
+		}
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	rows := Table1()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Year < rows[i-1].Year {
+			t.Error("rows out of chronological order")
+		}
+		if rows[i].PublishedParams < rows[i-1].PublishedParams {
+			t.Error("parameter counts not monotone — Table 1 growth story broken")
+		}
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	s := FormatTable1(Table1())
+	for _, want := range []string{"GPT-3", "175.0B", "PaLM", "GPT-4", "?"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[float64]string{110e6: "110M", 1.5e9: "1.5B", 1.4e12: "1.4T", 500: "500"}
+	for x, want := range cases {
+		if got := human(x); got != want {
+			t.Errorf("human(%g) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func TestWordEncoderRoundSanity(t *testing.T) {
+	e := newWordEncoder([]string{"a b", "b c"})
+	if e.vocab != 4 { // a, b, c + separator
+		t.Fatalf("vocab = %d", e.vocab)
+	}
+	ids := e.encode("a c")
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Fatalf("encode = %v", ids)
+	}
+}
+
+// TestPowerLawEmerges is experiment E2 at test scale: across the sweep,
+// larger models and more data both reduce held-out loss, and the log-log
+// fits have negative exponents.
+func TestPowerLawEmerges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is a training workload")
+	}
+	cfg := DefaultSweep()
+	cfg.Steps = 150 // trimmed for test time; the bench runs the full sweep
+	points, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(cfg.Dims)*len(cfg.DataTokens) {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if math.IsNaN(p.Loss) || p.Loss <= 0 {
+			t.Fatalf("bad loss in %+v", p)
+		}
+	}
+	fp := FitLossVsParams(points)
+	fd := FitLossVsData(points)
+	if fp.Alpha >= 0 {
+		t.Errorf("loss does not fall with model size: alpha_P = %v", fp.Alpha)
+	}
+	if fd.Alpha >= 0 {
+		t.Errorf("loss does not fall with data: alpha_D = %v", fd.Alpha)
+	}
+	joint := FitJointAnsatz(points)
+	if math.IsInf(joint.RMSE, 1) || math.IsNaN(joint.RMSE) {
+		t.Errorf("ansatz fit failed: %+v", joint)
+	}
+	t.Logf("alpha_P=%.3f (R2 %.2f) alpha_D=%.3f (R2 %.2f) ansatz RMSE %.3f",
+		fp.Alpha, fp.R2, fd.Alpha, fd.R2, joint.RMSE)
+}
+
+func TestRunSweepValidatesStream(t *testing.T) {
+	cfg := DefaultSweep()
+	cfg.DataTokens = []int{1 << 30} // absurd
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("oversized data budget accepted")
+	}
+}
+
+func TestFormatPoints(t *testing.T) {
+	s := FormatPoints([]Point{{Params: 100, Tokens: 200, FLOPs: 3e5, Loss: 1.25}})
+	if !strings.Contains(s, "100") || !strings.Contains(s, "1.25") {
+		t.Errorf("format = %q", s)
+	}
+}

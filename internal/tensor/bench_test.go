@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// BenchmarkMatMul exercises the serial and parallel matmul paths.
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{16, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			rng := mathx.NewRNG(1)
+			x := New(n, n).RandNorm(rng, 1)
+			y := New(n, n).RandNorm(rng, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	x := New(128, 128).RandNorm(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x)
+	}
+}
+
+func BenchmarkElementwiseAdd(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	x := New(256, 256).RandNorm(rng, 1)
+	y := New(256, 256).RandNorm(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(x, y)
+	}
+}

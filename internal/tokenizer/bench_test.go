@@ -1,0 +1,45 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchCorpus() []string {
+	base := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"supersymmetrization tokenization internationalization",
+		"language models predict the next word in a text",
+	}
+	var lines []string
+	for i := 0; i < 50; i++ {
+		lines = append(lines, base[i%len(base)])
+	}
+	return lines
+}
+
+func BenchmarkTrainBPE(b *testing.B) {
+	corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainBPE(corpus, 100)
+	}
+}
+
+func BenchmarkBPEEncode(b *testing.B) {
+	tok := TrainBPE(benchCorpus(), 100)
+	text := strings.Repeat("the quick brown tokenization fox ", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(text)
+	}
+}
+
+func BenchmarkWordEncode(b *testing.B) {
+	tok := NewWord(benchCorpus())
+	text := strings.Repeat("the quick brown fox ", 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(text)
+	}
+}

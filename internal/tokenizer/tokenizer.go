@@ -1,0 +1,442 @@
+// Package tokenizer implements the tokenization step of the paper's §5: the
+// conversion from raw text to sequences of integer token ids. Three schemes
+// are provided — whitespace words, characters, and trained byte-pair
+// encoding (BPE), the scheme that splits "supersymmetrization" into
+// meaningful sub-word pieces.
+package tokenizer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Special token ids present in every vocabulary.
+const (
+	PAD = 0 // padding
+	BOS = 1 // beginning of sequence
+	EOS = 2 // end of sequence
+	UNK = 3 // unknown token
+)
+
+// NumSpecial is the count of reserved special tokens.
+const NumSpecial = 4
+
+var specialNames = []string{"<pad>", "<bos>", "<eos>", "<unk>"}
+
+// Tokenizer converts between text and token-id sequences.
+type Tokenizer interface {
+	// Encode maps text to token ids (without BOS/EOS framing).
+	Encode(text string) []int
+	// Decode maps token ids back to text; special tokens are dropped.
+	Decode(ids []int) string
+	// VocabSize returns the number of distinct token ids.
+	VocabSize() int
+	// Token returns the surface string of a token id.
+	Token(id int) string
+}
+
+// ---- Word tokenizer ----
+
+// Word is a whitespace word-level tokenizer over a closed vocabulary.
+type Word struct {
+	idOf    map[string]int
+	tokenOf []string
+}
+
+// NewWord builds a word tokenizer whose vocabulary is the distinct
+// whitespace-separated words of corpus (plus the special tokens), in first-
+// appearance order.
+func NewWord(corpus []string) *Word {
+	w := &Word{idOf: make(map[string]int)}
+	w.tokenOf = append(w.tokenOf, specialNames...)
+	for i, s := range specialNames {
+		w.idOf[s] = i
+	}
+	for _, line := range corpus {
+		for _, tok := range strings.Fields(line) {
+			if _, ok := w.idOf[tok]; !ok {
+				w.idOf[tok] = len(w.tokenOf)
+				w.tokenOf = append(w.tokenOf, tok)
+			}
+		}
+	}
+	return w
+}
+
+// Encode implements Tokenizer; unknown words map to UNK.
+func (w *Word) Encode(text string) []int {
+	fields := strings.Fields(text)
+	ids := make([]int, 0, len(fields))
+	for _, f := range fields {
+		if id, ok := w.idOf[f]; ok {
+			ids = append(ids, id)
+		} else {
+			ids = append(ids, UNK)
+		}
+	}
+	return ids
+}
+
+// Decode implements Tokenizer.
+func (w *Word) Decode(ids []int) string {
+	var parts []string
+	for _, id := range ids {
+		if id < NumSpecial || id >= len(w.tokenOf) {
+			continue
+		}
+		parts = append(parts, w.tokenOf[id])
+	}
+	return strings.Join(parts, " ")
+}
+
+// VocabSize implements Tokenizer.
+func (w *Word) VocabSize() int { return len(w.tokenOf) }
+
+// Token implements Tokenizer.
+func (w *Word) Token(id int) string {
+	if id < 0 || id >= len(w.tokenOf) {
+		return "<invalid>"
+	}
+	return w.tokenOf[id]
+}
+
+// ID returns the id of a known word and whether it exists.
+func (w *Word) ID(tok string) (int, bool) {
+	id, ok := w.idOf[tok]
+	return id, ok
+}
+
+// wordJSON is the serialized form of a Word tokenizer.
+type wordJSON struct {
+	Tokens []string `json:"tokens"`
+}
+
+// MarshalJSON serializes the vocabulary.
+func (w *Word) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wordJSON{Tokens: w.tokenOf})
+}
+
+// UnmarshalJSON restores a vocabulary.
+func (w *Word) UnmarshalJSON(data []byte) error {
+	var j wordJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Tokens) < NumSpecial {
+		return fmt.Errorf("tokenizer: corrupt word vocabulary (%d tokens)", len(j.Tokens))
+	}
+	w.tokenOf = j.Tokens
+	w.idOf = make(map[string]int, len(j.Tokens))
+	for i, t := range j.Tokens {
+		w.idOf[t] = i
+	}
+	return nil
+}
+
+// ---- Character tokenizer ----
+
+// Char is a character-level tokenizer over a closed rune vocabulary.
+type Char struct {
+	idOf    map[rune]int
+	runeOf  []rune
+	nameFor []string
+}
+
+// NewChar builds a character tokenizer from the distinct runes of corpus.
+func NewChar(corpus []string) *Char {
+	c := &Char{idOf: make(map[rune]int)}
+	c.nameFor = append(c.nameFor, specialNames...)
+	c.runeOf = make([]rune, NumSpecial)
+	for _, line := range corpus {
+		for _, r := range line {
+			if _, ok := c.idOf[r]; !ok {
+				c.idOf[r] = len(c.nameFor)
+				c.runeOf = append(c.runeOf, r)
+				c.nameFor = append(c.nameFor, string(r))
+			}
+		}
+	}
+	return c
+}
+
+// Encode implements Tokenizer.
+func (c *Char) Encode(text string) []int {
+	var ids []int
+	for _, r := range text {
+		if id, ok := c.idOf[r]; ok {
+			ids = append(ids, id)
+		} else {
+			ids = append(ids, UNK)
+		}
+	}
+	return ids
+}
+
+// Decode implements Tokenizer.
+func (c *Char) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id < NumSpecial || id >= len(c.nameFor) {
+			continue
+		}
+		b.WriteRune(c.runeOf[id])
+	}
+	return b.String()
+}
+
+// VocabSize implements Tokenizer.
+func (c *Char) VocabSize() int { return len(c.nameFor) }
+
+// Token implements Tokenizer.
+func (c *Char) Token(id int) string {
+	if id < 0 || id >= len(c.nameFor) {
+		return "<invalid>"
+	}
+	return c.nameFor[id]
+}
+
+// ---- BPE tokenizer ----
+
+// BPE is a trained byte-pair-encoding tokenizer. Words are split into
+// characters (with an end-of-word marker) and the most frequent adjacent
+// pairs are merged greedily, learning sub-word units like "super"+"symmetr".
+type BPE struct {
+	merges []mergeRule // in training order; earlier = higher priority
+	rank   map[[2]string]int
+	idOf   map[string]int
+	tokens []string
+}
+
+type mergeRule struct {
+	Left, Right string
+}
+
+const eow = "</w>"
+
+// TrainBPE learns numMerges merge rules from corpus and returns the trained
+// tokenizer.
+func TrainBPE(corpus []string, numMerges int) *BPE {
+	// Word frequency table.
+	wordFreq := map[string]int{}
+	for _, line := range corpus {
+		for _, w := range strings.Fields(line) {
+			wordFreq[w]++
+		}
+	}
+	// Each word as a symbol sequence.
+	type entry struct {
+		symbols []string
+		freq    int
+	}
+	var entries []*entry
+	var words []string
+	for w := range wordFreq {
+		words = append(words, w)
+	}
+	sort.Strings(words) // determinism
+	for _, w := range words {
+		var syms []string
+		for _, r := range w {
+			syms = append(syms, string(r))
+		}
+		syms = append(syms, eow)
+		entries = append(entries, &entry{symbols: syms, freq: wordFreq[w]})
+	}
+
+	b := &BPE{rank: map[[2]string]int{}, idOf: map[string]int{}}
+	for m := 0; m < numMerges; m++ {
+		// Count adjacent pairs.
+		pairFreq := map[[2]string]int{}
+		for _, e := range entries {
+			for i := 0; i+1 < len(e.symbols); i++ {
+				pairFreq[[2]string{e.symbols[i], e.symbols[i+1]}] += e.freq
+			}
+		}
+		if len(pairFreq) == 0 {
+			break
+		}
+		// Best pair, ties broken lexicographically for determinism.
+		var best [2]string
+		bestN := -1
+		for p, n := range pairFreq {
+			if n > bestN || (n == bestN && (p[0] < best[0] || (p[0] == best[0] && p[1] < best[1]))) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break // no productive merges left
+		}
+		b.merges = append(b.merges, mergeRule{best[0], best[1]})
+		b.rank[best] = len(b.merges) - 1
+		merged := best[0] + best[1]
+		for _, e := range entries {
+			e.symbols = applyMergeOnce(e.symbols, best, merged)
+		}
+	}
+
+	// Vocabulary: specials, then single characters, then merged units, all
+	// collected from the final symbol sequences plus base characters.
+	b.tokens = append(b.tokens, specialNames...)
+	for i, s := range specialNames {
+		b.idOf[s] = i
+	}
+	seen := map[string]bool{}
+	var units []string
+	addUnit := func(u string) {
+		if !seen[u] {
+			seen[u] = true
+			units = append(units, u)
+		}
+	}
+	for _, e := range entries {
+		for _, s := range e.symbols {
+			addUnit(s)
+		}
+	}
+	// Every merge product must be in the vocabulary even if no training word
+	// ends with it: unseen words can stop mid-merge-chain at any product.
+	for _, m := range b.merges {
+		addUnit(m.Left + m.Right)
+	}
+	// Also include all raw characters so unseen words degrade gracefully.
+	for _, w := range words {
+		for _, r := range w {
+			addUnit(string(r))
+		}
+	}
+	addUnit(eow)
+	sort.Strings(units)
+	for _, u := range units {
+		b.idOf[u] = len(b.tokens)
+		b.tokens = append(b.tokens, u)
+	}
+	return b
+}
+
+func applyMergeOnce(syms []string, pair [2]string, merged string) []string {
+	out := syms[:0:0]
+	for i := 0; i < len(syms); i++ {
+		if i+1 < len(syms) && syms[i] == pair[0] && syms[i+1] == pair[1] {
+			out = append(out, merged)
+			i++
+		} else {
+			out = append(out, syms[i])
+		}
+	}
+	return out
+}
+
+// segment splits a single word into BPE units by applying the learned merges
+// in rank order.
+func (b *BPE) segment(word string) []string {
+	var syms []string
+	for _, r := range word {
+		syms = append(syms, string(r))
+	}
+	syms = append(syms, eow)
+	for {
+		bestRank := len(b.merges)
+		bestIdx := -1
+		for i := 0; i+1 < len(syms); i++ {
+			if r, ok := b.rank[[2]string{syms[i], syms[i+1]}]; ok && r < bestRank {
+				bestRank, bestIdx = r, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		pair := [2]string{syms[bestIdx], syms[bestIdx+1]}
+		syms = applyMergeOnce(syms, pair, pair[0]+pair[1])
+	}
+	return syms
+}
+
+// Encode implements Tokenizer.
+func (b *BPE) Encode(text string) []int {
+	var ids []int
+	for _, w := range strings.Fields(text) {
+		for _, s := range b.segment(w) {
+			if id, ok := b.idOf[s]; ok {
+				ids = append(ids, id)
+			} else {
+				ids = append(ids, UNK)
+			}
+		}
+	}
+	return ids
+}
+
+// Decode implements Tokenizer.
+func (b *BPE) Decode(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		if id < NumSpecial || id >= len(b.tokens) {
+			continue
+		}
+		sb.WriteString(b.tokens[id])
+	}
+	return strings.TrimSpace(strings.ReplaceAll(sb.String(), eow, " "))
+}
+
+// VocabSize implements Tokenizer.
+func (b *BPE) VocabSize() int { return len(b.tokens) }
+
+// Token implements Tokenizer.
+func (b *BPE) Token(id int) string {
+	if id < 0 || id >= len(b.tokens) {
+		return "<invalid>"
+	}
+	return b.tokens[id]
+}
+
+// NumMerges returns the number of learned merge rules.
+func (b *BPE) NumMerges() int { return len(b.merges) }
+
+// bpeJSON is the serialized form of a BPE tokenizer.
+type bpeJSON struct {
+	Merges [][2]string `json:"merges"`
+	Tokens []string    `json:"tokens"`
+}
+
+// MarshalJSON serializes the trained tokenizer.
+func (b *BPE) MarshalJSON() ([]byte, error) {
+	j := bpeJSON{Tokens: b.tokens}
+	for _, m := range b.merges {
+		j.Merges = append(j.Merges, [2]string{m.Left, m.Right})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a trained tokenizer.
+func (b *BPE) UnmarshalJSON(data []byte) error {
+	var j bpeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Tokens) < NumSpecial {
+		return fmt.Errorf("tokenizer: corrupt BPE vocabulary (%d tokens)", len(j.Tokens))
+	}
+	b.merges = nil
+	b.rank = map[[2]string]int{}
+	b.idOf = map[string]int{}
+	b.tokens = j.Tokens
+	for i, m := range j.Merges {
+		b.merges = append(b.merges, mergeRule{m[0], m[1]})
+		b.rank[m] = i
+	}
+	for i, t := range j.Tokens {
+		b.idOf[t] = i
+	}
+	return nil
+}
+
+// Frame surrounds ids with BOS and EOS markers.
+func Frame(ids []int) []int {
+	out := make([]int, 0, len(ids)+2)
+	out = append(out, BOS)
+	out = append(out, ids...)
+	out = append(out, EOS)
+	return out
+}

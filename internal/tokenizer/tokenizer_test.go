@@ -1,0 +1,231 @@
+package tokenizer
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	w := NewWord([]string{"the cat sat", "the dog ran"})
+	ids := w.Encode("the cat ran")
+	if got := w.Decode(ids); got != "the cat ran" {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestWordUnknown(t *testing.T) {
+	w := NewWord([]string{"a b"})
+	ids := w.Encode("a zebra b")
+	if ids[1] != UNK {
+		t.Errorf("unknown word id = %d, want UNK", ids[1])
+	}
+}
+
+func TestWordVocabStable(t *testing.T) {
+	w := NewWord([]string{"x y x"})
+	if w.VocabSize() != NumSpecial+2 {
+		t.Errorf("vocab size = %d", w.VocabSize())
+	}
+	id1, _ := w.ID("x")
+	w2 := NewWord([]string{"x y x"})
+	id2, _ := w2.ID("x")
+	if id1 != id2 {
+		t.Error("vocabulary ids not deterministic")
+	}
+}
+
+func TestWordSpecialTokensReserved(t *testing.T) {
+	w := NewWord([]string{"hello"})
+	if w.Token(PAD) != "<pad>" || w.Token(BOS) != "<bos>" || w.Token(EOS) != "<eos>" || w.Token(UNK) != "<unk>" {
+		t.Error("special token names wrong")
+	}
+	if got, _ := w.ID("hello"); got < NumSpecial {
+		t.Error("real word collided with special ids")
+	}
+}
+
+func TestCharRoundTrip(t *testing.T) {
+	c := NewChar([]string{"abc xyz"})
+	ids := c.Encode("cab")
+	if got := c.Decode(ids); got != "cab" {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestCharUnknownRune(t *testing.T) {
+	c := NewChar([]string{"ab"})
+	ids := c.Encode("aQb")
+	if ids[1] != UNK {
+		t.Errorf("unknown rune id = %d", ids[1])
+	}
+}
+
+func TestBPELearnsFrequentPairs(t *testing.T) {
+	// "ab" appears constantly; the first merge should be a+b.
+	corpus := []string{strings.Repeat("abab ", 50) + strings.Repeat("cd ", 5)}
+	b := TrainBPE(corpus, 10)
+	if b.NumMerges() == 0 {
+		t.Fatal("no merges learned")
+	}
+	seg := b.segment("abab")
+	// After merging, far fewer units than 5 raw symbols (4 chars + eow).
+	if len(seg) >= 5 {
+		t.Errorf("segment(abab) = %v, expected compression", seg)
+	}
+}
+
+func TestBPERoundTrip(t *testing.T) {
+	corpus := []string{"the cat sat on the mat", "the dog sat on the log", "supersymmetrization is a long word"}
+	b := TrainBPE(corpus, 60)
+	for _, text := range []string{"the cat sat", "supersymmetrization", "the dog on the mat"} {
+		ids := b.Encode(text)
+		if got := b.Decode(ids); got != text {
+			t.Errorf("round trip %q -> %q", text, got)
+		}
+	}
+}
+
+func TestBPEDeterministic(t *testing.T) {
+	corpus := []string{"alpha beta gamma alpha beta", "gamma beta alpha"}
+	b1 := TrainBPE(corpus, 20)
+	b2 := TrainBPE(corpus, 20)
+	ids1 := b1.Encode("alpha gamma")
+	ids2 := b2.Encode("alpha gamma")
+	if len(ids1) != len(ids2) {
+		t.Fatal("nondeterministic training")
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatal("nondeterministic encoding")
+		}
+	}
+}
+
+func TestBPEUnseenWordDegradesToChars(t *testing.T) {
+	b := TrainBPE([]string{"aa bb aa bb aa"}, 5)
+	ids := b.Encode("ab")
+	// Every id must be valid (chars are in vocab), no UNK needed for seen chars.
+	for _, id := range ids {
+		if id == UNK {
+			t.Errorf("seen characters produced UNK: %v", ids)
+		}
+	}
+	if got := b.Decode(ids); got != "ab" {
+		t.Errorf("decode = %q", got)
+	}
+}
+
+func TestBPEMoreMergesShortenSequences(t *testing.T) {
+	corpus := []string{strings.Repeat("tokenization tokenizer tokens ", 20)}
+	small := TrainBPE(corpus, 2)
+	large := TrainBPE(corpus, 50)
+	text := "tokenization tokens"
+	if len(large.Encode(text)) >= len(small.Encode(text)) {
+		t.Errorf("more merges did not shorten: %d vs %d",
+			len(large.Encode(text)), len(small.Encode(text)))
+	}
+}
+
+func TestBPESerializationRoundTrip(t *testing.T) {
+	b := TrainBPE([]string{"hello world hello gopher"}, 30)
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored BPE
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	text := "hello gopher world"
+	a, c := b.Encode(text), restored.Encode(text)
+	if len(a) != len(c) {
+		t.Fatal("restored tokenizer encodes differently")
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("restored tokenizer id mismatch")
+		}
+	}
+	if restored.Decode(c) != text {
+		t.Error("restored decode mismatch")
+	}
+}
+
+func TestBPEUnmarshalCorrupt(t *testing.T) {
+	var b BPE
+	if err := json.Unmarshal([]byte(`{"tokens":["x"]}`), &b); err == nil {
+		t.Error("expected error on corrupt vocab")
+	}
+}
+
+func TestFrame(t *testing.T) {
+	ids := Frame([]int{5, 6})
+	if ids[0] != BOS || ids[len(ids)-1] != EOS || len(ids) != 4 {
+		t.Errorf("Frame = %v", ids)
+	}
+}
+
+func TestTokenizerInterfaceCompliance(t *testing.T) {
+	var _ Tokenizer = NewWord(nil)
+	var _ Tokenizer = NewChar(nil)
+	var _ Tokenizer = TrainBPE([]string{"a"}, 1)
+}
+
+// TestBPERoundTripQuick is a property test: any text over a small alphabet
+// round-trips through a BPE trained on related text.
+func TestBPERoundTripQuick(t *testing.T) {
+	b := TrainBPE([]string{"ab ba aab abb bab baa ab ab ba"}, 30)
+	f := func(raw []byte) bool {
+		// Map arbitrary bytes to the {a,b} alphabet with spaces.
+		var sb strings.Builder
+		for i, c := range raw {
+			if i > 0 && i%4 == 0 {
+				sb.WriteByte(' ')
+			}
+			if c%2 == 0 {
+				sb.WriteByte('a')
+			} else {
+				sb.WriteByte('b')
+			}
+		}
+		text := strings.Join(strings.Fields(sb.String()), " ")
+		if text == "" {
+			return true
+		}
+		return b.Decode(b.Encode(text)) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSerializationRoundTrip(t *testing.T) {
+	w := NewWord([]string{"the king rules the kingdom"})
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Word
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	text := "the king rules"
+	a, b := w.Encode(text), restored.Encode(text)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("restored word tokenizer id mismatch")
+		}
+	}
+	if restored.Decode(b) != text {
+		t.Error("restored decode mismatch")
+	}
+}
+
+func TestWordUnmarshalCorrupt(t *testing.T) {
+	var w Word
+	if err := json.Unmarshal([]byte(`{"tokens":["x"]}`), &w); err == nil {
+		t.Error("corrupt word vocab accepted")
+	}
+}

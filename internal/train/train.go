@@ -1,0 +1,346 @@
+// Package train implements the optimization machinery of the paper's §3/§6:
+// the gradient-descent update of Eq. 16 and its standard refinements
+// (momentum, Adam, AdamW weight decay), learning-rate schedules with warmup,
+// gradient clipping, mini-batched training loops over next-token windows,
+// and the train/test curve recording needed for the grokking experiment E7.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update at learning rate lr and clears gradients.
+	Step(params []*autograd.Node, lr float64)
+}
+
+// SGD is plain stochastic gradient descent — exactly Eq. 16.
+type SGD struct{}
+
+// Step implements Optimizer.
+func (SGD) Step(params []*autograd.Node, lr float64) {
+	for _, p := range params {
+		tensor.AddScaledInPlace(p.Value, -lr, p.Grad)
+		p.ZeroGrad()
+	}
+}
+
+// Momentum is SGD with heavy-ball momentum.
+type Momentum struct {
+	Beta float64 // typically 0.9
+	vel  map[*autograd.Node]*tensor.Tensor
+}
+
+// NewMomentum returns a momentum optimizer with coefficient beta.
+func NewMomentum(beta float64) *Momentum {
+	return &Momentum{Beta: beta, vel: map[*autograd.Node]*tensor.Tensor{}}
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params []*autograd.Node, lr float64) {
+	for _, p := range params {
+		v := m.vel[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape...)
+			m.vel[p] = v
+		}
+		for i := range v.Data {
+			v.Data[i] = m.Beta*v.Data[i] + p.Grad.Data[i]
+			p.Value.Data[i] -= lr * v.Data[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer; with WeightDecay > 0 it becomes AdamW
+// (decoupled decay), the regularizer that §4's grokking runs rely on.
+type Adam struct {
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	t int
+	m map[*autograd.Node]*tensor.Tensor
+	v map[*autograd.Node]*tensor.Tensor
+}
+
+// NewAdam returns Adam with the standard defaults (0.9, 0.999, 1e-8).
+func NewAdam(weightDecay float64) *Adam {
+	return &Adam{
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: map[*autograd.Node]*tensor.Tensor{},
+		v: map[*autograd.Node]*tensor.Tensor{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*autograd.Node, lr float64) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = tensor.New(p.Value.Shape...)
+			v = tensor.New(p.Value.Shape...)
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			upd := mhat / (math.Sqrt(vhat) + a.Eps)
+			if a.WeightDecay > 0 {
+				upd += a.WeightDecay * p.Value.Data[i]
+			}
+			p.Value.Data[i] -= lr * upd
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ---- Schedules ----
+
+// Schedule maps a step index to a learning rate.
+type Schedule func(step int) float64
+
+// Constant returns lr for every step.
+func Constant(lr float64) Schedule { return func(int) float64 { return lr } }
+
+// WarmupCosine linearly warms from 0 to peak over warmup steps, then decays
+// along a cosine to floor at total steps — the schedule family used for
+// GPT-scale training.
+func WarmupCosine(peak, floor float64, warmup, total int) Schedule {
+	return func(step int) float64 {
+		if step < warmup {
+			return peak * float64(step+1) / float64(warmup)
+		}
+		if step >= total {
+			return floor
+		}
+		frac := float64(step-warmup) / float64(total-warmup)
+		return floor + 0.5*(peak-floor)*(1+math.Cos(math.Pi*frac))
+	}
+}
+
+// ---- Gradient clipping ----
+
+// ClipGradNorm rescales gradients so their global L2 norm is at most max.
+// It returns the pre-clip norm.
+func ClipGradNorm(params []*autograd.Node, max float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		n := tensor.Norm2(p.Grad)
+		total += n * n
+	}
+	norm := math.Sqrt(total)
+	if norm > max && norm > 0 {
+		s := max / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= s
+			}
+		}
+	}
+	return norm
+}
+
+// ---- Trainer ----
+
+// LossModel is any model exposing the Eq. 3 window loss.
+type LossModel interface {
+	nn.Module
+	Loss(input, target []int) *autograd.Node
+}
+
+// Batch is one (input, target) window pair.
+type Batch struct {
+	Input, Target []int
+}
+
+// Record is one point of a training curve.
+type Record struct {
+	Step      int
+	LR        float64
+	TrainLoss float64
+	TestLoss  float64 // NaN when not evaluated
+	TrainAcc  float64 // NaN when not evaluated
+	TestAcc   float64 // NaN when not evaluated
+}
+
+// Config controls a training run.
+type Config struct {
+	Steps     int
+	BatchSize int // windows per optimizer step
+	Schedule  Schedule
+	Optimizer Optimizer
+	ClipNorm  float64 // 0 disables clipping
+
+	// EvalEvery > 0 evaluates train/test accuracy every that many steps.
+	EvalEvery int
+	EvalTrain []Batch
+	EvalTest  []Batch
+
+	// AccuracyPositions restricts accuracy to target positions with these
+	// indices from the end (e.g. []int{0} scores only the final token, as in
+	// the grokking equations task). Empty = all non-pad positions.
+	AccuracyPositions []int
+
+	Seed uint64
+}
+
+// Result is the recorded curve of a run.
+type Result struct {
+	Curve []Record
+}
+
+// FinalTrainLoss returns the last recorded training loss.
+func (r *Result) FinalTrainLoss() float64 {
+	if len(r.Curve) == 0 {
+		return math.NaN()
+	}
+	return r.Curve[len(r.Curve)-1].TrainLoss
+}
+
+// Run trains model on data (sampled uniformly with replacement per step)
+// according to cfg and returns the loss/accuracy curve.
+func Run(model LossModel, data []Batch, cfg Config) (*Result, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("train: no data")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = Constant(1e-2)
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = SGD{}
+	}
+	rng := mathx.NewRNG(cfg.Seed + 1)
+	params := model.Parameters()
+	res := &Result{}
+	for step := 0; step < cfg.Steps; step++ {
+		lr := cfg.Schedule(step)
+		totalLoss := 0.0
+		for b := 0; b < cfg.BatchSize; b++ {
+			batch := data[rng.Intn(len(data))]
+			loss := model.Loss(batch.Input, batch.Target)
+			// Scale so the batch gradient is the mean over windows.
+			autograd.Backward(autograd.Scale(loss, 1/float64(cfg.BatchSize)))
+			totalLoss += loss.Value.Data[0]
+		}
+		if cfg.ClipNorm > 0 {
+			ClipGradNorm(params, cfg.ClipNorm)
+		}
+		cfg.Optimizer.Step(params, lr)
+		rec := Record{
+			Step: step, LR: lr,
+			TrainLoss: totalLoss / float64(cfg.BatchSize),
+			TestLoss:  math.NaN(), TrainAcc: math.NaN(), TestAcc: math.NaN(),
+		}
+		if cfg.EvalEvery > 0 && (step%cfg.EvalEvery == 0 || step == cfg.Steps-1) {
+			if len(cfg.EvalTrain) > 0 {
+				rec.TrainAcc = Accuracy(model, cfg.EvalTrain, cfg.AccuracyPositions)
+			}
+			if len(cfg.EvalTest) > 0 {
+				rec.TestAcc = Accuracy(model, cfg.EvalTest, cfg.AccuracyPositions)
+				rec.TestLoss = MeanLoss(model, cfg.EvalTest)
+			}
+		}
+		res.Curve = append(res.Curve, rec)
+	}
+	return res, nil
+}
+
+// Accuracy scores greedy next-token accuracy of model over batches,
+// restricted to the given positions-from-end (nil/empty = all non-pad).
+func Accuracy(model LossModel, batches []Batch, positionsFromEnd []int) float64 {
+	correct, total := 0, 0
+	for _, b := range batches {
+		logits := logitsOf(model, b)
+		if logits == nil {
+			continue
+		}
+		consider := func(i int) bool {
+			if len(positionsFromEnd) == 0 {
+				return b.Target[i] >= 0
+			}
+			for _, k := range positionsFromEnd {
+				if i == len(b.Target)-1-k {
+					return b.Target[i] >= 0
+				}
+			}
+			return false
+		}
+		for i := range b.Target {
+			if !consider(i) {
+				continue
+			}
+			pred, _ := mathx.ArgMax(logits.Row(i))
+			if pred == b.Target[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(correct) / float64(total)
+}
+
+// MeanLoss evaluates the mean window loss over batches without updating.
+func MeanLoss(model LossModel, batches []Batch) float64 {
+	if len(batches) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, b := range batches {
+		total += model.Loss(b.Input, b.Target).Value.Data[0]
+	}
+	return total / float64(len(batches))
+}
+
+// logitsOf recovers the logits tensor for a batch. Models in this
+// repository implement ForwardLogits; anything else is a programming error.
+func logitsOf(model LossModel, b Batch) *tensor.Tensor {
+	type forwarder interface {
+		ForwardLogits(input []int) *tensor.Tensor
+	}
+	if f, ok := model.(forwarder); ok {
+		return f.ForwardLogits(b.Input)
+	}
+	panic("train: model does not implement ForwardLogits")
+}
+
+// GrokkingGap analyzes a curve and returns the step at which train accuracy
+// first exceeds thresh, the step at which test accuracy does, and their
+// difference — the delayed-generalization signature of §4. Steps are -1 when
+// never reached.
+func GrokkingGap(curve []Record, thresh float64) (trainStep, testStep, gap int) {
+	trainStep, testStep = -1, -1
+	for _, r := range curve {
+		if trainStep < 0 && !math.IsNaN(r.TrainAcc) && r.TrainAcc >= thresh {
+			trainStep = r.Step
+		}
+		if testStep < 0 && !math.IsNaN(r.TestAcc) && r.TestAcc >= thresh {
+			testStep = r.Step
+		}
+	}
+	if trainStep >= 0 && testStep >= 0 {
+		return trainStep, testStep, testStep - trainStep
+	}
+	return trainStep, testStep, -1
+}

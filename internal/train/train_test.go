@@ -1,0 +1,231 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+// quadModel is a 1-parameter toy LossModel: loss = (w - 3)², so all
+// optimizers should drive w → 3. Input/target are ignored.
+type quadModel struct {
+	w *autograd.Node
+}
+
+func newQuad() *quadModel {
+	return &quadModel{w: autograd.Param(tensor.FromSlice([]float64{0}, 1, 1))}
+}
+
+func (q *quadModel) Parameters() []*autograd.Node { return []*autograd.Node{q.w} }
+
+func (q *quadModel) Loss(_, _ []int) *autograd.Node {
+	d := autograd.Sub(q.w, autograd.Const(tensor.FromSlice([]float64{3}, 1, 1)))
+	return autograd.MeanAll(autograd.Mul(d, d))
+}
+
+func (q *quadModel) ForwardLogits(input []int) *tensor.Tensor {
+	return tensor.New(len(input), 1)
+}
+
+func TestSGDConverges(t *testing.T) {
+	q := newQuad()
+	res, err := Run(q, []Batch{{Input: []int{0}, Target: []int{0}}}, Config{
+		Steps: 100, Schedule: Constant(0.1), Optimizer: SGD{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := q.w.Value.Data[0]; math.Abs(w-3) > 0.01 {
+		t.Errorf("SGD w = %v, want 3", w)
+	}
+	if res.FinalTrainLoss() > 1e-3 {
+		t.Errorf("final loss %v", res.FinalTrainLoss())
+	}
+}
+
+func TestMomentumConverges(t *testing.T) {
+	q := newQuad()
+	_, err := Run(q, []Batch{{Input: []int{0}, Target: []int{0}}}, Config{
+		Steps: 100, Schedule: Constant(0.05), Optimizer: NewMomentum(0.9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := q.w.Value.Data[0]; math.Abs(w-3) > 0.05 {
+		t.Errorf("momentum w = %v, want 3", w)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	q := newQuad()
+	_, err := Run(q, []Batch{{Input: []int{0}, Target: []int{0}}}, Config{
+		Steps: 400, Schedule: Constant(0.05), Optimizer: NewAdam(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := q.w.Value.Data[0]; math.Abs(w-3) > 0.05 {
+		t.Errorf("adam w = %v, want 3", w)
+	}
+}
+
+func TestAdamWDecayShrinksWeights(t *testing.T) {
+	// With pure decay (zero gradient signal toward any minimum other than
+	// w=3) the decayed run should end with smaller |w| than the undecayed.
+	q1, q2 := newQuad(), newQuad()
+	cfg := Config{Steps: 300, Schedule: Constant(0.05)}
+	data := []Batch{{Input: []int{0}, Target: []int{0}}}
+	cfg.Optimizer = NewAdam(0)
+	_, _ = Run(q1, data, cfg)
+	cfg.Optimizer = NewAdam(0.5)
+	_, _ = Run(q2, data, cfg)
+	if math.Abs(q2.w.Value.Data[0]) >= math.Abs(q1.w.Value.Data[0]) {
+		t.Errorf("decay did not shrink: %v vs %v", q2.w.Value.Data[0], q1.w.Value.Data[0])
+	}
+}
+
+func TestWarmupCosineShape(t *testing.T) {
+	s := WarmupCosine(1.0, 0.1, 10, 100)
+	if s(0) >= s(5) {
+		t.Error("no warmup")
+	}
+	if math.Abs(s(9)-1.0) > 0.11 {
+		t.Errorf("peak = %v", s(9))
+	}
+	if s(50) >= s(10) {
+		t.Error("no decay after warmup")
+	}
+	if got := s(1000); got != 0.1 {
+		t.Errorf("floor = %v", got)
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := autograd.Param(tensor.FromSlice([]float64{0, 0}, 1, 2))
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4
+	norm := ClipGradNorm([]*autograd.Node{p}, 1)
+	if norm != 5 {
+		t.Errorf("pre-clip norm = %v", norm)
+	}
+	if got := tensor.Norm2(p.Grad); math.Abs(got-1) > 1e-12 {
+		t.Errorf("post-clip norm = %v", got)
+	}
+	// Below the cap nothing changes.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.1, 0
+	ClipGradNorm([]*autograd.Node{p}, 1)
+	if p.Grad.Data[0] != 0.1 {
+		t.Error("clip modified small gradient")
+	}
+}
+
+func TestRunRequiresData(t *testing.T) {
+	if _, err := Run(newQuad(), nil, Config{Steps: 1}); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestScheduleRecordedInCurve(t *testing.T) {
+	q := newQuad()
+	res, _ := Run(q, []Batch{{Input: []int{0}, Target: []int{0}}}, Config{
+		Steps: 5, Schedule: Constant(0.25),
+	})
+	if len(res.Curve) != 5 {
+		t.Fatalf("curve length %d", len(res.Curve))
+	}
+	for _, r := range res.Curve {
+		if r.LR != 0.25 {
+			t.Errorf("recorded lr = %v", r.LR)
+		}
+	}
+}
+
+func TestTransformerTrainsOnCycleViaRun(t *testing.T) {
+	cfg := transformer.Config{Vocab: 4, Dim: 16, Layers: 1, Heads: 2, Window: 8,
+		Pos: transformer.PosLearned, Act: nn.GELU}
+	m := transformer.MustNew(cfg, mathx.NewRNG(1))
+	in := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	tg := []int{1, 2, 3, 0, 1, 2, 3, 0}
+	data := []Batch{{Input: in, Target: tg}}
+	res, err := Run(m, data, Config{
+		Steps: 120, BatchSize: 1, Schedule: Constant(0.003), Optimizer: NewAdam(0),
+		ClipNorm: 1, EvalEvery: 20, EvalTrain: data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.TrainLoss > 0.4 {
+		t.Errorf("train loss = %v after 120 adam steps", last.TrainLoss)
+	}
+	if !math.IsNaN(last.TrainAcc) && last.TrainAcc < 0.9 {
+		t.Errorf("train accuracy = %v", last.TrainAcc)
+	}
+}
+
+func TestAccuracyPositionsFromEnd(t *testing.T) {
+	cfg := transformer.Config{Vocab: 9, Dim: 8, Layers: 1, Heads: 1, Window: 5,
+		Pos: transformer.PosLearned, Act: nn.ReLU}
+	m := transformer.MustNew(cfg, mathx.NewRNG(2))
+	eq := corpus.ModEquation{A: 1, B: 2, C: 3}
+	ids := corpus.EncodeEquation(eq, 7)
+	in := ids[:4]
+	tg := []int{-1, -1, -1, ids[4]}
+	b := []Batch{{Input: in, Target: tg}}
+	// Only the final position should be scored.
+	acc := Accuracy(m, b, []int{0})
+	if math.IsNaN(acc) {
+		t.Fatal("accuracy NaN")
+	}
+	if acc != 0 && acc != 1 {
+		t.Errorf("single-position accuracy = %v", acc)
+	}
+}
+
+func TestMeanLoss(t *testing.T) {
+	q := newQuad()
+	ml := MeanLoss(q, []Batch{{Input: []int{0}, Target: []int{0}}})
+	if math.Abs(ml-9) > 1e-12 { // (0-3)²
+		t.Errorf("mean loss = %v, want 9", ml)
+	}
+	if !math.IsNaN(MeanLoss(q, nil)) {
+		t.Error("empty batches should give NaN")
+	}
+}
+
+func TestGrokkingGapAnalysis(t *testing.T) {
+	curve := []Record{
+		{Step: 0, TrainAcc: 0.2, TestAcc: 0.1},
+		{Step: 10, TrainAcc: 0.99, TestAcc: 0.2},
+		{Step: 20, TrainAcc: 1.0, TestAcc: 0.5},
+		{Step: 30, TrainAcc: 1.0, TestAcc: 0.97},
+	}
+	trainStep, testStep, gap := GrokkingGap(curve, 0.95)
+	if trainStep != 10 || testStep != 30 || gap != 20 {
+		t.Errorf("gap analysis = (%d, %d, %d)", trainStep, testStep, gap)
+	}
+	_, _, g2 := GrokkingGap(curve[:2], 0.95)
+	if g2 != -1 {
+		t.Errorf("unreached threshold gap = %d, want -1", g2)
+	}
+}
+
+func TestBatchGradientIsMean(t *testing.T) {
+	// Two identical windows with BatchSize 2 must give the same update as
+	// one window with BatchSize 1 (gradient averaged, not summed).
+	mk := func(bs int) float64 {
+		q := newQuad()
+		data := []Batch{{Input: []int{0}, Target: []int{0}}}
+		_, _ = Run(q, data, Config{Steps: 1, BatchSize: bs, Schedule: Constant(0.1)})
+		return q.w.Value.Data[0]
+	}
+	if w1, w2 := mk(1), mk(4); math.Abs(w1-w2) > 1e-12 {
+		t.Errorf("batch scaling broken: %v vs %v", w1, w2)
+	}
+}

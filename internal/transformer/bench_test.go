@@ -1,0 +1,82 @@
+package transformer
+
+import (
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+func benchModel(window int) *Model {
+	return MustNew(Config{
+		Vocab: 64, Dim: 64, Layers: 2, Heads: 4, Window: window,
+		Pos: PosSinusoidal, Act: GELUAct(),
+	}, mathx.NewRNG(1))
+}
+
+// GELUAct avoids importing nn constants at every call site in benches.
+func GELUAct() nn.Activation { return nn.GELU }
+
+// BenchmarkForward measures the training-graph forward pass.
+func BenchmarkForward(b *testing.B) {
+	m := benchModel(64)
+	ids := make([]int, 64)
+	rng := mathx.NewRNG(2)
+	for i := range ids {
+		ids[i] = rng.Intn(64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardLogits(ids)
+	}
+}
+
+// BenchmarkForwardBackward measures one full training step's compute.
+func BenchmarkForwardBackward(b *testing.B) {
+	m := benchModel(64)
+	rng := mathx.NewRNG(3)
+	ids := make([]int, 64)
+	tgt := make([]int, 64)
+	for i := range ids {
+		ids[i] = rng.Intn(64)
+		tgt[i] = rng.Intn(64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrad(m)
+		autograd.Backward(m.Loss(ids, tgt))
+	}
+}
+
+// BenchmarkPredictorToken measures per-token KV-cache inference cost —
+// the E12 contrast with re-running the full window.
+func BenchmarkPredictorToken(b *testing.B) {
+	m := benchModel(4096)
+	rng := mathx.NewRNG(4)
+	p := m.NewPredictor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Len() >= 4000 {
+			b.StopTimer()
+			p = m.NewPredictor()
+			b.StartTimer()
+		}
+		p.Append(rng.Intn(64))
+	}
+}
+
+// BenchmarkFullRecompute is the no-cache alternative at a fixed prefix
+// length, for comparison with BenchmarkPredictorToken.
+func BenchmarkFullRecompute(b *testing.B) {
+	m := benchModel(128)
+	rng := mathx.NewRNG(5)
+	ids := make([]int, 128)
+	for i := range ids {
+		ids[i] = rng.Intn(64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardLogits(ids)
+	}
+}

@@ -1,0 +1,52 @@
+package transformer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mathx"
+)
+
+// checkpoint is the on-disk form of a model: configuration plus every
+// parameter tensor in Parameters() order (which is deterministic for a
+// given configuration).
+type checkpoint struct {
+	Config  Config      `json:"config"`
+	Weights [][]float64 `json:"weights"`
+}
+
+// Save writes the model (configuration + weights) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	cp := checkpoint{Config: m.Cfg}
+	for _, p := range m.Parameters() {
+		cp.Weights = append(cp.Weights, append([]float64(nil), p.Value.Data...))
+	}
+	return json.NewEncoder(w).Encode(cp)
+}
+
+// Load reads a model saved with Save. The RNG used for construction is
+// irrelevant: every parameter is overwritten by the checkpoint.
+func Load(r io.Reader) (*Model, error) {
+	var cp checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("transformer: decode checkpoint: %w", err)
+	}
+	m, err := New(cp.Config, mathx.NewRNG(0))
+	if err != nil {
+		return nil, err
+	}
+	params := m.Parameters()
+	if len(params) != len(cp.Weights) {
+		return nil, fmt.Errorf("transformer: checkpoint has %d tensors, model needs %d",
+			len(cp.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(cp.Weights[i]) != p.Value.Size() {
+			return nil, fmt.Errorf("transformer: tensor %d has %d values, want %d",
+				i, len(cp.Weights[i]), p.Value.Size())
+		}
+		copy(p.Value.Data, cp.Weights[i])
+	}
+	return m, nil
+}

@@ -1,0 +1,354 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Vocab: 11, Dim: 16, Layers: 2, Heads: 2, Window: 12,
+		Pos: PosLearned, Act: nn.GELU,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Config{Vocab: 10, Dim: 7, Layers: 1, Heads: 2, Window: 8}
+	if bad.Validate() == nil {
+		t.Error("indivisible Dim accepted")
+	}
+	if (Config{}).Validate() == nil {
+		t.Error("zero config accepted")
+	}
+	if err := tinyConfig().Validate(); err != nil {
+		t.Errorf("tiny config rejected: %v", err)
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	m := MustNew(tinyConfig(), mathx.NewRNG(1))
+	logits := m.Forward([]int{1, 2, 3, 4, 5}, nil)
+	if logits.Value.Shape[0] != 5 || logits.Value.Shape[1] != 11 {
+		t.Fatalf("logits shape %v", logits.Value.Shape)
+	}
+}
+
+func TestForwardRejectsBadLength(t *testing.T) {
+	m := MustNew(tinyConfig(), mathx.NewRNG(1))
+	for _, ids := range [][]int{{}, make([]int, 13)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("length %d accepted", len(ids))
+				}
+			}()
+			m.Forward(ids, nil)
+		}()
+	}
+}
+
+// TestCausality is the structural heart of the autoregressive recipe:
+// logits at position i must not depend on tokens after i (Eq. 13's j ≤ i).
+func TestCausality(t *testing.T) {
+	m := MustNew(tinyConfig(), mathx.NewRNG(2))
+	base := []int{1, 2, 3, 4, 5, 6}
+	out1 := m.Forward(base, nil).Value.Clone()
+	// Perturb the last token; earlier rows must be unchanged.
+	mod := append([]int(nil), base...)
+	mod[5] = 9
+	out2 := m.Forward(mod, nil).Value
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 11; j++ {
+			if math.Abs(out1.At(i, j)-out2.At(i, j)) > 1e-12 {
+				t.Fatalf("position %d depends on future token", i)
+			}
+		}
+	}
+	// The final row must change (otherwise the model ignores input).
+	diff := 0.0
+	for j := 0; j < 11; j++ {
+		diff += math.Abs(out1.At(5, j) - out2.At(5, j))
+	}
+	if diff == 0 {
+		t.Error("final position ignores its own token")
+	}
+}
+
+func TestPermutationInvarianceWithoutPositions(t *testing.T) {
+	// §6: without positional embeddings the last-row logits are invariant
+	// under permutations of the *earlier* tokens. This holds exactly for a
+	// single block: with depth ≥ 2 the causal mask makes intermediate states
+	// prefix-dependent even without positions.
+	cfg := tinyConfig()
+	cfg.Pos = PosNone
+	cfg.Layers = 1
+	m := MustNew(cfg, mathx.NewRNG(3))
+	a := []int{1, 2, 3, 7}
+	b := []int{3, 1, 2, 7} // same multiset before the final token
+	la := m.Forward(a, nil).Value
+	lb := m.Forward(b, nil).Value
+	for j := 0; j < 11; j++ {
+		if math.Abs(la.At(3, j)-lb.At(3, j)) > 1e-9 {
+			t.Fatalf("PosNone model distinguishes permuted prefixes")
+		}
+	}
+	// With positions the outputs must differ.
+	cfgP := tinyConfig()
+	mp := MustNew(cfgP, mathx.NewRNG(3))
+	pa := mp.Forward(a, nil).Value
+	pb := mp.Forward(b, nil).Value
+	diff := 0.0
+	for j := 0; j < 11; j++ {
+		diff += math.Abs(pa.At(3, j) - pb.At(3, j))
+	}
+	if diff < 1e-9 {
+		t.Error("positional model failed to distinguish word order")
+	}
+}
+
+func TestSinusoidalTableProperties(t *testing.T) {
+	tab := SinusoidalTable(16, 8)
+	// Position 0: cos(0)=1 at even dims, sin(0)=0 at odd dims.
+	row0 := tab.Row(0)
+	for i := 0; i < 4; i++ {
+		if row0[2*i] != 1 || row0[2*i+1] != 0 {
+			t.Fatalf("row 0 = %v", row0)
+		}
+	}
+	// All entries bounded by 1.
+	for _, v := range tab.Data {
+		if math.Abs(v) > 1 {
+			t.Fatal("unbounded positional value")
+		}
+	}
+	// Distinct positions have distinct encodings.
+	if mathx.CosineSimilarity(tab.Row(1), tab.Row(9)) > 0.9999 {
+		t.Error("positions 1 and 9 nearly identical")
+	}
+}
+
+func TestCountParametersMatchesModel(t *testing.T) {
+	for _, cfg := range []Config{
+		tinyConfig(),
+		{Vocab: 7, Dim: 8, Layers: 1, Heads: 1, Window: 4, Pos: PosSinusoidal, Act: nn.ReLU},
+		{Vocab: 20, Dim: 12, Hidden: 20, Layers: 3, Heads: 3, Window: 9, Pos: PosNone, Act: nn.Tanh},
+	} {
+		m := MustNew(cfg, mathx.NewRNG(4))
+		if got, want := m.NumParameters(), CountParameters(cfg); got != want {
+			t.Errorf("cfg %+v: model has %d params, formula says %d", cfg, got, want)
+		}
+	}
+}
+
+// TestGPT3ParameterCount is experiment E15: the §6 estimate 12·D·p² with
+// D=96 (counting attention and FFN layers separately, i.e. 48 blocks) and
+// p=12288 should land near the advertised 175B.
+func TestGPT3ParameterCount(t *testing.T) {
+	got := GPT3Estimate(96, 12288)
+	if got < 150e9 || float64(got) > 200e9 {
+		t.Errorf("GPT-3 estimate = %d, want ≈175B", got)
+	}
+	// And the exact counter should agree within ~15% for a GPT-3-shaped
+	// config (excluding embeddings, which the 12Dp² rule ignores): 96 blocks
+	// of width 12288.
+	cfg := Config{Vocab: 1, Dim: 12288, Layers: 96, Heads: 96, Window: 1, Pos: PosNone}
+	exact := CountParameters(cfg)
+	est := GPT3Estimate(96, 12288)
+	ratio := float64(exact) / float64(est)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("exact/estimate ratio = %v", ratio)
+	}
+}
+
+func TestLossDecreasesWithTraining(t *testing.T) {
+	// Train on a fixed deterministic cycle; loss must fall substantially.
+	cfg := Config{Vocab: 5, Dim: 16, Layers: 1, Heads: 2, Window: 8, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(5))
+	input := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	target := []int{1, 2, 3, 0, 1, 2, 3, 0}
+	first := m.Loss(input, target).Value.Data[0]
+	params := m.Parameters()
+	var last float64
+	for step := 0; step < 150; step++ {
+		nn.ZeroGrad(m)
+		loss := m.Loss(input, target)
+		autograd.Backward(loss)
+		for _, p := range params {
+			tensor.AddScaledInPlace(p.Value, -0.05, p.Grad)
+		}
+		last = loss.Value.Data[0]
+	}
+	if last > first/4 {
+		t.Errorf("loss %v -> %v: insufficient learning", first, last)
+	}
+}
+
+func TestGradientCheckTinyModel(t *testing.T) {
+	// Full finite-difference check on a minimal transformer.
+	cfg := Config{Vocab: 4, Dim: 4, Hidden: 6, Layers: 1, Heads: 2, Window: 4, Pos: PosLearned, Act: nn.Tanh}
+	m := MustNew(cfg, mathx.NewRNG(6))
+	input := []int{0, 1, 2}
+	target := []int{1, 2, 3}
+	forward := func() float64 { return m.Loss(input, target).Value.Data[0] }
+	nn.ZeroGrad(m)
+	autograd.Backward(m.Loss(input, target))
+	const h = 1e-5
+	for pi, p := range m.Parameters() {
+		for i := 0; i < p.Value.Size(); i += 3 { // sample every 3rd element
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lp := forward()
+			p.Value.Data[i] = orig - h
+			lm := forward()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			ana := p.Grad.Data[i]
+			if math.Abs(num-ana) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("param %d elem %d: analytic %v numeric %v", pi, i, ana, num)
+			}
+		}
+	}
+}
+
+func TestTraceCapturesLayersAndAttention(t *testing.T) {
+	m := MustNew(tinyConfig(), mathx.NewRNG(7))
+	var tr Trace
+	m.Forward([]int{1, 2, 3, 4}, &tr)
+	if tr.Embedded == nil || tr.Embedded.Shape[0] != 4 {
+		t.Fatal("embedded not captured")
+	}
+	if len(tr.Layers) != 2 {
+		t.Fatalf("captured %d layers", len(tr.Layers))
+	}
+	for li, lt := range tr.Layers {
+		if len(lt.Attention) != 2 {
+			t.Fatalf("layer %d captured %d heads", li, len(lt.Attention))
+		}
+		for _, att := range lt.Attention {
+			if att.Shape[0] != 4 || att.Shape[1] != 4 {
+				t.Fatalf("attention shape %v", att.Shape)
+			}
+			for i := 0; i < 4; i++ {
+				if s := mathx.Sum(att.Row(i)); math.Abs(s-1) > 1e-9 {
+					t.Fatalf("attention row sums to %v", s)
+				}
+				for j := i + 1; j < 4; j++ {
+					if att.At(i, j) != 0 {
+						t.Fatal("future attention leaked")
+					}
+				}
+			}
+		}
+		if lt.Output == nil || lt.Output.Shape[1] != 16 {
+			t.Fatal("block output not captured")
+		}
+	}
+}
+
+// TestPredictorMatchesForward checks KV-cache inference agrees with the
+// training-graph forward pass on every prefix.
+func TestPredictorMatchesForward(t *testing.T) {
+	for _, pos := range []PosKind{PosLearned, PosSinusoidal, PosNone} {
+		cfg := tinyConfig()
+		cfg.Pos = pos
+		m := MustNew(cfg, mathx.NewRNG(8))
+		ids := []int{2, 7, 1, 9, 4, 4, 0}
+		full := m.Forward(ids, nil).Value
+		pred := m.NewPredictor()
+		for i, id := range ids {
+			logits := pred.Append(id)
+			for j := range logits {
+				if math.Abs(logits[j]-full.At(i, j)) > 1e-8 {
+					t.Fatalf("pos=%v: predictor logit (%d,%d) = %v, forward = %v",
+						pos, i, j, logits[j], full.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestPredictorPostNorm(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PostNorm = true
+	m := MustNew(cfg, mathx.NewRNG(9))
+	ids := []int{1, 5, 3}
+	full := m.Forward(ids, nil).Value
+	pred := m.NewPredictor()
+	for i, id := range ids {
+		logits := pred.Append(id)
+		for j := range logits {
+			if math.Abs(logits[j]-full.At(i, j)) > 1e-8 {
+				t.Fatalf("post-norm predictor mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPredictorWindowExhaustion(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Window = 2
+	m := MustNew(cfg, mathx.NewRNG(10))
+	p := m.NewPredictor()
+	p.Append(1)
+	p.Append(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Append(3)
+}
+
+func TestSparseAttentionMask(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SparseStride = 2
+	m := MustNew(cfg, mathx.NewRNG(11))
+	var tr Trace
+	m.Forward([]int{1, 2, 3, 4, 5, 6, 7, 8}, &tr)
+	att := tr.Layers[0].Attention[0]
+	// Position 7 with stride 2: recent = {6,7}, strided = even j. Position 5
+	// (odd, not recent) must be masked.
+	if att.At(7, 5) != 0 {
+		t.Errorf("sparse mask leaked at (7,5): %v", att.At(7, 5))
+	}
+	if att.At(7, 6) == 0 && att.At(7, 7) == 0 && att.At(7, 4) == 0 {
+		t.Error("sparse attention all zero on allowed slots")
+	}
+	// Sparse predictor still matches sparse forward.
+	ids := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	full := m.Forward(ids, nil).Value
+	pred := m.NewPredictor()
+	for i, id := range ids {
+		logits := pred.Append(id)
+		for j := range logits {
+			if math.Abs(logits[j]-full.At(i, j)) > 1e-8 {
+				t.Fatalf("sparse predictor mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestHiddenDefaultsTo4x(t *testing.T) {
+	cfg := Config{Vocab: 5, Dim: 8, Layers: 1, Heads: 1, Window: 4, Act: nn.ReLU}
+	m := MustNew(cfg, mathx.NewRNG(12))
+	if m.Cfg.Hidden != 32 {
+		t.Errorf("hidden = %d, want 32 (ph = 4p)", m.Cfg.Hidden)
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := MustNew(tinyConfig(), mathx.NewRNG(42))
+	b := MustNew(tinyConfig(), mathx.NewRNG(42))
+	la := a.Forward([]int{1, 2, 3}, nil).Value
+	lb := b.Forward([]int{1, 2, 3}, nil).Value
+	for i := range la.Data {
+		if la.Data[i] != lb.Data[i] {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}

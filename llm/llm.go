@@ -1,0 +1,145 @@
+// Package llm is the public API of this repository — a pure-Go, stdlib-only
+// reproduction of the systems described in "Large Language Models:
+// Principles and Practice" (the LLM tutorial literature: statistical
+// language models, the transformer recipe, scaling laws, in-context
+// learning, and interpretability probes).
+//
+// The package re-exports the supported surface of the internal substrates:
+//
+//   - Pipeline: corpus → tokenizer → transformer → training → sampling
+//     (internal/core),
+//   - Model configuration (internal/transformer) and sampling strategies
+//     (internal/sample),
+//   - The evaluation harness (internal/eval),
+//   - Experiment entry points for the paper's tables and figures
+//     (internal/scaling, internal/icl).
+//
+// Quickstart:
+//
+//	lines := llm.SyntheticCorpus(500, 42)
+//	model, _, err := llm.Train(lines, llm.DefaultConfig())
+//	if err != nil { ... }
+//	text, _ := model.Generate("the king", 8, llm.Temperature(0.8), 1)
+package llm
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/grammar"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/scaling"
+	"repro/internal/transformer"
+)
+
+// LLM is a trained language model (tokenizer + transformer).
+type LLM = core.LLM
+
+// Config assembles pipeline hyperparameters.
+type Config = core.Config
+
+// ModelConfig is the transformer architecture configuration (§6 of the
+// paper: dimension p, depth D, heads H, window L).
+type ModelConfig = transformer.Config
+
+// Tokenizer kinds.
+const (
+	WordTok = core.WordTok
+	CharTok = core.CharTok
+	BPETok  = core.BPETok
+)
+
+// Positional-embedding kinds.
+const (
+	PosSinusoidal = transformer.PosSinusoidal
+	PosLearned    = transformer.PosLearned
+	PosNone       = transformer.PosNone
+)
+
+// Activations.
+const (
+	ReLU = nn.ReLU
+	GELU = nn.GELU
+	Tanh = nn.Tanh
+)
+
+// DefaultConfig returns a laptop-scale pipeline configuration good for the
+// examples: word tokenizer, 2-block pre-LN transformer.
+func DefaultConfig() Config {
+	return Config{
+		Tokenizer: WordTok,
+		Model: ModelConfig{
+			Dim: 32, Layers: 2, Heads: 2, Window: 16,
+			Pos: PosLearned, Act: GELU,
+		},
+		Steps: 400, BatchSize: 4, LR: 0.003, Seed: 7,
+	}
+}
+
+// Train builds a tokenizer from lines and trains a transformer LM.
+// The returned TrainingCurve records per-step loss.
+func Train(lines []string, cfg Config) (*LLM, *TrainingCurve, error) {
+	model, res, err := core.Train(lines, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, &TrainingCurve{res: res}, nil
+}
+
+// TrainingCurve exposes the recorded optimization trajectory.
+type TrainingCurve struct {
+	res interface{ FinalTrainLoss() float64 }
+}
+
+// FinalLoss returns the last training loss.
+func (c *TrainingCurve) FinalLoss() float64 { return c.res.FinalTrainLoss() }
+
+// Strategy selects how tokens are sampled (Eq. 8 of the paper and its
+// truncated variants).
+type Strategy = sample.Strategy
+
+// Greedy returns argmax decoding (the β → ∞ limit of Eq. 8).
+func Greedy() Strategy { return sample.Greedy{} }
+
+// Temperature returns Boltzmann sampling at temperature t.
+func Temperature(t float64) Strategy { return sample.Temperature{T: t} }
+
+// TopK returns top-k sampling at temperature t.
+func TopK(k int, t float64) Strategy { return sample.TopK{K: k, T: t} }
+
+// TopP returns nucleus sampling with mass p at temperature t.
+func TopP(p, t float64) Strategy { return sample.TopP{P: p, T: t} }
+
+// SyntheticCorpus samples n sentences of English-like PCFG text — the
+// repository's stand-in for a natural-language corpus.
+func SyntheticCorpus(n int, seed uint64) []string {
+	return corpus.PCFGText(grammar.TinyEnglish(), n, 10, mathx.NewRNG(seed))
+}
+
+// Generator is the model interface of the evaluation harness.
+type Generator = eval.Generator
+
+// Task is a named benchmark task.
+type Task = eval.Task
+
+// BenchmarkSuite returns the default synthetic task suite (§4's stand-in
+// for BIG-bench).
+func BenchmarkSuite(seed uint64) []Task {
+	return eval.Suite(mathx.NewRNG(seed))
+}
+
+// ScoreTask scores exact-match accuracy of g on task with the given number
+// of in-context examples per item.
+func ScoreTask(g Generator, task Task, shots int, seed uint64) float64 {
+	return eval.ScoreTask(g, task, eval.PromptConfig{Shots: shots}, mathx.NewRNG(seed))
+}
+
+// Table1 returns the paper's Table 1 rows (published LLM sizes) with the
+// 12·D·p² estimate available per row.
+func Table1() []scaling.ModelRow { return scaling.Table1() }
+
+// CountParameters returns the exact trainable-parameter count for a model
+// configuration.
+func CountParameters(cfg ModelConfig) int { return transformer.CountParameters(cfg) }

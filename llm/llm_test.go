@@ -1,0 +1,85 @@
+package llm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/llm"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	lines := llm.SyntheticCorpus(250, 42)
+	if len(lines) != 250 {
+		t.Fatalf("corpus size %d", len(lines))
+	}
+	cfg := llm.DefaultConfig()
+	cfg.Steps = 120
+	model, curve, err := llm.Train(lines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.FinalLoss() <= 0 {
+		t.Errorf("final loss = %v", curve.FinalLoss())
+	}
+	out, err := model.Generate("the king", 6, llm.Temperature(0.8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out // may be empty if EOS sampled; API contract is no error
+}
+
+func TestPublicBenchmarkSuite(t *testing.T) {
+	tasks := llm.BenchmarkSuite(1)
+	if len(tasks) < 5 {
+		t.Fatalf("suite has %d tasks", len(tasks))
+	}
+	names := map[string]bool{}
+	for _, task := range tasks {
+		names[task.Name] = true
+	}
+	for _, want := range []string{"copy", "reverse", "arithmetic", "negation", "composition"} {
+		if !names[want] {
+			t.Errorf("missing task %q", want)
+		}
+	}
+}
+
+func TestPublicTable1(t *testing.T) {
+	rows := llm.Table1()
+	found := false
+	for _, r := range rows {
+		if r.Name == "GPT-3" {
+			found = true
+			if est := r.Estimate(); est < 150e9 || est > 200e9 {
+				t.Errorf("GPT-3 estimate = %g", est)
+			}
+		}
+	}
+	if !found {
+		t.Error("GPT-3 missing from Table 1")
+	}
+}
+
+func TestCountParameters(t *testing.T) {
+	cfg := llm.ModelConfig{Vocab: 100, Dim: 16, Layers: 2, Heads: 2, Window: 8,
+		Pos: llm.PosLearned, Act: llm.GELU}
+	if n := llm.CountParameters(cfg); n <= 0 {
+		t.Errorf("param count = %d", n)
+	}
+}
+
+func TestStrategiesConstructible(t *testing.T) {
+	for _, s := range []llm.Strategy{llm.Greedy(), llm.Temperature(1), llm.TopK(5, 1), llm.TopP(0.9, 1)} {
+		if s == nil {
+			t.Fatal("nil strategy")
+		}
+	}
+}
+
+func TestCorpusLooksEnglishLike(t *testing.T) {
+	lines := llm.SyntheticCorpus(50, 3)
+	joined := strings.Join(lines, " ")
+	if !strings.Contains(joined, "the") {
+		t.Error("corpus has no determiners")
+	}
+}
