@@ -373,6 +373,106 @@ func BenchmarkSamplingStrategies(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStep is E16: optimizer-step throughput of the data-parallel
+// trainer at several worker counts on a fixed transformer and corpus. The
+// Workers=1 rung is bit-identical to the classic sequential loop; higher
+// rungs shard each minibatch across weight-sharing replicas with
+// deterministic gradient reduction. Speedup over workers1 requires actual
+// cores: with GOMAXPROCS=1 all rungs collapse to sequential throughput.
+func BenchmarkTrainStep(b *testing.B) {
+	const vocab, window = 96, 32
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			rng := mathx.NewRNG(41)
+			model := transformer.MustNew(transformer.Config{
+				Vocab: vocab, Dim: 64, Layers: 2, Heads: 4, Window: window,
+				Pos: transformer.PosLearned, Act: nn.GELU,
+			}, rng)
+			data := make([]train.Batch, 64)
+			for i := range data {
+				in := make([]int, window)
+				tg := make([]int, window)
+				for j := range in {
+					in[j] = rng.Intn(vocab)
+					tg[j] = rng.Intn(vocab)
+				}
+				data[i] = train.Batch{Input: in, Target: tg}
+			}
+			b.ResetTimer()
+			if _, err := train.Run(model, data, train.Config{
+				Steps: b.N, BatchSize: 8, Schedule: train.Constant(0.001),
+				Optimizer: train.NewAdam(0), ClipNorm: 1, Seed: 1, Workers: workers,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}
+
+// BenchmarkBatchedGeneration is E17: KV-cache decoding throughput, one
+// sequence at a time (the pre-serving path) vs eight sequences per batched
+// step (the serving path). Reports tokens generated per second.
+func BenchmarkBatchedGeneration(b *testing.B) {
+	const vocab, window, gen = 96, 64, 48
+	rng := mathx.NewRNG(43)
+	model := transformer.MustNew(transformer.Config{
+		Vocab: vocab, Dim: 64, Layers: 2, Heads: 4, Window: window,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}, rng)
+	prompt := []int{1, 2, 3}
+	decodeSerial := func(n int) {
+		for s := 0; s < n; s++ {
+			p := model.NewPredictor()
+			var logits []float64
+			for _, id := range prompt {
+				logits = p.Append(id)
+			}
+			for i := 0; i < gen-1; i++ {
+				next, _ := mathx.ArgMax(logits)
+				logits = p.Append(next)
+			}
+		}
+	}
+	decodeBatched := func(n int) {
+		bp := model.NewBatchedPredictor()
+		ids := make([]int, n)
+		last := make([]int, n)
+		for i := range ids {
+			ids[i] = bp.Add()
+		}
+		for _, tok := range prompt {
+			for i := range last {
+				last[i] = tok
+			}
+			for i, row := range bp.Step(ids, last) {
+				last[i], _ = mathx.ArgMax(row)
+			}
+		}
+		for i := 0; i < gen-1; i++ {
+			for j, row := range bp.Step(ids, last) {
+				last[j], _ = mathx.ArgMax(row)
+			}
+		}
+	}
+	for _, bench := range []struct {
+		name string
+		run  func()
+		seqs int
+	}{
+		{"serial1", func() { decodeSerial(1) }, 1},
+		{"serial8", func() { decodeSerial(8) }, 8},
+		{"batched8", func() { decodeBatched(8) }, 8},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.run()
+			}
+			b.ReportMetric(float64(b.N*bench.seqs*gen)/b.Elapsed().Seconds(), "tok/s")
+		})
+	}
+}
+
 // BenchmarkGPT3ParameterFormula is E15: the §6 parameter arithmetic.
 func BenchmarkGPT3ParameterFormula(b *testing.B) {
 	var got int

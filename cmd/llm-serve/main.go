@@ -1,0 +1,203 @@
+// Command llm-serve exposes a trained language model as an HTTP generation
+// service backed by the request-batching engine of package llm: concurrent
+// requests are coalesced into batched forward passes over the KV-cache
+// inference path, each with its own sampling parameters. Without -model it
+// trains a small model on the synthetic PCFG corpus at startup so the
+// service can be tried end to end with no checkpoint.
+//
+// Usage:
+//
+//	llm-serve [-model model.json] [-addr :8372] [-max-batch 8]
+//	          [-coalesce 2ms] [-queue 64] [-synthetic 500]
+//
+// Endpoints:
+//
+//	POST /v1/generate  {"prompt": "the king", "tokens": 12,
+//	                    "strategy": "temp", "temperature": 0.8,
+//	                    "top_k": 10, "top_p": 0.9, "seed": 1,
+//	                    "stop_at_eos": false}
+//	  -> {"completion": "...", "tokens": [ ... ], "duration_ms": 1.93}
+//	GET  /v1/stats     server throughput counters
+//	GET  /healthz      liveness probe
+//
+// The request's HTTP context propagates to the batching engine, so a client
+// disconnect drops the request from the decoding batch immediately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/llm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("llm-serve: ")
+	var (
+		modelPath = flag.String("model", "", "checkpoint written by llm-train; empty = train a synthetic demo model")
+		synthetic = flag.Int("synthetic", 500, "synthetic corpus size for the demo model")
+		addr      = flag.String("addr", ":8372", "listen address")
+		maxBatch  = flag.Int("max-batch", 8, "max sequences decoded per batched step")
+		coalesce  = flag.Duration("coalesce", 2*time.Millisecond, "linger for more requests before decoding a fresh batch")
+		queue     = flag.Int("queue", 64, "pending-request buffer depth")
+	)
+	flag.Parse()
+
+	model, err := loadModel(*modelPath, *synthetic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("model ready: vocab=%d params=%d window=%d",
+		model.Tok.VocabSize(), model.Model.NumParameters(), model.Model.Cfg.Window)
+
+	srv := llm.NewServer(model, llm.ServerConfig{
+		MaxBatch: *maxBatch, CoalesceWait: *coalesce, QueueDepth: *queue,
+	})
+	defer srv.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		handleGenerate(srv, model, w, r)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+	}()
+	log.Printf("serving on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}
+
+// loadModel opens a checkpoint, or trains the synthetic demo model when no
+// path is given.
+func loadModel(path string, synthetic int) (*llm.LLM, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.Load(f)
+	}
+	log.Printf("no -model: training a demo model on %d synthetic sentences", synthetic)
+	model, _, err := llm.Train(llm.SyntheticCorpus(synthetic, 42), llm.DefaultConfig())
+	return model, err
+}
+
+// genRequest is the POST /v1/generate body.
+type genRequest struct {
+	Prompt      string  `json:"prompt"`
+	Tokens      int     `json:"tokens"`
+	Strategy    string  `json:"strategy"` // greedy (default), temp, topk, topp
+	Temperature float64 `json:"temperature"`
+	TopK        int     `json:"top_k"`
+	TopP        float64 `json:"top_p"`
+	Seed        uint64  `json:"seed"`
+	StopAtEOS   bool    `json:"stop_at_eos"`
+}
+
+// genResponse is the POST /v1/generate reply.
+type genResponse struct {
+	Completion string  `json:"completion"`
+	Tokens     []int   `json:"tokens"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+func handleGenerate(srv *llm.Server, model *llm.LLM, w http.ResponseWriter, r *http.Request) {
+	var req genRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad json: " + err.Error()})
+		return
+	}
+	if req.Tokens <= 0 {
+		req.Tokens = 12
+	}
+	strat, err := pickStrategy(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := srv.Do(r.Context(), llm.GenRequest{
+		Prompt: req.Prompt, MaxTokens: req.Tokens, Strategy: strat,
+		Seed: req.Seed, StopAtEOS: req.StopAtEOS,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499 // client closed request
+		} else if errors.Is(err, llm.ErrServerClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, genResponse{
+		Completion: res.Text,
+		Tokens:     res.Tokens,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func pickStrategy(req genRequest) (llm.Strategy, error) {
+	t := req.Temperature
+	if t == 0 {
+		t = 0.8
+	}
+	switch req.Strategy {
+	case "", "greedy":
+		return llm.Greedy(), nil
+	case "temp":
+		return llm.Temperature(t), nil
+	case "topk":
+		k := req.TopK
+		if k == 0 {
+			k = 10
+		}
+		return llm.TopK(k, t), nil
+	case "topp":
+		p := req.TopP
+		if p == 0 {
+			p = 0.9
+		}
+		return llm.TopP(p, t), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,7 +1,23 @@
 // Package repro is a pure-Go, stdlib-only reproduction of the systems and
 // experiments described in "Large Language Models: Principles and Practice"
-// (the LLM tutorial literature). The public API lives in package llm; the
-// substrates live under internal/; the root-level benchmarks regenerate
-// every table and figure of the paper's evaluation (see DESIGN.md for the
-// per-experiment index and EXPERIMENTS.md for measured results).
+// (the LLM tutorial literature): statistical language models, the
+// transformer recipe, scaling laws, in-context learning, and
+// interpretability probes.
+//
+// Layout:
+//
+//   - llm is the public API: training (including the data-parallel trainer),
+//     generation, the batched generation Server, and the evaluation harness.
+//     Start with its Example functions.
+//   - internal/ holds the substrates: the corpus → tokenizer → transformer →
+//     train → sample → eval pipeline plus the numerical stack (mathx,
+//     tensor, autograd, nn) and the serving engine (serve).
+//   - cmd/ has the binaries: llm-train, llm-generate, llm-bench, llm-serve
+//     (the HTTP generation service), and scaling-laws.
+//   - The root-level benchmarks regenerate every table and figure of the
+//     paper's evaluation and measure the training/serving hot paths.
+//
+// DESIGN.md maps each package and indexes the experiments E1-E17 behind the
+// root benchmarks; EXPERIMENTS.md explains how to run every binary and
+// benchmark and records measured results.
 package repro

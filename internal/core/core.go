@@ -45,6 +45,11 @@ type Config struct {
 	LR        float64
 	ClipNorm  float64
 	Seed      uint64
+
+	// Workers is the data-parallel worker count per optimizer step (see
+	// train.Config.Workers): 0/1 = sequential, >1 = sharded minibatch with
+	// deterministic gradient reduction, negative = runtime.NumCPU().
+	Workers int
 }
 
 // WithDefaults fills unset training fields.
@@ -111,6 +116,7 @@ func Train(lines []string, cfg Config) (*LLM, *train.Result, error) {
 		Steps: cfg.Steps, BatchSize: cfg.BatchSize,
 		Schedule:  train.WarmupCosine(cfg.LR, cfg.LR/10, cfg.Steps/10, cfg.Steps),
 		Optimizer: train.NewAdam(0), ClipNorm: cfg.ClipNorm, Seed: cfg.Seed,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -132,6 +138,13 @@ func (l *LLM) promptIDs(prompt string, budget int) ([]int, error) {
 		ids = ids[len(ids)-room:]
 	}
 	return ids, nil
+}
+
+// PromptWindow encodes prompt and truncates it to the model window while
+// reserving budget tokens of generation room — the admission step shared by
+// the generation entry points and the batched serving front end.
+func (l *LLM) PromptWindow(prompt string, budget int) ([]int, error) {
+	return l.promptIDs(prompt, budget)
 }
 
 // Complete greedily extends prompt by up to maxTokens tokens, stopping at

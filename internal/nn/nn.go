@@ -19,6 +19,18 @@ type Module interface {
 	Parameters() []*autograd.Node
 }
 
+// Replicable is a Module that can produce weight-sharing replicas of itself
+// for data-parallel training. A replica aliases the parent's parameter Value
+// tensors (so an optimizer step on the parent is immediately visible to every
+// replica) but owns fresh gradient buffers, letting each worker goroutine run
+// forward/backward passes without racing on gradient accumulation. Replica
+// Parameters() must align index-for-index with the parent's.
+type Replicable interface {
+	Module
+	// ReplicaModule returns a new weight-sharing replica.
+	ReplicaModule() Module
+}
+
 // NumParameters counts the scalar parameters of a module.
 func NumParameters(m Module) int {
 	n := 0
@@ -96,6 +108,15 @@ func (l *Linear) Parameters() []*autograd.Node {
 	return []*autograd.Node{l.W, l.B}
 }
 
+// Replica returns a weight-sharing copy of l with fresh gradient buffers.
+func (l *Linear) Replica() *Linear {
+	r := &Linear{W: autograd.Param(l.W.Value)}
+	if l.B != nil {
+		r.B = autograd.Param(l.B.Value)
+	}
+	return r
+}
+
 // Embedding is a learnable token-embedding table (the map ι of Eq. 7).
 type Embedding struct {
 	W *autograd.Node // vocab×dim
@@ -113,6 +134,11 @@ func (e *Embedding) Forward(ids []int) *autograd.Node {
 
 // Parameters implements Module.
 func (e *Embedding) Parameters() []*autograd.Node { return []*autograd.Node{e.W} }
+
+// Replica returns a weight-sharing copy of e with fresh gradient buffers.
+func (e *Embedding) Replica() *Embedding {
+	return &Embedding{W: autograd.Param(e.W.Value)}
+}
 
 // LayerNorm is learnable row-wise normalization.
 type LayerNorm struct {
@@ -137,6 +163,15 @@ func (l *LayerNorm) Forward(x *autograd.Node) *autograd.Node {
 // Parameters implements Module.
 func (l *LayerNorm) Parameters() []*autograd.Node {
 	return []*autograd.Node{l.Gain, l.Bias}
+}
+
+// Replica returns a weight-sharing copy of l with fresh gradient buffers.
+func (l *LayerNorm) Replica() *LayerNorm {
+	return &LayerNorm{
+		Gain: autograd.Param(l.Gain.Value),
+		Bias: autograd.Param(l.Bias.Value),
+		Eps:  l.Eps,
+	}
 }
 
 // FFN is the feed-forward block of Eq. 11 with a single hidden layer:
@@ -164,6 +199,11 @@ func (f *FFN) Forward(x *autograd.Node) *autograd.Node {
 // Parameters implements Module.
 func (f *FFN) Parameters() []*autograd.Node {
 	return append(f.In.Parameters(), f.Out.Parameters()...)
+}
+
+// Replica returns a weight-sharing copy of f with fresh gradient buffers.
+func (f *FFN) Replica() *FFN {
+	return &FFN{In: f.In.Replica(), Out: f.Out.Replica(), Act: f.Act}
 }
 
 // MLP is a general multi-layer perceptron (the fully connected FFN of

@@ -115,6 +115,50 @@ func argsortDesc(xs []float64) []int {
 	return idx
 }
 
+// Decoder is the per-request state of incremental decoding: a sampling
+// strategy, its private RNG stream, a stop token, and a token budget. It
+// separates "pick the next token from these logits" from the question of
+// where the logits come from, so the same decoding logic drives both the
+// single-sequence Generate loop and the batched serving front end (where one
+// batched forward pass produces logits for many decoders at once).
+type Decoder struct {
+	strat     Strategy
+	rng       *mathx.RNG
+	stop      int
+	remaining int
+	done      bool
+	out       []int
+}
+
+// NewDecoder returns a decoder that samples up to maxTokens tokens with
+// strat, stopping early when stop (≥ 0) is produced. A non-positive
+// maxTokens yields a decoder that is already done.
+func NewDecoder(strat Strategy, stop, maxTokens int, rng *mathx.RNG) *Decoder {
+	return &Decoder{strat: strat, rng: rng, stop: stop, remaining: maxTokens, done: maxTokens <= 0}
+}
+
+// Next samples one token from logits, records it, and reports whether
+// decoding is finished (budget exhausted or stop token emitted). It panics
+// when called after completion.
+func (d *Decoder) Next(logits []float64) (tok int, done bool) {
+	if d.done {
+		panic("sample: Decoder.Next after completion")
+	}
+	tok = d.strat.Pick(logits, d.rng)
+	d.out = append(d.out, tok)
+	d.remaining--
+	if d.remaining <= 0 || (d.stop >= 0 && tok == d.stop) {
+		d.done = true
+	}
+	return tok, d.done
+}
+
+// Done reports whether decoding has finished.
+func (d *Decoder) Done() bool { return d.done }
+
+// Tokens returns the tokens sampled so far (including a final stop token).
+func (d *Decoder) Tokens() []int { return d.out }
+
 // Generate feeds prompt into the stepper and then samples n further tokens
 // with the strategy, stopping early if stop (≥ 0) is produced. It returns
 // only the newly generated tokens.
@@ -126,18 +170,18 @@ func Generate(s Stepper, prompt []int, n int, strat Strategy, stop int, rng *mat
 	for _, id := range prompt {
 		logits = s.Append(id)
 	}
-	var out []int
-	for i := 0; i < n; i++ {
-		next := strat.Pick(logits, rng)
-		out = append(out, next)
-		if stop >= 0 && next == stop {
+	if n <= 0 {
+		return nil
+	}
+	d := NewDecoder(strat, stop, n, rng)
+	for {
+		tok, done := d.Next(logits)
+		if done {
 			break
 		}
-		if i+1 < n {
-			logits = s.Append(next)
-		}
+		logits = s.Append(tok)
 	}
-	return out
+	return d.Tokens()
 }
 
 // Beam is one beam-search hypothesis.

@@ -217,3 +217,69 @@ func TestGenerateWithTransformerPredictor(t *testing.T) {
 		}
 	}
 }
+
+// TestDecoderMatchesGenerate drives a Decoder by hand against the classic
+// Generate loop: identical strategy, seed, and logits must yield identical
+// tokens (the serving loop depends on this equivalence).
+func TestDecoderMatchesGenerate(t *testing.T) {
+	cfg := transformer.Config{Vocab: 6, Dim: 8, Layers: 1, Heads: 2, Window: 16,
+		Pos: transformer.PosLearned, Act: nn.GELU}
+	m := transformer.MustNew(cfg, mathx.NewRNG(7))
+	prompt := []int{1, 2}
+	want := Generate(m.NewPredictor(), prompt, 6, Temperature{T: 1}, -1, mathx.NewRNG(8))
+
+	p := m.NewPredictor()
+	var logits []float64
+	for _, id := range prompt {
+		logits = p.Append(id)
+	}
+	d := NewDecoder(Temperature{T: 1}, -1, 6, mathx.NewRNG(8))
+	for {
+		tok, done := d.Next(logits)
+		if done {
+			break
+		}
+		logits = p.Append(tok)
+	}
+	got := d.Tokens()
+	if len(got) != len(want) {
+		t.Fatalf("decoder produced %d tokens, Generate %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: decoder %d != Generate %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecoderStopsAtStopToken(t *testing.T) {
+	// Logits that always argmax to token 3.
+	logits := []float64{0, 0, 0, 5, 0}
+	d := NewDecoder(Greedy{}, 3, 10, mathx.NewRNG(1))
+	tok, done := d.Next(logits)
+	if tok != 3 || !done {
+		t.Fatalf("Next = (%d, %v), want (3, true)", tok, done)
+	}
+	if !d.Done() || len(d.Tokens()) != 1 {
+		t.Fatalf("Done=%v Tokens=%v", d.Done(), d.Tokens())
+	}
+}
+
+func TestDecoderBudget(t *testing.T) {
+	logits := []float64{1, 0}
+	d := NewDecoder(Greedy{}, -1, 3, mathx.NewRNG(1))
+	steps := 0
+	for !d.Done() {
+		d.Next(logits)
+		steps++
+	}
+	if steps != 3 {
+		t.Fatalf("decoder ran %d steps, want 3", steps)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next after completion did not panic")
+		}
+	}()
+	d.Next(logits)
+}

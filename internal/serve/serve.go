@@ -1,0 +1,373 @@
+// Package serve is the batched generation front end: a request queue that
+// coalesces concurrent Generate calls into batched forward passes over the
+// transformer's KV-cache inference path (continuous batching). Each request
+// keeps its own sampling strategy, seed, and token budget, and is dropped
+// from the batch the moment its context is cancelled. One background loop
+// owns the model's BatchedPredictor; callers only ever touch channels, so
+// the server is safe for arbitrary concurrent use.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sample"
+	"repro/internal/tokenizer"
+)
+
+// ErrClosed is returned for requests submitted to (or stranded in) a server
+// that has been Closed.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the batching loop. The zero value selects the defaults.
+type Config struct {
+	// MaxBatch is the largest number of sequences decoded per step
+	// (default 8).
+	MaxBatch int
+	// QueueDepth is the pending-request buffer; submissions beyond it
+	// block in Generate (default 64).
+	QueueDepth int
+	// CoalesceWait is how long a freshly formed batch lingers for more
+	// requests to arrive before decoding starts (default 2ms). 0 keeps
+	// the default; negative disables lingering.
+	CoalesceWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CoalesceWait == 0 {
+		c.CoalesceWait = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Request is one generation job.
+type Request struct {
+	Prompt    string
+	MaxTokens int             // tokens to generate; must be in [1, window)
+	Strategy  sample.Strategy // nil = greedy
+	Seed      uint64          // per-request sampling seed
+	StopAtEOS bool            // stop at the sentence separator and trim it
+}
+
+// Result is a finished generation.
+type Result struct {
+	Text   string
+	Tokens []int
+}
+
+// Stats is a snapshot of server counters. StepRows/Steps is the mean batch
+// size actually achieved; MaxBatch is the peak. Once the server is idle,
+// Requests == Completed + Cancelled + Failed.
+type Stats struct {
+	Requests  uint64 `json:"requests"`  // accepted by Do/Generate (past validation)
+	Completed uint64 `json:"completed"` // finished with a result
+	Cancelled uint64 `json:"cancelled"` // dropped by context cancellation
+	Failed    uint64 `json:"failed"`    // prompt errors and shutdown rejections
+	Steps     uint64 `json:"steps"`     // batched forward steps executed
+	StepRows  uint64 `json:"step_rows"` // total sequence-rows fed across all steps
+	MaxBatch  int    `json:"max_batch"` // largest per-step batch observed
+}
+
+// Server owns one model and one batching loop.
+type Server struct {
+	model *core.LLM
+	cfg   Config
+
+	queue chan *pending
+	quit  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+type pending struct {
+	ctx  context.Context
+	req  Request
+	done chan outcome
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+// liveReq is a request admitted into the decoding batch.
+type liveReq struct {
+	p      *pending
+	slot   int   // BatchedPredictor sequence handle
+	forced []int // prompt tokens not yet fed (prefill)
+	last   int   // most recently sampled token (decode phase)
+	dec    *sample.Decoder
+}
+
+// New starts a server over model. Callers must Close it to stop the
+// background loop.
+func New(model *core.LLM, cfg Config) *Server {
+	s := &Server{
+		model: model,
+		cfg:   cfg.withDefaults(),
+		quit:  make(chan struct{}),
+	}
+	s.queue = make(chan *pending, s.cfg.QueueDepth)
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Close stops the loop. In-flight and queued requests fail with ErrClosed.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Generate enqueues a free-running generation (no stop token) and blocks
+// until it completes, mirroring core.LLM.Generate: for a given model,
+// prompt, strategy, and seed the text is identical to the unbatched call.
+func (s *Server) Generate(ctx context.Context, prompt string, n int, strat sample.Strategy, seed uint64) (string, error) {
+	res, err := s.Do(ctx, Request{Prompt: prompt, MaxTokens: n, Strategy: strat, Seed: seed})
+	return res.Text, err
+}
+
+// Do enqueues req and blocks until it completes, the context is cancelled,
+// or the server closes.
+func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
+	if req.MaxTokens <= 0 {
+		return Result{}, fmt.Errorf("serve: MaxTokens %d must be positive", req.MaxTokens)
+	}
+	if w := s.model.Model.Cfg.Window; req.MaxTokens >= w {
+		return Result{}, fmt.Errorf("serve: MaxTokens %d must be below the model window %d", req.MaxTokens, w)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &pending{ctx: ctx, req: req, done: make(chan outcome, 1)}
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+	select {
+	case s.queue <- p:
+	case <-ctx.Done():
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return Result{}, ctx.Err()
+	case <-s.quit:
+		s.count(func(st *Stats) { st.Failed++ })
+		return Result{}, ErrClosed
+	}
+	select {
+	case o := <-p.done:
+		return o.res, o.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-s.quit:
+		// The loop may have replied just before shutting down.
+		select {
+		case o := <-p.done:
+			return o.res, o.err
+		default:
+			return Result{}, ErrClosed
+		}
+	}
+}
+
+// ---- batching loop ----
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	bp := s.model.Model.NewBatchedPredictor()
+	var active []*liveReq
+	for {
+		// Admission: block when idle, otherwise top up without waiting.
+		if len(active) == 0 {
+			select {
+			case p := <-s.queue:
+				s.admit(bp, &active, p)
+				s.coalesce(bp, &active)
+			case <-s.quit:
+				s.shutdown(bp, active)
+				return
+			}
+		} else {
+			for len(active) < s.cfg.MaxBatch {
+				select {
+				case p := <-s.queue:
+					s.admit(bp, &active, p)
+					continue
+				default:
+				}
+				break
+			}
+		}
+		select {
+		case <-s.quit:
+			s.shutdown(bp, active)
+			return
+		default:
+		}
+		// Cancellation sweep.
+		alive := active[:0]
+		for _, lr := range active {
+			if err := lr.p.ctx.Err(); err != nil {
+				bp.Drop(lr.slot)
+				lr.p.done <- outcome{err: err}
+				s.count(func(st *Stats) { st.Cancelled++ })
+				continue
+			}
+			alive = append(alive, lr)
+		}
+		active = alive
+		if len(active) == 0 {
+			continue
+		}
+		// One batched forward step: prefilling requests feed their next
+		// prompt token, decoding requests feed their last sample.
+		ids := make([]int, len(active))
+		toks := make([]int, len(active))
+		for i, lr := range active {
+			ids[i] = lr.slot
+			if len(lr.forced) > 0 {
+				toks[i] = lr.forced[0]
+			} else {
+				toks[i] = lr.last
+			}
+		}
+		logits := bp.Step(ids, toks)
+		s.count(func(st *Stats) {
+			st.Steps++
+			st.StepRows += uint64(len(ids))
+			if len(ids) > st.MaxBatch {
+				st.MaxBatch = len(ids)
+			}
+		})
+		alive = active[:0]
+		for i, lr := range active {
+			if len(lr.forced) > 0 {
+				lr.forced = lr.forced[1:]
+				if len(lr.forced) > 0 {
+					alive = append(alive, lr) // still prefilling
+					continue
+				}
+				// Prompt fully fed: these logits are the first to sample.
+			}
+			tok, done := lr.dec.Next(logits[i])
+			lr.last = tok
+			if done {
+				bp.Drop(lr.slot)
+				s.finish(lr)
+				continue
+			}
+			alive = append(alive, lr)
+		}
+		active = alive
+	}
+}
+
+// admit moves a queued request into the decoding batch.
+func (s *Server) admit(bp batchPredictor, active *[]*liveReq, p *pending) {
+	if err := p.ctx.Err(); err != nil {
+		p.done <- outcome{err: err}
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return
+	}
+	ids, err := s.model.PromptWindow(p.req.Prompt, p.req.MaxTokens)
+	if err != nil {
+		p.done <- outcome{err: err}
+		s.count(func(st *Stats) { st.Failed++ })
+		return
+	}
+	strat := p.req.Strategy
+	if strat == nil {
+		strat = sample.Greedy{}
+	}
+	stop := -1
+	if p.req.StopAtEOS {
+		stop = tokenizer.EOS
+	}
+	*active = append(*active, &liveReq{
+		p:      p,
+		slot:   bp.Add(),
+		forced: ids,
+		dec:    sample.NewDecoder(strat, stop, p.req.MaxTokens, mathx.NewRNG(p.req.Seed+977)),
+	})
+}
+
+// coalesce lingers briefly after a batch forms from idle, gathering more
+// concurrent requests so they share the first decoding steps.
+func (s *Server) coalesce(bp batchPredictor, active *[]*liveReq) {
+	if s.cfg.CoalesceWait <= 0 {
+		return
+	}
+	timer := time.NewTimer(s.cfg.CoalesceWait)
+	defer timer.Stop()
+	for len(*active) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			s.admit(bp, active, p)
+		case <-timer.C:
+			return
+		case <-s.quit:
+			return // the main loop observes quit next
+		}
+	}
+}
+
+// finish decodes a completed request and replies.
+func (s *Server) finish(lr *liveReq) {
+	toks := lr.dec.Tokens()
+	if lr.p.req.StopAtEOS && len(toks) > 0 && toks[len(toks)-1] == tokenizer.EOS {
+		toks = toks[:len(toks)-1]
+	}
+	lr.p.done <- outcome{res: Result{Text: s.model.Tok.Decode(toks), Tokens: toks}}
+	s.count(func(st *Stats) { st.Completed++ })
+}
+
+// shutdown fails the active batch and drains the queue.
+func (s *Server) shutdown(bp batchPredictor, active []*liveReq) {
+	for _, lr := range active {
+		bp.Drop(lr.slot)
+		lr.p.done <- outcome{err: ErrClosed}
+		s.count(func(st *Stats) { st.Failed++ })
+	}
+	for {
+		select {
+		case p := <-s.queue:
+			p.done <- outcome{err: ErrClosed}
+			s.count(func(st *Stats) { st.Failed++ })
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// batchPredictor is the slice of transformer.BatchedPredictor the loop uses
+// (an interface so the admission helpers stay testable).
+type batchPredictor interface {
+	Add() int
+	Drop(id int)
+	Step(ids []int, tokens []int) [][]float64
+}

@@ -329,6 +329,69 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// MatMulBatch multiplies one shared left operand against many right
+// operands, returning MatMul(a, bs[i]) for each i. This is the batched
+// entry point used by the serving path: the per-head Q/K/V projections of a
+// whole request batch become one call. Independent products are fanned out
+// across goroutines when the combined work is large enough to amortize
+// scheduling; each product is computed by the same kernel as MatMul, so
+// results are bitwise identical to the unbatched calls.
+func MatMulBatch(a *Tensor, bs []*Tensor) []*Tensor {
+	out := make([]*Tensor, len(bs))
+	work := 0
+	for _, b := range bs {
+		if len(b.Shape) == 2 {
+			work += a.Shape[0] * a.Shape[1] * b.Shape[1]
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || len(bs) < 2 || workers < 2 {
+		for i, b := range bs {
+			out[i] = MatMul(a, b)
+		}
+		return out
+	}
+	// Cap the fan-out at GOMAXPROCS (each product may itself parallelize
+	// inside MatMul; an unbounded outer spawn would oversubscribe).
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	chunk := (len(bs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(bs) {
+			hi = len(bs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = MatMul(a, bs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// GatherRows builds a new matrix from the listed rows of a 2-D tensor — the
+// batched embedding lookup of the serving path (one row per request).
+func GatherRows(a *Tensor, ids []int) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("tensor: GatherRows requires 2-D")
+	}
+	out := New(len(ids), a.Shape[1])
+	for i, id := range ids {
+		copy(out.Row(i), a.Row(id))
+	}
+	return out
+}
+
 // Transpose returns the transpose of a 2-D tensor.
 func Transpose(a *Tensor) *Tensor {
 	if len(a.Shape) != 2 {

@@ -1,0 +1,139 @@
+package train
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/autograd"
+	"repro/internal/nn"
+)
+
+// workerPool is the data-parallel training engine: worker 0 is the model
+// itself and workers 1..n-1 are weight-sharing replicas (see nn.Replicable).
+// Each optimizer step shards the minibatch contiguously across workers, runs
+// forward/backward per shard concurrently, and reduces the shard gradients
+// with a deterministic tree-sum into the model's gradient buffers, so the
+// optimizer update itself stays single-threaded and identical in form to the
+// sequential path.
+//
+// Determinism: the reduction tree shape depends only on the worker count, and
+// each shard accumulates its windows in minibatch order, so a run is bitwise
+// reproducible for a fixed (Seed, Workers) pair. With one worker the shard is
+// the whole minibatch and the tree is a leaf, which makes Workers<=1 bitwise
+// identical to the classic sequential loop. Across different worker counts
+// the losses agree only up to floating-point summation order.
+type workerPool struct {
+	models []LossModel        // models[0] is the caller's model
+	grads  [][]*autograd.Node // parameter leaves per model, index-aligned
+	batch  int                // configured minibatch size (gradient scale)
+}
+
+// newWorkerPool sizes a pool for cfg, returning nil when the sequential path
+// should be used: Workers<=1 after clamping, or a model that cannot produce
+// replicas.
+func newWorkerPool(model LossModel, cfg Config) *workerPool {
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	if workers <= 1 {
+		return nil
+	}
+	rep, ok := model.(nn.Replicable)
+	if !ok {
+		return nil
+	}
+	p := &workerPool{
+		models: []LossModel{model},
+		grads:  [][]*autograd.Node{model.Parameters()},
+		batch:  cfg.BatchSize,
+	}
+	for i := 1; i < workers; i++ {
+		r, ok := rep.ReplicaModule().(LossModel)
+		if !ok {
+			return nil
+		}
+		rp := r.Parameters()
+		if len(rp) != len(p.grads[0]) {
+			panic("train: replica parameter count mismatch")
+		}
+		p.models = append(p.models, r)
+		p.grads = append(p.grads, rp)
+	}
+	return p
+}
+
+// step runs one data-parallel optimizer step over the windows selected by
+// idx, leaving the reduced gradient in the caller's model parameters, and
+// returns the summed (unnormalized) minibatch loss.
+func (p *workerPool) step(data []Batch, idx []int) float64 {
+	w := len(p.models)
+	chunk := (len(idx) + w - 1) / w
+	losses := make([]float64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			m := p.models[i]
+			sum := 0.0
+			for _, j := range idx[lo:hi] {
+				batch := data[j]
+				loss := m.Loss(batch.Input, batch.Target)
+				autograd.Backward(autograd.Scale(loss, 1/float64(p.batch)))
+				sum += loss.Value.Data[0]
+			}
+			losses[i] = sum
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	p.reduce()
+	// Shard losses are summed in worker order — deterministic for a fixed
+	// worker count.
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+// reduce tree-sums the replica gradients into the model's gradient buffers
+// (worker 0) with a fixed binary-tree order: at stride s, worker i absorbs
+// worker i+s. Afterwards every replica gradient is cleared for the next step.
+func (p *workerPool) reduce() {
+	w := len(p.grads)
+	for stride := 1; stride < w; stride *= 2 {
+		for i := 0; i+stride < w; i += 2 * stride {
+			dst, src := p.grads[i], p.grads[i+stride]
+			for k, d := range dst {
+				if d.Grad != nil && src[k].Grad != nil {
+					d.Grad.Data = addInto(d.Grad.Data, src[k].Grad.Data)
+				}
+			}
+		}
+	}
+	for _, ps := range p.grads[1:] {
+		for _, param := range ps {
+			param.ZeroGrad()
+		}
+	}
+}
+
+// addInto accumulates src into dst elementwise and returns dst.
+func addInto(dst, src []float64) []float64 {
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}

@@ -1,0 +1,192 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/ffnlm"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/transformer"
+)
+
+// parallelFixture builds a fresh tiny transformer and synthetic window data;
+// identical calls produce bitwise-identical models and data.
+func parallelFixture() (*transformer.Model, []Batch) {
+	model := transformer.MustNew(transformer.Config{
+		Vocab: 17, Dim: 16, Layers: 2, Heads: 2, Window: 10,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}, mathx.NewRNG(21))
+	rng := mathx.NewRNG(22)
+	data := make([]Batch, 24)
+	for i := range data {
+		in := make([]int, 10)
+		tg := make([]int, 10)
+		for j := range in {
+			in[j] = rng.Intn(17)
+			tg[j] = rng.Intn(17)
+		}
+		data[i] = Batch{Input: in, Target: tg}
+	}
+	return model, data
+}
+
+func parallelConfig(workers int) Config {
+	return Config{
+		Steps: 12, BatchSize: 6, Schedule: Constant(0.005),
+		Optimizer: NewAdam(0), ClipNorm: 1, Seed: 3, Workers: workers,
+	}
+}
+
+// legacyRun reimplements the pre-parallelism training loop verbatim (draw
+// one window at a time, backprop into the model, clip, step) as the bitwise
+// reference for the Workers<=1 path.
+func legacyRun(model LossModel, data []Batch, cfg Config) []float64 {
+	rng := mathx.NewRNG(cfg.Seed + 1)
+	params := model.Parameters()
+	var losses []float64
+	for step := 0; step < cfg.Steps; step++ {
+		lr := cfg.Schedule(step)
+		totalLoss := 0.0
+		for b := 0; b < cfg.BatchSize; b++ {
+			batch := data[rng.Intn(len(data))]
+			loss := model.Loss(batch.Input, batch.Target)
+			autograd.Backward(autograd.Scale(loss, 1/float64(cfg.BatchSize)))
+			totalLoss += loss.Value.Data[0]
+		}
+		if cfg.ClipNorm > 0 {
+			ClipGradNorm(params, cfg.ClipNorm)
+		}
+		cfg.Optimizer.Step(params, lr)
+		losses = append(losses, totalLoss/float64(cfg.BatchSize))
+	}
+	return losses
+}
+
+func TestWorkersOneBitMatchesLegacyLoop(t *testing.T) {
+	ref, data := parallelFixture()
+	refLosses := legacyRun(ref, data, parallelConfig(1))
+
+	model, data2 := parallelFixture()
+	res, err := Run(model, data2, parallelConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Curve {
+		if r.TrainLoss != refLosses[i] {
+			t.Fatalf("step %d: Workers=1 loss %v != legacy loss %v", i, r.TrainLoss, refLosses[i])
+		}
+	}
+	refP, newP := ref.Parameters(), model.Parameters()
+	for i := range refP {
+		for k := range refP[i].Value.Data {
+			if refP[i].Value.Data[k] != newP[i].Value.Data[k] {
+				t.Fatalf("param %d[%d]: Workers=1 %v != legacy %v",
+					i, k, newP[i].Value.Data[k], refP[i].Value.Data[k])
+			}
+		}
+	}
+}
+
+func TestWorkersRunIsDeterministic(t *testing.T) {
+	a, dataA := parallelFixture()
+	resA, err := Run(a, dataA, parallelConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, dataB := parallelFixture()
+	resB, err := Run(b, dataB, parallelConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA.Curve {
+		if resA.Curve[i].TrainLoss != resB.Curve[i].TrainLoss {
+			t.Fatalf("step %d: repeat runs with Workers=3 differ: %v vs %v",
+				i, resA.Curve[i].TrainLoss, resB.Curve[i].TrainLoss)
+		}
+	}
+	ap, bp := a.Parameters(), b.Parameters()
+	for i := range ap {
+		for k := range ap[i].Value.Data {
+			if ap[i].Value.Data[k] != bp[i].Value.Data[k] {
+				t.Fatalf("param %d[%d] differs across identical Workers=3 runs", i, k)
+			}
+		}
+	}
+}
+
+func TestWorkersMatchSequentialLosses(t *testing.T) {
+	seq, dataSeq := parallelFixture()
+	resSeq, err := Run(seq, dataSeq, parallelConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, dataPar := parallelFixture()
+		resPar, err := Run(par, dataPar, parallelConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range resSeq.Curve {
+			d := math.Abs(resSeq.Curve[i].TrainLoss - resPar.Curve[i].TrainLoss)
+			if d > 1e-6 {
+				t.Fatalf("step %d: Workers=%d loss %v deviates from sequential %v by %g",
+					i, workers, resPar.Curve[i].TrainLoss, resSeq.Curve[i].TrainLoss, d)
+			}
+		}
+	}
+}
+
+func TestWorkersExceedingBatchAndNegative(t *testing.T) {
+	// Workers far above BatchSize and the NumCPU sentinel must both run.
+	for _, workers := range []int{64, -1} {
+		model, data := parallelFixture()
+		cfg := parallelConfig(workers)
+		if _, err := Run(model, data, cfg); err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestWorkersFallbackNonReplicable: a model without nn.Replicable support
+// must train on the sequential path even when Workers > 1, bit-matching the
+// Workers=1 run.
+func TestWorkersFallbackNonReplicable(t *testing.T) {
+	build := func() (LossModel, []Batch) {
+		m := ffnlm.MustNew(ffnlm.Config{Vocab: 11, Dim: 8, Context: 3, Hidden: 16},
+			mathx.NewRNG(7))
+		rng := mathx.NewRNG(8)
+		data := make([]Batch, 12)
+		for i := range data {
+			in := make([]int, 6)
+			tg := make([]int, 6)
+			for j := range in {
+				in[j] = rng.Intn(11)
+				tg[j] = rng.Intn(11)
+			}
+			data[i] = Batch{Input: in, Target: tg}
+		}
+		return m, data
+	}
+	mkCfg := func(workers int) Config {
+		return Config{Steps: 8, BatchSize: 4, Schedule: Constant(0.01),
+			Optimizer: NewAdam(0), Seed: 5, Workers: workers}
+	}
+	seqM, seqD := build()
+	resSeq, err := Run(seqM, seqD, mkCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parM, parD := build()
+	resPar, err := Run(parM, parD, mkCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resSeq.Curve {
+		if resSeq.Curve[i].TrainLoss != resPar.Curve[i].TrainLoss {
+			t.Fatalf("step %d: non-replicable fallback diverged: %v vs %v",
+				i, resSeq.Curve[i].TrainLoss, resPar.Curve[i].TrainLoss)
+		}
+	}
+}

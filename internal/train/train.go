@@ -197,6 +197,16 @@ type Config struct {
 	// the grokking equations task). Empty = all non-pad positions.
 	AccuracyPositions []int
 
+	// Workers is the number of data-parallel goroutines per optimizer step.
+	// 0 or 1 trains sequentially (bit-identical to the classic single-thread
+	// loop); values > 1 shard each step's minibatch across weight-sharing
+	// model replicas and reduce the shard gradients with a deterministic
+	// tree-sum before the optimizer update, so a run is reproducible for a
+	// fixed (Seed, Workers) pair. A negative value selects runtime.NumCPU().
+	// Models that do not implement nn.Replicable fall back to the sequential
+	// path regardless of Workers.
+	Workers int
+
 	Seed uint64
 }
 
@@ -230,16 +240,28 @@ func Run(model LossModel, data []Batch, cfg Config) (*Result, error) {
 	}
 	rng := mathx.NewRNG(cfg.Seed + 1)
 	params := model.Parameters()
+	pool := newWorkerPool(model, cfg)
 	res := &Result{}
+	idx := make([]int, cfg.BatchSize)
 	for step := 0; step < cfg.Steps; step++ {
 		lr := cfg.Schedule(step)
+		// Draw the step's minibatch indices up front: the RNG stream is
+		// identical to the classic loop (one Intn per window, in order)
+		// and independent of the worker count.
+		for b := range idx {
+			idx[b] = rng.Intn(len(data))
+		}
 		totalLoss := 0.0
-		for b := 0; b < cfg.BatchSize; b++ {
-			batch := data[rng.Intn(len(data))]
-			loss := model.Loss(batch.Input, batch.Target)
-			// Scale so the batch gradient is the mean over windows.
-			autograd.Backward(autograd.Scale(loss, 1/float64(cfg.BatchSize)))
-			totalLoss += loss.Value.Data[0]
+		if pool == nil {
+			for _, j := range idx {
+				batch := data[j]
+				loss := model.Loss(batch.Input, batch.Target)
+				// Scale so the batch gradient is the mean over windows.
+				autograd.Backward(autograd.Scale(loss, 1/float64(cfg.BatchSize)))
+				totalLoss += loss.Value.Data[0]
+			}
+		} else {
+			totalLoss = pool.step(data, idx)
 		}
 		if cfg.ClipNorm > 0 {
 			ClipGradNorm(params, cfg.ClipNorm)

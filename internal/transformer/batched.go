@@ -1,0 +1,246 @@
+package transformer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BatchedPredictor performs autoregressive inference for many sequences at
+// once over the same model, batching the dense work (Q/K/V/output
+// projections, FFN, unembedding) of one decoding step across sequences into
+// matrix multiplies while keeping an independent per-sequence KV cache.
+// Sequences join (Add) and leave (Drop) the batch at any step, which is what
+// the serving front end's continuous batching relies on.
+//
+// Every step reproduces Predictor.Append's arithmetic operation-for-
+// operation, so the logits for a sequence are bitwise identical to running
+// it alone through a Predictor. The batch win is cache locality and — with
+// GOMAXPROCS > 1 — the parallel matmul kernels; per-sequence attention over
+// the KV cache stays sequential per row.
+//
+// A BatchedPredictor reads model weights and is not safe for concurrent use;
+// the serving loop owns one and is the sole caller.
+type BatchedPredictor struct {
+	m    *Model
+	seqs map[int]*batchSeq
+	next int
+}
+
+// batchSeq is one sequence's decoding state: positions processed so far and
+// the per-layer, per-head KV cache (one row per position).
+type batchSeq struct {
+	n    int
+	keys [][]*tensor.Tensor
+	vals [][]*tensor.Tensor
+}
+
+// NewBatchedPredictor creates an empty batch over m.
+func (m *Model) NewBatchedPredictor() *BatchedPredictor {
+	return &BatchedPredictor{m: m, seqs: map[int]*batchSeq{}}
+}
+
+// Add registers a new empty sequence and returns its handle.
+func (bp *BatchedPredictor) Add() int {
+	m := bp.m
+	hd := m.Cfg.Dim / m.Cfg.Heads
+	s := &batchSeq{
+		keys: make([][]*tensor.Tensor, len(m.Blocks)),
+		vals: make([][]*tensor.Tensor, len(m.Blocks)),
+	}
+	for i, b := range m.Blocks {
+		s.keys[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
+		s.vals[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
+		for h := range s.keys[i] {
+			s.keys[i][h] = tensor.New(0, hd)
+			s.vals[i][h] = tensor.New(0, hd)
+		}
+	}
+	id := bp.next
+	bp.next++
+	bp.seqs[id] = s
+	return id
+}
+
+// Drop releases a sequence and its KV cache.
+func (bp *BatchedPredictor) Drop(id int) { delete(bp.seqs, id) }
+
+// Size returns the number of registered sequences.
+func (bp *BatchedPredictor) Size() int { return len(bp.seqs) }
+
+// Len returns the number of positions processed for sequence id.
+func (bp *BatchedPredictor) Len(id int) int {
+	s := bp.seqs[id]
+	if s == nil {
+		panic(fmt.Sprintf("transformer: unknown batch sequence %d", id))
+	}
+	return s.n
+}
+
+// Step feeds one token per listed sequence and returns next-position logits
+// aligned with ids. Sequences not listed stay untouched, which lets callers
+// prefill a newly admitted request while others are mid-decode. It panics on
+// an unknown or duplicated id, and when a sequence's window is exhausted.
+func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
+	m := bp.m
+	if len(ids) != len(tokens) {
+		panic("transformer: BatchedPredictor.Step ids/tokens length mismatch")
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	batch := len(ids)
+	seqs := make([]*batchSeq, batch)
+	seen := make(map[int]bool, batch)
+	for i, id := range ids {
+		s := bp.seqs[id]
+		if s == nil {
+			panic(fmt.Sprintf("transformer: unknown batch sequence %d", id))
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("transformer: sequence %d listed twice in one step", id))
+		}
+		seen[id] = true
+		if s.n >= m.Cfg.Window {
+			panic("transformer: predictor window exhausted")
+		}
+		seqs[i] = s
+	}
+	// Embed the step's tokens: one row per sequence, at that sequence's
+	// own position.
+	x := tensor.GatherRows(m.TokEmb.W.Value, tokens)
+	for i, s := range seqs {
+		row := x.Row(i)
+		switch m.Cfg.Pos {
+		case PosLearned:
+			for j, v := range m.PosTable.Value.Row(s.n) {
+				row[j] += v
+			}
+		case PosSinusoidal:
+			for j, v := range m.sinTable.Row(s.n) {
+				row[j] += v
+			}
+		}
+	}
+	for li, b := range m.Blocks {
+		x = bp.blockStepBatch(li, b, x, seqs)
+	}
+	x = layerNormRows(x, m.FinalNorm)
+	logits := tensor.MatMul(x, m.Output.W.Value)
+	obias := m.Output.B.Value.Row(0)
+	out := make([][]float64, batch)
+	for i := range out {
+		row := logits.Row(i)
+		for o, bv := range obias {
+			row[o] += bv
+		}
+		out[i] = row
+	}
+	for _, s := range seqs {
+		s.n++
+	}
+	return out
+}
+
+func (bp *BatchedPredictor) blockStepBatch(li int, b *Block, x *tensor.Tensor, seqs []*batchSeq) *tensor.Tensor {
+	m := bp.m
+	hd := m.Cfg.Dim / m.Cfg.Heads
+	batch := x.Shape[0]
+	attnIn := x
+	if !b.postNorm {
+		attnIn = layerNormRows(x, b.LN1)
+	}
+	// All heads' Q/K/V projections for the whole batch in one batched call.
+	ws := make([]*tensor.Tensor, 0, 3*len(b.Attn.heads))
+	for _, h := range b.Attn.heads {
+		ws = append(ws, h.Wq.W.Value, h.Wk.W.Value, h.Wv.W.Value)
+	}
+	projs := tensor.MatMulBatch(attnIn, ws)
+	concat := tensor.New(batch, m.Cfg.Dim)
+	scale := 1 / math.Sqrt(float64(hd))
+	stride := m.Cfg.SparseStride
+	for hi := range b.Attn.heads {
+		q, k, v := projs[3*hi], projs[3*hi+1], projs[3*hi+2]
+		for i, s := range seqs {
+			s.keys[li][hi] = appendRow(s.keys[li][hi], k.Row(i))
+			s.vals[li][hi] = appendRow(s.vals[li][hi], v.Row(i))
+			kc, vc := s.keys[li][hi], s.vals[li][hi]
+			pos := s.n
+			scores := make([]float64, pos+1)
+			for j := 0; j <= pos; j++ {
+				if stride > 0 && pos-j >= stride && j%stride != 0 {
+					scores[j] = math.Inf(-1)
+					continue
+				}
+				scores[j] = mathx.Dot(q.Row(i), kc.Row(j)) * scale
+			}
+			w := mathx.Softmax(scores, 1)
+			out := concat.Row(i)[hi*hd : (hi+1)*hd]
+			for j := 0; j <= pos; j++ {
+				if w[j] == 0 {
+					continue
+				}
+				vr := vc.Row(j)
+				for d := range out {
+					out[d] += w[j] * vr[d]
+				}
+			}
+		}
+	}
+	attnOut := tensor.MatMul(concat, b.Attn.Wo.W.Value)
+	res := tensor.New(batch, m.Cfg.Dim)
+	for i := 0; i < batch; i++ {
+		xr, ar, rr := x.Row(i), attnOut.Row(i), res.Row(i)
+		for d := range rr {
+			rr[d] = xr[d] + ar[d]
+		}
+	}
+	if b.postNorm {
+		res = layerNormRows(res, b.LN1)
+	}
+	ffnIn := res
+	if !b.postNorm {
+		ffnIn = layerNormRows(res, b.LN2)
+	}
+	h := tensor.MatMul(ffnIn, b.FFN.In.W.Value)
+	inBias := b.FFN.In.B.Value.Row(0)
+	for i := 0; i < batch; i++ {
+		row := h.Row(i)
+		for j, bv := range inBias {
+			row[j] += bv
+		}
+		for j, v := range row {
+			row[j] = actScalar(b.FFN.Act, v)
+		}
+	}
+	ffnOut := tensor.MatMul(h, b.FFN.Out.W.Value)
+	outBias := b.FFN.Out.B.Value.Row(0)
+	out := tensor.New(batch, m.Cfg.Dim)
+	for i := 0; i < batch; i++ {
+		rr, fr, or := res.Row(i), ffnOut.Row(i), out.Row(i)
+		for j, bv := range outBias {
+			fr[j] += bv
+		}
+		for d := range or {
+			or[d] = rr[d] + fr[d]
+		}
+	}
+	if b.postNorm {
+		out = layerNormRows(out, b.LN2)
+	}
+	return out
+}
+
+// layerNormRows applies the inference-path layer norm row-by-row, reusing
+// the same per-vector kernel as Predictor so batched and unbatched decoding
+// agree bitwise.
+func layerNormRows(x *tensor.Tensor, ln *nn.LayerNorm) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i := 0; i < x.Shape[0]; i++ {
+		copy(out.Row(i), applyLayerNormVec(x.Row(i), ln))
+	}
+	return out
+}

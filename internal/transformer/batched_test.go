@@ -1,0 +1,158 @@
+package transformer
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+// TestBatchedPredictorMatchesPredictor drives several sequences of different
+// lengths through one BatchedPredictor and each alone through a Predictor;
+// logits must agree bitwise at every step (the batched path reuses the same
+// kernels in the same order).
+func TestBatchedPredictorMatchesPredictor(t *testing.T) {
+	for _, cfg := range []Config{
+		{Vocab: 19, Dim: 16, Layers: 2, Heads: 2, Window: 12, Pos: PosLearned, Act: nn.GELU},
+		{Vocab: 19, Dim: 16, Layers: 1, Heads: 4, Window: 12, Pos: PosSinusoidal, Act: nn.ReLU, PostNorm: true},
+		{Vocab: 19, Dim: 16, Layers: 2, Heads: 2, Window: 12, Pos: PosNone, Act: nn.GELU, SparseStride: 3},
+	} {
+		m := MustNew(cfg, mathx.NewRNG(31))
+		rng := mathx.NewRNG(32)
+		// Three sequences with different lengths.
+		seqs := [][]int{
+			make([]int, 12),
+			make([]int, 7),
+			make([]int, 10),
+		}
+		for _, s := range seqs {
+			for i := range s {
+				s[i] = rng.Intn(cfg.Vocab)
+			}
+		}
+		// Reference: each sequence alone.
+		want := make([][][]float64, len(seqs))
+		for si, s := range seqs {
+			p := m.NewPredictor()
+			for _, id := range s {
+				logits := p.Append(id)
+				cp := append([]float64(nil), logits...)
+				want[si] = append(want[si], cp)
+			}
+		}
+		// Batched: all sequences together; shorter ones drop out when done.
+		bp := m.NewBatchedPredictor()
+		handles := make([]int, len(seqs))
+		for i := range seqs {
+			handles[i] = bp.Add()
+		}
+		for step := 0; ; step++ {
+			var ids, toks []int
+			var who []int
+			for si, s := range seqs {
+				if step < len(s) {
+					ids = append(ids, handles[si])
+					toks = append(toks, s[step])
+					who = append(who, si)
+				}
+			}
+			if len(ids) == 0 {
+				break
+			}
+			got := bp.Step(ids, toks)
+			for i, si := range who {
+				w := want[si][step]
+				for o := range w {
+					if got[i][o] != w[o] {
+						t.Fatalf("cfg %+v: seq %d step %d logit %d: batched %v != solo %v",
+							cfg, si, step, o, got[i][o], w[o])
+					}
+				}
+			}
+		}
+		for si := range seqs {
+			if got, want := bp.Len(handles[si]), len(seqs[si]); got != want {
+				t.Fatalf("seq %d: Len = %d, want %d", si, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchedPredictorDropAndReuse(t *testing.T) {
+	cfg := Config{Vocab: 7, Dim: 8, Layers: 1, Heads: 2, Window: 6, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(3))
+	bp := m.NewBatchedPredictor()
+	a := bp.Add()
+	b := bp.Add()
+	if bp.Size() != 2 {
+		t.Fatalf("Size = %d", bp.Size())
+	}
+	bp.Step([]int{a, b}, []int{1, 2})
+	bp.Drop(a)
+	if bp.Size() != 1 {
+		t.Fatalf("Size after drop = %d", bp.Size())
+	}
+	// b keeps decoding after a is gone, and new sequences can join.
+	c := bp.Add()
+	out := bp.Step([]int{b, c}, []int{3, 4})
+	if len(out) != 2 || len(out[0]) != cfg.Vocab {
+		t.Fatalf("step shape %d x %d", len(out), len(out[0]))
+	}
+	if bp.Len(b) != 2 || bp.Len(c) != 1 {
+		t.Fatalf("lengths b=%d c=%d", bp.Len(b), bp.Len(c))
+	}
+}
+
+func TestBatchedPredictorPanics(t *testing.T) {
+	cfg := Config{Vocab: 7, Dim: 8, Layers: 1, Heads: 2, Window: 2, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(3))
+	bp := m.NewBatchedPredictor()
+	id := bp.Add()
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("unknown id", func() { bp.Step([]int{99}, []int{0}) })
+	expectPanic("duplicate id", func() { bp.Step([]int{id, id}, []int{0, 0}) })
+	expectPanic("length mismatch", func() { bp.Step([]int{id}, []int{0, 1}) })
+	bp.Step([]int{id}, []int{0})
+	bp.Step([]int{id}, []int{1})
+	expectPanic("window exhausted", func() { bp.Step([]int{id}, []int{2}) })
+}
+
+// TestReplicaSharesWeightsNotGrads checks the data-parallel contract: a
+// replica reads the parent's parameter values (updates flow through) while
+// gradients stay private to each copy.
+func TestReplicaSharesWeightsNotGrads(t *testing.T) {
+	cfg := Config{Vocab: 11, Dim: 16, Layers: 2, Heads: 2, Window: 8, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(5))
+	r := m.Replica()
+	mp, rp := m.Parameters(), r.Parameters()
+	if len(mp) != len(rp) {
+		t.Fatalf("parameter count %d != %d", len(mp), len(rp))
+	}
+	for i := range mp {
+		if mp[i].Value != rp[i].Value {
+			t.Fatalf("param %d: replica does not alias parent Value", i)
+		}
+		if mp[i].Grad == rp[i].Grad {
+			t.Fatalf("param %d: replica shares parent Grad", i)
+		}
+	}
+	input := []int{1, 2, 3, 4}
+	target := []int{2, 3, 4, 5}
+	lm := m.Loss(input, target).Value.Data[0]
+	lr := r.Loss(input, target).Value.Data[0]
+	if lm != lr {
+		t.Fatalf("replica loss %v != parent loss %v", lr, lm)
+	}
+	// A weight edit on the parent is visible to the replica.
+	mp[0].Value.Data[0] += 0.25
+	if r.Parameters()[0].Value.Data[0] != mp[0].Value.Data[0] {
+		t.Fatal("weight edit not visible through replica")
+	}
+}

@@ -265,6 +265,52 @@ func (m *Model) Parameters() []*autograd.Node {
 // NumParameters counts trainable scalars.
 func (m *Model) NumParameters() int { return nn.NumParameters(m) }
 
+// Replica returns a weight-sharing copy of m for data-parallel training: it
+// aliases every parameter Value tensor (optimizer updates to the parent are
+// immediately visible) but owns fresh gradient buffers and a private causal-
+// mask cache, so forward/backward passes on the replica are safe to run
+// concurrently with passes on the parent or on sibling replicas.
+func (m *Model) Replica() *Model {
+	r := &Model{
+		Cfg:       m.Cfg,
+		TokEmb:    m.TokEmb.Replica(),
+		sinTable:  m.sinTable,
+		FinalNorm: m.FinalNorm.Replica(),
+		Output:    m.Output.Replica(),
+		masks:     map[int]*tensor.Tensor{},
+	}
+	if m.PosTable != nil {
+		r.PosTable = autograd.Param(m.PosTable.Value)
+	}
+	for _, b := range m.Blocks {
+		r.Blocks = append(r.Blocks, b.replica())
+	}
+	return r
+}
+
+// ReplicaModule implements nn.Replicable.
+func (m *Model) ReplicaModule() nn.Module { return m.Replica() }
+
+func (b *Block) replica() *Block {
+	return &Block{
+		Attn:     b.Attn.replica(),
+		FFN:      b.FFN.Replica(),
+		LN1:      b.LN1.Replica(),
+		LN2:      b.LN2.Replica(),
+		postNorm: b.postNorm,
+	}
+}
+
+func (a *Attention) replica() *Attention {
+	r := &Attention{Wo: a.Wo.Replica()}
+	for _, h := range a.heads {
+		r.heads = append(r.heads, &head{
+			Wq: h.Wq.Replica(), Wk: h.Wk.Replica(), Wv: h.Wv.Replica(),
+		})
+	}
+	return r
+}
+
 // causalMask returns (cached) the L×L additive mask enforcing j ≤ i
 // (Eq. 13's restriction); with SparseStride s > 0, position i additionally
 // attends only to the s most recent positions and every s-th earlier one.

@@ -7,22 +7,33 @@
 // The package re-exports the supported surface of the internal substrates:
 //
 //   - Pipeline: corpus → tokenizer → transformer → training → sampling
-//     (internal/core),
+//     (internal/core), with data-parallel training via Config.Workers,
 //   - Model configuration (internal/transformer) and sampling strategies
 //     (internal/sample),
+//   - Server, the request-batching generation service (internal/serve),
 //   - The evaluation harness (internal/eval),
 //   - Experiment entry points for the paper's tables and figures
 //     (internal/scaling, internal/icl).
 //
-// Quickstart:
+// Quickstart (see the Example functions for runnable versions):
 //
 //	lines := llm.SyntheticCorpus(500, 42)
 //	model, _, err := llm.Train(lines, llm.DefaultConfig())
 //	if err != nil { ... }
 //	text, _ := model.Generate("the king", 8, llm.Temperature(0.8), 1)
+//
+// To serve concurrent traffic, wrap the model in a Server: requests are
+// coalesced into batched forward passes while preserving the exact output
+// of the unbatched calls:
+//
+//	srv := llm.NewServer(model, llm.ServerConfig{})
+//	defer srv.Close()
+//	text, err := srv.Generate(ctx, "the king", 8, llm.Temperature(0.8), 1)
 package llm
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
@@ -31,6 +42,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/sample"
 	"repro/internal/scaling"
+	"repro/internal/serve"
 	"repro/internal/transformer"
 )
 
@@ -117,6 +129,57 @@ func TopP(p, t float64) Strategy { return sample.TopP{P: p, T: t} }
 func SyntheticCorpus(n int, seed uint64) []string {
 	return corpus.PCFGText(grammar.TinyEnglish(), n, 10, mathx.NewRNG(seed))
 }
+
+// ---- Serving ----
+
+// ServerConfig tunes the request-batching generation service; the zero
+// value selects sensible defaults (batch of 8, 2ms coalescing window).
+type ServerConfig = serve.Config
+
+// GenRequest is one generation job for a Server, with per-request sampling
+// strategy, seed, token budget, and stop behavior.
+type GenRequest = serve.Request
+
+// GenResult is a finished Server generation.
+type GenResult = serve.Result
+
+// ServerStats is a snapshot of Server throughput counters.
+type ServerStats = serve.Stats
+
+// ErrServerClosed is returned for requests submitted to a closed Server.
+var ErrServerClosed = serve.ErrClosed
+
+// Server is a batched generation service over a trained model: concurrent
+// Generate calls are coalesced into batched forward passes that share each
+// decoding step's matrix work, while every request keeps its own sampling
+// parameters and context-cancellation path. Results are identical to the
+// corresponding unbatched LLM.Generate call.
+type Server struct {
+	s *serve.Server
+}
+
+// NewServer starts a generation server over model. Close it when done.
+func NewServer(model *LLM, cfg ServerConfig) *Server {
+	return &Server{s: serve.New(model, cfg)}
+}
+
+// Generate batches a free-running generation of n tokens, equivalent to
+// LLM.Generate(prompt, n, strat, seed) but safe to call from any number of
+// goroutines concurrently.
+func (s *Server) Generate(ctx context.Context, prompt string, n int, strat Strategy, seed uint64) (string, error) {
+	return s.s.Generate(ctx, prompt, n, strat, seed)
+}
+
+// Do submits a fully specified generation request.
+func (s *Server) Do(ctx context.Context, req GenRequest) (GenResult, error) {
+	return s.s.Do(ctx, req)
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats { return s.s.Stats() }
+
+// Close stops the batching loop; pending requests fail with ErrServerClosed.
+func (s *Server) Close() { s.s.Close() }
 
 // Generator is the model interface of the evaluation harness.
 type Generator = eval.Generator
