@@ -9,8 +9,11 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/rnn"
 	"repro/internal/sample"
 	"repro/internal/scaling"
+	"repro/internal/serve"
 	"repro/internal/train"
 	"repro/internal/transformer"
 )
@@ -469,6 +473,64 @@ func BenchmarkBatchedGeneration(b *testing.B) {
 				bench.run()
 			}
 			b.ReportMetric(float64(b.N*bench.seqs*gen)/b.Elapsed().Seconds(), "tok/s")
+		})
+	}
+}
+
+// BenchmarkStreamingFirstToken is E18: time-to-first-token of the
+// streaming API through the batched server, as a function of the number of
+// concurrently streaming requests. Each iteration fires `load` Stream
+// calls at an idle server and measures submission → first token-event for
+// every request; the reported ttft-ms is the mean. Because the batch
+// shares each decoding step's matrix work, first-token latency should grow
+// sublinearly with load.
+func BenchmarkStreamingFirstToken(b *testing.B) {
+	lines := corpus.PCFGText(grammar.TinyEnglish(), 120, 10, mathx.NewRNG(11))
+	model, _, err := core.Train(lines, core.Config{
+		Tokenizer: core.WordTok,
+		Model: transformer.Config{
+			Dim: 32, Layers: 2, Heads: 2, Window: 32,
+			Pos: transformer.PosLearned, Act: nn.GELU,
+		},
+		Steps: 30, BatchSize: 2, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, load := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("load%d", load), func(b *testing.B) {
+			s := serve.New(model, serve.Config{MaxBatch: 8, CoalesceWait: time.Millisecond})
+			defer s.Close()
+			var mu sync.Mutex
+			var totalFirst time.Duration
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				start := time.Now()
+				for j := 0; j < load; j++ {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						first := true
+						_, err := s.Stream(context.Background(),
+							serve.NewRequest("the king",
+								sample.WithMaxTokens(12), sample.WithSeed(uint64(j))),
+							func(sample.Token) error {
+								if first {
+									first = false
+									mu.Lock()
+									totalFirst += time.Since(start)
+									mu.Unlock()
+								}
+								return nil
+							})
+						if err != nil {
+							b.Error(err)
+						}
+					}(j)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(totalFirst.Microseconds())/1000/float64(b.N*load), "ttft-ms")
 		})
 	}
 }

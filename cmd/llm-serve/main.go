@@ -3,12 +3,15 @@
 // requests are coalesced into batched forward passes over the KV-cache
 // inference path, each with its own sampling parameters. Without -model it
 // trains a small model on the synthetic PCFG corpus at startup so the
-// service can be tried end to end with no checkpoint.
+// service can be tried end to end with no checkpoint; -backend swaps in a
+// §5 ladder substrate (n-gram, FFN-LM, LSTM) served in single-sequence
+// mode through the same API.
 //
 // Usage:
 //
-//	llm-serve [-model model.json] [-addr :8372] [-max-batch 8]
-//	          [-coalesce 2ms] [-queue 64] [-synthetic 500]
+//	llm-serve [-model model.json] [-backend transformer|ngram|ffn|rnn]
+//	          [-addr :8372] [-max-batch 8] [-coalesce 2ms] [-queue 64]
+//	          [-synthetic 500]
 //
 // Endpoints:
 //
@@ -17,6 +20,11 @@
 //	                    "top_k": 10, "top_p": 0.9, "seed": 1,
 //	                    "stop_at_eos": false}
 //	  -> {"completion": "...", "tokens": [ ... ], "duration_ms": 1.93}
+//	POST /v1/stream    same body; server-sent events, one per token as its
+//	                   batched decoding step completes:
+//	                     data: {"index":0,"id":17,"text":"crown"}
+//	                   then a final event:
+//	                     data: {"done":true,"completion":"...","duration_ms":1.93}
 //	GET  /v1/stats     server throughput counters
 //	GET  /healthz      liveness probe
 //
@@ -46,6 +54,7 @@ func main() {
 	log.SetPrefix("llm-serve: ")
 	var (
 		modelPath = flag.String("model", "", "checkpoint written by llm-train; empty = train a synthetic demo model")
+		backend   = flag.String("backend", "transformer", "model backend: transformer, ngram, ffn or rnn")
 		synthetic = flag.Int("synthetic", 500, "synthetic corpus size for the demo model")
 		addr      = flag.String("addr", ":8372", "listen address")
 		maxBatch  = flag.Int("max-batch", 8, "max sequences decoded per batched step")
@@ -54,21 +63,22 @@ func main() {
 	)
 	flag.Parse()
 
-	model, err := loadModel(*modelPath, *synthetic)
+	model, err := loadBackend(*backend, *modelPath, *synthetic)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("model ready: vocab=%d params=%d window=%d",
-		model.Tok.VocabSize(), model.Model.NumParameters(), model.Model.Cfg.Window)
 
-	srv := llm.NewServer(model, llm.ServerConfig{
+	srv := llm.NewBackendServer(model, llm.ServerConfig{
 		MaxBatch: *maxBatch, CoalesceWait: *coalesce, QueueDepth: *queue,
 	})
 	defer srv.Close()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		handleGenerate(srv, model, w, r)
+		handleGenerate(srv, w, r)
+	})
+	mux.HandleFunc("POST /v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStream(srv, w, r)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, srv.Stats())
@@ -98,23 +108,31 @@ func main() {
 	log.Print("shut down")
 }
 
-// loadModel opens a checkpoint, or trains the synthetic demo model when no
-// path is given.
-func loadModel(path string, synthetic int) (*llm.LLM, error) {
+// loadBackend opens a transformer checkpoint, or trains the selected demo
+// backend on the synthetic corpus when no checkpoint is given.
+func loadBackend(backend, path string, synthetic int) (llm.LanguageModel, error) {
 	if path != "" {
+		if backend != "transformer" {
+			return nil, fmt.Errorf("-model requires -backend transformer (got %q)", backend)
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return core.Load(f)
+		model, err := core.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("model ready: vocab=%d params=%d window=%d",
+			model.Tok.VocabSize(), model.Model.NumParameters(), model.Model.Cfg.Window)
+		return model, nil
 	}
-	log.Printf("no -model: training a demo model on %d synthetic sentences", synthetic)
-	model, _, err := llm.Train(llm.SyntheticCorpus(synthetic, 42), llm.DefaultConfig())
-	return model, err
+	log.Printf("no -model: training a demo %s backend on %d synthetic sentences", backend, synthetic)
+	return llm.TrainBackend(backend, llm.SyntheticCorpus(synthetic, 42), 42)
 }
 
-// genRequest is the POST /v1/generate body.
+// genRequest is the POST /v1/generate and /v1/stream body.
 type genRequest struct {
 	Prompt      string  `json:"prompt"`
 	Tokens      int     `json:"tokens"`
@@ -133,67 +151,116 @@ type genResponse struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
-func handleGenerate(srv *llm.Server, model *llm.LLM, w http.ResponseWriter, r *http.Request) {
+// parseRequest decodes and validates a request body into a GenRequest.
+func parseRequest(r *http.Request) (llm.GenRequest, error) {
 	var req genRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad json: " + err.Error()})
-		return
+		return llm.GenRequest{}, fmt.Errorf("bad json: %w", err)
 	}
 	if req.Tokens <= 0 {
 		req.Tokens = 12
 	}
-	strat, err := pickStrategy(req)
+	strat, err := llm.ParseStrategy(req.Strategy, req.Temperature, req.TopP, req.TopK)
+	if err != nil {
+		return llm.GenRequest{}, err
+	}
+	out := llm.GenRequest{
+		Prompt: req.Prompt, MaxTokens: req.Tokens, Strategy: strat,
+		Seed: req.Seed, StopAtEOS: req.StopAtEOS,
+	}
+	return out, nil
+}
+
+func handleGenerate(srv *llm.Server, w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	start := time.Now()
-	res, err := srv.Do(r.Context(), llm.GenRequest{
-		Prompt: req.Prompt, MaxTokens: req.Tokens, Strategy: strat,
-		Seed: req.Seed, StopAtEOS: req.StopAtEOS,
-	})
+	res, err := srv.Do(r.Context(), req)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = 499 // client closed request
-		} else if errors.Is(err, llm.ErrServerClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		writeJSON(w, errStatus(err), map[string]string{"error": err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, genResponse{
 		Completion: res.Text,
 		Tokens:     res.Tokens,
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		DurationMS: sinceMS(start),
 	})
 }
 
-func pickStrategy(req genRequest) (llm.Strategy, error) {
-	t := req.Temperature
-	if t == 0 {
-		t = 0.8
+// streamDone is the terminal event of a /v1/stream response.
+type streamDone struct {
+	Done       bool    `json:"done"`
+	Completion string  `json:"completion"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// handleStream serves one generation as server-sent events, flushing each
+// token the moment its batched decoding step completes.
+func handleStream(srv *llm.Server, w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
-	switch req.Strategy {
-	case "", "greedy":
-		return llm.Greedy(), nil
-	case "temp":
-		return llm.Temperature(t), nil
-	case "topk":
-		k := req.TopK
-		if k == 0 {
-			k = 10
+	// Reject invalid requests with a proper status before committing to
+	// streaming headers, matching /v1/generate's error contract.
+	if err := srv.Validate(req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	start := time.Now()
+	res, err := srv.Stream(r.Context(), req, func(t llm.Token) error {
+		if err := writeEvent(w, t); err != nil {
+			return err
 		}
-		return llm.TopK(k, t), nil
-	case "topp":
-		p := req.TopP
-		if p == 0 {
-			p = 0.9
-		}
-		return llm.TopP(p, t), nil
+		flusher.Flush()
+		return nil
+	})
+	if err != nil {
+		// Headers are sent; report the failure in-band and end the stream.
+		writeEvent(w, map[string]string{"error": err.Error()})
+		flusher.Flush()
+		return
+	}
+	writeEvent(w, streamDone{Done: true, Completion: res.Text, DurationMS: sinceMS(start)})
+	flusher.Flush()
+}
+
+// writeEvent emits one SSE data frame.
+func writeEvent(w http.ResponseWriter, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+// errStatus maps engine errors to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request
+	case errors.Is(err, llm.ErrServerClosed):
+		return http.StatusServiceUnavailable
 	default:
-		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
+		return http.StatusBadRequest
 	}
+}
+
+func sinceMS(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

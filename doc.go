@@ -7,17 +7,21 @@
 // Layout:
 //
 //   - llm is the public API: training (including the data-parallel trainer),
-//     generation, the batched generation Server, and the evaluation harness.
-//     Start with its Example functions.
+//     the unified generation API (Gen/Stream with functional options over
+//     any LanguageModel backend), the batched generation Server with
+//     per-token streaming, and the evaluation harness. Start with its
+//     Example functions.
 //   - internal/ holds the substrates: the corpus → tokenizer → transformer →
 //     train → sample → eval pipeline plus the numerical stack (mathx,
-//     tensor, autograd, nn) and the serving engine (serve).
-//   - cmd/ has the binaries: llm-train, llm-generate, llm-bench, llm-serve
-//     (the HTTP generation service), and scaling-laws.
+//     tensor, autograd, nn), the backend-agnostic model contract (lm), and
+//     the serving engine (serve).
+//   - cmd/ has the binaries: llm-train, llm-generate (any backend,
+//     streaming), llm-bench, llm-serve (the HTTP generation service with
+//     SSE streaming), and scaling-laws.
 //   - The root-level benchmarks regenerate every table and figure of the
 //     paper's evaluation and measure the training/serving hot paths.
 //
-// DESIGN.md maps each package and indexes the experiments E1-E17 behind the
+// DESIGN.md maps each package and indexes the experiments E1-E18 behind the
 // root benchmarks; EXPERIMENTS.md explains how to run every binary and
 // benchmark and records measured results.
 package repro

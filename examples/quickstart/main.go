@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,10 +39,21 @@ func main() {
 		{"top-k 5", llm.TopK(5, 0.8)},
 		{"nucleus 0.9", llm.TopP(0.9, 0.8)},
 	} {
-		out, err := model.Generate("the king", 8, s.strat, 7)
+		res, err := model.Gen("the king",
+			llm.WithMaxTokens(8), llm.WithStrategy(s.strat), llm.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s the king %s\n", s.name+":", out)
+		fmt.Printf("%-22s the king %s\n", s.name+":", res.Text)
 	}
+
+	// Streaming: the same generation delivered token by token.
+	fmt.Print("streamed:              the king ")
+	if _, err := model.Stream(context.Background(), "the king", func(t llm.Token) error {
+		fmt.Print(t.Text)
+		return nil
+	}, llm.WithMaxTokens(8), llm.WithStrategy(llm.Temperature(0.8)), llm.WithSeed(7)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
 }

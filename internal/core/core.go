@@ -6,12 +6,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/corpus"
 	"repro/internal/ffnlm"
+	"repro/internal/lm"
 	"repro/internal/mathx"
 	"repro/internal/ngram"
 	"repro/internal/nn"
@@ -143,8 +145,42 @@ func (l *LLM) promptIDs(prompt string, budget int) ([]int, error) {
 // PromptWindow encodes prompt and truncates it to the model window while
 // reserving budget tokens of generation room — the admission step shared by
 // the generation entry points and the batched serving front end.
+//
+// Deprecated: PromptWindow is the old name of EncodePrompt.
 func (l *LLM) PromptWindow(prompt string, budget int) ([]int, error) {
 	return l.promptIDs(prompt, budget)
+}
+
+// ---- lm.LanguageModel implementation ----
+
+// EncodePrompt implements lm.LanguageModel: tokenize and window-truncate,
+// reserving budget tokens of generation room.
+func (l *LLM) EncodePrompt(prompt string, budget int) ([]int, error) {
+	return l.promptIDs(prompt, budget)
+}
+
+// Decode implements lm.LanguageModel.
+func (l *LLM) Decode(ids []int) string { return l.Tok.Decode(ids) }
+
+// NewStepper implements lm.LanguageModel: a fresh KV-cache predictor.
+func (l *LLM) NewStepper() sample.Stepper { return l.Model.NewPredictor() }
+
+// ContextWindow implements lm.LanguageModel.
+func (l *LLM) ContextWindow() int { return l.Model.Cfg.Window }
+
+// Gen extends prompt under the unified generation options (strategy, seed,
+// budget, stop behavior): the options-first replacement for the positional
+// Generate.
+func (l *LLM) Gen(prompt string, opts ...sample.Option) (lm.Result, error) {
+	return lm.Gen(l, prompt, opts...)
+}
+
+// Stream is Gen with per-token delivery: onToken receives every sampled
+// token (id, decoded text piece, index) as it is produced; the pieces
+// concatenate to the final Result.Text. Cancelling ctx — including during
+// prompt prefill — aborts the generation.
+func (l *LLM) Stream(ctx context.Context, prompt string, onToken func(sample.Token) error, opts ...sample.Option) (lm.Result, error) {
+	return lm.Stream(ctx, l, prompt, onToken, opts...)
 }
 
 // Complete greedily extends prompt by up to maxTokens tokens, stopping at
@@ -166,6 +202,9 @@ func (l *LLM) Complete(prompt string, maxTokens int) string {
 // GenerateTokens extends prompt by exactly n tokens with the given sampling
 // strategy, continuing across sentence separators (free-running generation;
 // use Complete for answer-style decoding that stops at EOS).
+//
+// Deprecated: use Gen with sample.WithMaxTokens/WithStrategy/WithSeed; the
+// output for the same parameters is identical.
 func (l *LLM) GenerateTokens(prompt string, n int, strat sample.Strategy, seed uint64) ([]int, error) {
 	ids, err := l.promptIDs(prompt, n)
 	if err != nil {
@@ -176,6 +215,9 @@ func (l *LLM) GenerateTokens(prompt string, n int, strat sample.Strategy, seed u
 }
 
 // Generate is GenerateTokens followed by decoding.
+//
+// Deprecated: use Gen, which takes the unified functional options and also
+// returns the sampled token ids.
 func (l *LLM) Generate(prompt string, n int, strat sample.Strategy, seed uint64) (string, error) {
 	out, err := l.GenerateTokens(prompt, n, strat, seed)
 	if err != nil {

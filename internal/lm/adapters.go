@@ -1,0 +1,191 @@
+package lm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/ffnlm"
+	"repro/internal/mathx"
+	"repro/internal/ngram"
+	"repro/internal/rnn"
+	"repro/internal/sample"
+	"repro/internal/tokenizer"
+	"repro/internal/train"
+)
+
+// logFloor stands in for log(0) in count-based models so the Strategy
+// implementations (which expect finite logits) never see -Inf.
+const logFloor = -1e9
+
+// encodePrompt is the shared admission step of the adapters: tokenize and
+// reject empty encodings. The adapted substrates have no finite total
+// context, so no window truncation is applied.
+func encodePrompt(tok tokenizer.Tokenizer, prompt string) ([]int, error) {
+	ids := tok.Encode(prompt)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("lm: prompt %q encodes to no tokens", prompt)
+	}
+	return ids, nil
+}
+
+// ---- n-gram ----
+
+// NGramLM pairs a trained count-based n-gram model with the tokenizer its
+// counts were accumulated under, satisfying LanguageModel.
+type NGramLM struct {
+	Model *ngram.Model
+	Tok   tokenizer.Tokenizer
+}
+
+// EncodePrompt implements LanguageModel.
+func (m NGramLM) EncodePrompt(prompt string, _ int) ([]int, error) {
+	return encodePrompt(m.Tok, prompt)
+}
+
+// Decode implements LanguageModel.
+func (m NGramLM) Decode(ids []int) string { return m.Tok.Decode(ids) }
+
+// ContextWindow implements LanguageModel (n-grams condition on at most N-1
+// tokens but accept unbounded sequences).
+func (m NGramLM) ContextWindow() int { return 0 }
+
+// NewStepper implements LanguageModel: log-probabilities of the next-token
+// distribution serve as logits, so Greedy picks the count argmax and
+// Temperature{T: 1} recovers exact Eq. 5/6 sampling.
+func (m NGramLM) NewStepper() sample.Stepper {
+	var ctx []int
+	return sample.StepperFunc(func(id int) []float64 {
+		ctx = append(ctx, id)
+		dist := m.Model.Dist(ctx)
+		logits := make([]float64, len(dist))
+		for i, p := range dist {
+			if p > 0 {
+				logits[i] = math.Log(p)
+			} else {
+				logits[i] = logFloor
+			}
+		}
+		return logits
+	})
+}
+
+// ---- fixed-window FFN-LM ----
+
+// FFNLM pairs the Bengio-style fixed-window neural LM with a tokenizer.
+type FFNLM struct {
+	Model *ffnlm.Model
+	Tok   tokenizer.Tokenizer
+}
+
+// EncodePrompt implements LanguageModel.
+func (m FFNLM) EncodePrompt(prompt string, _ int) ([]int, error) {
+	return encodePrompt(m.Tok, prompt)
+}
+
+// Decode implements LanguageModel.
+func (m FFNLM) Decode(ids []int) string { return m.Tok.Decode(ids) }
+
+// ContextWindow implements LanguageModel (the model sees only its last L
+// tokens, but sequences may grow without bound).
+func (m FFNLM) ContextWindow() int { return 0 }
+
+// NewStepper implements LanguageModel, keeping only the L-token tail the
+// model can see so each step costs one fixed-window forward pass.
+func (m FFNLM) NewStepper() sample.Stepper {
+	var ctx []int
+	return sample.StepperFunc(func(id int) []float64 {
+		ctx = append(ctx, id)
+		if L := m.Model.Cfg.Context; len(ctx) > L {
+			ctx = ctx[len(ctx)-L:]
+		}
+		return m.Model.NextLogits(ctx)
+	})
+}
+
+// ---- recurrent (Elman / LSTM) ----
+
+// RNNLM pairs a recurrent LM with a tokenizer; its stepper carries the
+// hidden state, the O(1)-per-token inference path of Eq. 12.
+type RNNLM struct {
+	Model *rnn.Model
+	Tok   tokenizer.Tokenizer
+}
+
+// EncodePrompt implements LanguageModel.
+func (m RNNLM) EncodePrompt(prompt string, _ int) ([]int, error) {
+	return encodePrompt(m.Tok, prompt)
+}
+
+// Decode implements LanguageModel.
+func (m RNNLM) Decode(ids []int) string { return m.Tok.Decode(ids) }
+
+// ContextWindow implements LanguageModel (recurrent state is unbounded).
+func (m RNNLM) ContextWindow() int { return 0 }
+
+// NewStepper implements LanguageModel.
+func (m RNNLM) NewStepper() sample.Stepper {
+	state := m.Model.NewState()
+	return sample.StepperFunc(func(id int) []float64 {
+		return m.Model.Step(state, id)
+	})
+}
+
+// ---- backend training ----
+
+// TrainBackend trains one of the non-transformer §5 substrates on lines
+// (word tokenizer, ladder-scale hyperparameters) and returns it behind the
+// LanguageModel interface. Recognized names: "ngram", "ffn", "rnn". The
+// transformer backend is trained through core.Train / llm.Train instead,
+// since core already satisfies LanguageModel.
+func TrainBackend(name string, lines []string, seed uint64) (LanguageModel, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("lm: empty corpus")
+	}
+	tok := tokenizer.NewWord(lines)
+	stream := corpus.Concat(lines, tok.Encode, tokenizer.EOS)
+	switch name {
+	case "ngram":
+		m := ngram.New(3, tok.VocabSize())
+		m.AddK = 0.05
+		m.Train(stream)
+		return NGramLM{Model: m, Tok: tok}, nil
+	case "ffn":
+		m := ffnlm.MustNew(ffnlm.Config{
+			Vocab: tok.VocabSize(), Dim: 16, Context: 3, Hidden: 32,
+		}, mathx.NewRNG(seed+3))
+		if err := trainNeural(m, stream); err != nil {
+			return nil, err
+		}
+		return FFNLM{Model: m, Tok: tok}, nil
+	case "rnn":
+		m := rnn.MustNew(rnn.Config{
+			Vocab: tok.VocabSize(), Dim: 32, Hidden: 32, Kind: rnn.LSTM,
+		}, mathx.NewRNG(seed+1))
+		if err := trainNeural(m, stream); err != nil {
+			return nil, err
+		}
+		return RNNLM{Model: m, Tok: tok}, nil
+	default:
+		return nil, fmt.Errorf("lm: unknown backend %q (want ngram, ffn or rnn)", name)
+	}
+}
+
+// trainNeural runs the ladder-scale optimization shared by the neural
+// substrates.
+func trainNeural(m train.LossModel, stream []int) error {
+	windows := corpus.MakeWindows(stream, 16)
+	if len(windows) == 0 {
+		return fmt.Errorf("lm: corpus too small")
+	}
+	batches := make([]train.Batch, len(windows))
+	for i, w := range windows {
+		batches[i] = train.Batch{Input: w.Input, Target: w.Target}
+	}
+	_, err := train.Run(m, batches, train.Config{
+		Steps: 250, BatchSize: 4,
+		Schedule:  train.Constant(0.004),
+		Optimizer: train.NewAdam(0), ClipNorm: 1, Seed: 5,
+	})
+	return err
+}

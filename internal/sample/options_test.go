@@ -1,0 +1,68 @@
+package sample
+
+import "testing"
+
+func TestBuildOptionsDefaults(t *testing.T) {
+	o := BuildOptions()
+	if o.MaxTokens != DefaultMaxTokens {
+		t.Errorf("MaxTokens = %d, want %d", o.MaxTokens, DefaultMaxTokens)
+	}
+	if _, ok := o.Strategy.(Greedy); !ok {
+		t.Errorf("default strategy = %T, want Greedy", o.Strategy)
+	}
+	if o.Seed != 0 || o.StopAtEOS {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestBuildOptionsSetters(t *testing.T) {
+	o := BuildOptions(
+		WithMaxTokens(7),
+		WithStrategy(Temperature{T: 0.5}),
+		WithSeed(99),
+		WithStop(),
+	)
+	if o.MaxTokens != 7 || o.Seed != 99 || !o.StopAtEOS {
+		t.Errorf("options = %+v", o)
+	}
+	if ts, ok := o.Strategy.(Temperature); !ok || ts.T != 0.5 {
+		t.Errorf("strategy = %#v", o.Strategy)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		name    string
+		temp, p float64
+		k       int
+		want    any
+		wantErr bool
+	}{
+		{name: "", want: Greedy{}},
+		{name: "greedy", want: Greedy{}},
+		{name: "temp", temp: 1.2, want: Temperature{T: 1.2}},
+		{name: "temp", want: Temperature{T: 0.8}}, // default temperature
+		{name: "topk", temp: 0.9, k: 5, want: TopK{K: 5, T: 0.9}},
+		{name: "topk", want: TopK{K: 10, T: 0.8}}, // default k
+		{name: "topp", temp: 0.7, p: 0.95, want: TopP{P: 0.95, T: 0.7}},
+		{name: "topp", want: TopP{P: 0.9, T: 0.8}}, // default p
+		{name: "beam", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseStrategy(c.name, c.temp, c.p, c.k)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseStrategy(%q) succeeded, want error", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseStrategy(%q, %v, %v, %d) = %#v, want %#v",
+				c.name, c.temp, c.p, c.k, got, c.want)
+		}
+	}
+}

@@ -5,6 +5,16 @@
 // from the batch the moment its context is cancelled. One background loop
 // owns the model's BatchedPredictor; callers only ever touch channels, so
 // the server is safe for arbitrary concurrent use.
+//
+// Results stream: Stream delivers per-token events as each continuous-
+// batching step completes, and the final text is bitwise identical to the
+// unbatched lm.Gen / core.LLM.Generate result for the same request.
+//
+// The server is backend-agnostic at the API level: NewBackend accepts any
+// lm.LanguageModel. The transformer pipeline (core.LLM) gets the batched
+// loop; other substrates (n-gram, FFN-LM, RNN) are served by an equivalent
+// single-sequence loop with the same queue, cancellation, streaming, and
+// stats behavior.
 package serve
 
 import (
@@ -15,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lm"
 	"repro/internal/mathx"
 	"repro/internal/sample"
 	"repro/internal/tokenizer"
@@ -51,20 +62,36 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Request is one generation job.
+// Request is one generation job — the struct form of the unified generation
+// options, with the prompt attached. Build it directly or with NewRequest.
 type Request struct {
 	Prompt    string
-	MaxTokens int             // tokens to generate; must be in [1, window)
+	MaxTokens int             // tokens to generate; must be >= 1 (and below the window for windowed models)
 	Strategy  sample.Strategy // nil = greedy
 	Seed      uint64          // per-request sampling seed
 	StopAtEOS bool            // stop at the sentence separator and trim it
 }
 
-// Result is a finished generation.
-type Result struct {
-	Text   string
-	Tokens []int
+// NewRequest builds a Request from the unified functional options.
+func NewRequest(prompt string, opts ...sample.Option) Request {
+	o := sample.BuildOptions(opts...)
+	return Request{
+		Prompt: prompt, MaxTokens: o.MaxTokens,
+		Strategy: o.Strategy, Seed: o.Seed, StopAtEOS: o.StopAtEOS,
+	}
 }
+
+// Options converts the request back to the options struct shared with the
+// single-sequence decoding driver.
+func (r Request) Options() sample.Options {
+	return sample.Options{
+		MaxTokens: r.MaxTokens, Strategy: r.Strategy,
+		Seed: r.Seed, StopAtEOS: r.StopAtEOS,
+	}
+}
+
+// Result is a finished generation (same shape as the direct lm.Gen path).
+type Result = lm.Result
 
 // Stats is a snapshot of server counters. StepRows/Steps is the mean batch
 // size actually achieved; MaxBatch is the peak. Once the server is idle,
@@ -79,10 +106,13 @@ type Stats struct {
 	MaxBatch  int    `json:"max_batch"` // largest per-step batch observed
 }
 
-// Server owns one model and one batching loop.
+// Server owns one model and one serving loop (batched for core.LLM,
+// single-sequence for other backends).
 type Server struct {
-	model *core.LLM
-	cfg   Config
+	backend lm.LanguageModel
+	model   *core.LLM // non-nil in batched mode
+	window  int       // 0 = unbounded
+	cfg     Config
 
 	queue chan *pending
 	quit  chan struct{}
@@ -94,9 +124,10 @@ type Server struct {
 }
 
 type pending struct {
-	ctx  context.Context
-	req  Request
-	done chan outcome
+	ctx    context.Context
+	req    Request
+	done   chan outcome
+	events chan sample.Token // nil unless the caller is streaming
 }
 
 type outcome struct {
@@ -111,19 +142,41 @@ type liveReq struct {
 	forced []int // prompt tokens not yet fed (prefill)
 	last   int   // most recently sampled token (decode phase)
 	dec    *sample.Decoder
+	pd     *lm.PieceDecoder // non-nil when streaming
 }
 
-// New starts a server over model. Callers must Close it to stop the
-// background loop.
+// New starts a batched server over the transformer pipeline. Callers must
+// Close it to stop the background loop.
 func New(model *core.LLM, cfg Config) *Server {
-	s := &Server{
-		model: model,
-		cfg:   cfg.withDefaults(),
-		quit:  make(chan struct{}),
-	}
-	s.queue = make(chan *pending, s.cfg.QueueDepth)
+	s := newServer(model, model, cfg)
 	s.wg.Add(1)
 	go s.loop()
+	return s
+}
+
+// NewBackend starts a server over any LanguageModel. The transformer
+// pipeline gets the continuous-batching loop; every other backend is served
+// by a single-sequence loop with identical request semantics (queue,
+// per-request options, streaming, cancellation, stats).
+func NewBackend(m lm.LanguageModel, cfg Config) *Server {
+	if model, ok := m.(*core.LLM); ok {
+		return New(model, cfg)
+	}
+	s := newServer(m, nil, cfg)
+	s.wg.Add(1)
+	go s.loopSingle()
+	return s
+}
+
+func newServer(backend lm.LanguageModel, model *core.LLM, cfg Config) *Server {
+	s := &Server{
+		backend: backend,
+		model:   model,
+		window:  backend.ContextWindow(),
+		cfg:     cfg.withDefaults(),
+		quit:    make(chan struct{}),
+	}
+	s.queue = make(chan *pending, s.cfg.QueueDepth)
 	return s
 }
 
@@ -143,35 +196,78 @@ func (s *Server) Stats() Stats {
 // Generate enqueues a free-running generation (no stop token) and blocks
 // until it completes, mirroring core.LLM.Generate: for a given model,
 // prompt, strategy, and seed the text is identical to the unbatched call.
+//
+// Deprecated: use Gen with functional options, or Do with a Request.
 func (s *Server) Generate(ctx context.Context, prompt string, n int, strat sample.Strategy, seed uint64) (string, error) {
 	res, err := s.Do(ctx, Request{Prompt: prompt, MaxTokens: n, Strategy: strat, Seed: seed})
 	return res.Text, err
 }
 
+// Gen enqueues a generation built from the unified functional options and
+// blocks until it completes.
+func (s *Server) Gen(ctx context.Context, prompt string, opts ...sample.Option) (Result, error) {
+	return s.Do(ctx, NewRequest(prompt, opts...))
+}
+
+// maxTokensCap bounds per-request generation budgets for backends with no
+// finite context window (n-gram, recurrent), so a single request cannot
+// pin the loop or pre-allocate an absurd event buffer.
+const maxTokensCap = 4096
+
+// validateBudget is the cheap admission precondition Do and Stream check
+// before enqueueing; prompt errors surface at admission, which encodes the
+// prompt anyway.
+func (s *Server) validateBudget(req Request) error {
+	if req.MaxTokens <= 0 {
+		return fmt.Errorf("serve: MaxTokens %d must be positive", req.MaxTokens)
+	}
+	if s.window > 0 && req.MaxTokens >= s.window {
+		return fmt.Errorf("serve: MaxTokens %d must be below the model window %d", req.MaxTokens, s.window)
+	}
+	if s.window == 0 && req.MaxTokens > maxTokensCap {
+		return fmt.Errorf("serve: MaxTokens %d exceeds the per-request cap %d", req.MaxTokens, maxTokensCap)
+	}
+	return nil
+}
+
+// Validate reports whether req would be accepted, without submitting it —
+// front ends use it to reject bad requests (including unencodable prompts)
+// before committing to a response, e.g. before writing streaming headers.
+func (s *Server) Validate(req Request) error {
+	if err := s.validateBudget(req); err != nil {
+		return err
+	}
+	_, err := s.backend.EncodePrompt(req.Prompt, req.MaxTokens)
+	return err
+}
+
+// enqueue submits p, counting it as accepted.
+func (s *Server) enqueue(ctx context.Context, p *pending) error {
+	s.count(func(st *Stats) { st.Requests++ })
+	select {
+	case s.queue <- p:
+		return nil
+	case <-ctx.Done():
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return ctx.Err()
+	case <-s.quit:
+		s.count(func(st *Stats) { st.Failed++ })
+		return ErrClosed
+	}
+}
+
 // Do enqueues req and blocks until it completes, the context is cancelled,
 // or the server closes.
 func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
-	if req.MaxTokens <= 0 {
-		return Result{}, fmt.Errorf("serve: MaxTokens %d must be positive", req.MaxTokens)
-	}
-	if w := s.model.Model.Cfg.Window; req.MaxTokens >= w {
-		return Result{}, fmt.Errorf("serve: MaxTokens %d must be below the model window %d", req.MaxTokens, w)
+	if err := s.validateBudget(req); err != nil {
+		return Result{}, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	p := &pending{ctx: ctx, req: req, done: make(chan outcome, 1)}
-	s.mu.Lock()
-	s.stats.Requests++
-	s.mu.Unlock()
-	select {
-	case s.queue <- p:
-	case <-ctx.Done():
-		s.count(func(st *Stats) { st.Cancelled++ })
-		return Result{}, ctx.Err()
-	case <-s.quit:
-		s.count(func(st *Stats) { st.Failed++ })
-		return Result{}, ErrClosed
+	if err := s.enqueue(ctx, p); err != nil {
+		return Result{}, err
 	}
 	select {
 	case o := <-p.done:
@@ -189,7 +285,81 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	}
 }
 
-// ---- batching loop ----
+// Stream is Do with per-token delivery: onToken is invoked, in order, with
+// every sampled token the moment its decoding step completes — in batched
+// mode that is one continuous-batching step shared with the other in-flight
+// requests. The concatenated event pieces and the final Result.Text are
+// bitwise identical to the unbatched path. A non-nil error from onToken
+// cancels the request.
+func (s *Server) Stream(ctx context.Context, req Request, onToken func(sample.Token) error) (Result, error) {
+	if onToken == nil {
+		return s.Do(ctx, req)
+	}
+	if err := s.validateBudget(req); err != nil {
+		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	p := &pending{
+		ctx: ctx, req: req, done: make(chan outcome, 1),
+		// The loop must never block on delivery: capacity covers every
+		// token the decoder can produce.
+		events: make(chan sample.Token, req.MaxTokens+1),
+	}
+	if err := s.enqueue(ctx, p); err != nil {
+		return Result{}, err
+	}
+	var cbErr error
+	deliver := func(ev sample.Token) {
+		if cbErr != nil {
+			return
+		}
+		if err := onToken(ev); err != nil {
+			cbErr = err
+			cancel() // drops the request from the batch
+		}
+	}
+	finish := func(o outcome) (Result, error) {
+		for {
+			select {
+			case ev := <-p.events:
+				deliver(ev)
+				continue
+			default:
+			}
+			break
+		}
+		if cbErr != nil {
+			return Result{}, cbErr
+		}
+		return o.res, o.err
+	}
+	for {
+		select {
+		case ev := <-p.events:
+			deliver(ev)
+		case o := <-p.done:
+			return finish(o)
+		case <-ctx.Done():
+			if cbErr != nil {
+				return Result{}, cbErr
+			}
+			return Result{}, ctx.Err()
+		case <-s.quit:
+			select {
+			case o := <-p.done:
+				return finish(o)
+			default:
+				return Result{}, ErrClosed
+			}
+		}
+	}
+}
+
+// ---- batching loop (transformer backend) ----
 
 func (s *Server) loop() {
 	defer s.wg.Done()
@@ -270,6 +440,11 @@ func (s *Server) loop() {
 			}
 			tok, done := lr.dec.Next(logits[i])
 			lr.last = tok
+			if lr.p.events != nil {
+				// Delivered as soon as this batching step completes;
+				// capacity is pre-sized, so the loop never blocks.
+				lr.p.events <- lr.pd.Next(tok)
+			}
 			if done {
 				bp.Drop(lr.slot)
 				s.finish(lr)
@@ -288,7 +463,7 @@ func (s *Server) admit(bp batchPredictor, active *[]*liveReq, p *pending) {
 		s.count(func(st *Stats) { st.Cancelled++ })
 		return
 	}
-	ids, err := s.model.PromptWindow(p.req.Prompt, p.req.MaxTokens)
+	ids, err := s.model.EncodePrompt(p.req.Prompt, p.req.MaxTokens)
 	if err != nil {
 		p.done <- outcome{err: err}
 		s.count(func(st *Stats) { st.Failed++ })
@@ -302,12 +477,16 @@ func (s *Server) admit(bp batchPredictor, active *[]*liveReq, p *pending) {
 	if p.req.StopAtEOS {
 		stop = tokenizer.EOS
 	}
-	*active = append(*active, &liveReq{
+	lr := &liveReq{
 		p:      p,
 		slot:   bp.Add(),
 		forced: ids,
 		dec:    sample.NewDecoder(strat, stop, p.req.MaxTokens, mathx.NewRNG(p.req.Seed+977)),
-	})
+	}
+	if p.events != nil {
+		lr.pd = lm.NewPieceDecoder(s.backend.Decode)
+	}
+	*active = append(*active, lr)
 }
 
 // coalesce lingers briefly after a batch forms from idle, gathering more
@@ -332,11 +511,7 @@ func (s *Server) coalesce(bp batchPredictor, active *[]*liveReq) {
 
 // finish decodes a completed request and replies.
 func (s *Server) finish(lr *liveReq) {
-	toks := lr.dec.Tokens()
-	if lr.p.req.StopAtEOS && len(toks) > 0 && toks[len(toks)-1] == tokenizer.EOS {
-		toks = toks[:len(toks)-1]
-	}
-	lr.p.done <- outcome{res: Result{Text: s.model.Tok.Decode(toks), Tokens: toks}}
+	lr.p.done <- outcome{res: lm.Finish(s.backend, lr.dec.Tokens(), lr.p.req.Options())}
 	s.count(func(st *Stats) { st.Completed++ })
 }
 
@@ -347,6 +522,11 @@ func (s *Server) shutdown(bp batchPredictor, active []*liveReq) {
 		lr.p.done <- outcome{err: ErrClosed}
 		s.count(func(st *Stats) { st.Failed++ })
 	}
+	s.drainQueue()
+}
+
+// drainQueue fails everything still queued at shutdown.
+func (s *Server) drainQueue() {
 	for {
 		select {
 		case p := <-s.queue:
@@ -355,6 +535,63 @@ func (s *Server) shutdown(bp batchPredictor, active []*liveReq) {
 		default:
 			return
 		}
+	}
+}
+
+// ---- single-sequence loop (non-transformer backends) ----
+
+// loopSingle serves requests one at a time through the generic decoding
+// driver: same queue, validation, streaming, cancellation, and stats
+// surface as the batched loop, for backends without a batched predictor.
+func (s *Server) loopSingle() {
+	defer s.wg.Done()
+	for {
+		select {
+		case p := <-s.queue:
+			s.serveSingle(p)
+		case <-s.quit:
+			s.drainQueue()
+			return
+		}
+	}
+}
+
+// serveSingle runs one queued request to completion.
+func (s *Server) serveSingle(p *pending) {
+	if err := p.ctx.Err(); err != nil {
+		p.done <- outcome{err: err}
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return
+	}
+	onTok := func(ev sample.Token) error {
+		select {
+		case <-s.quit:
+			return ErrClosed
+		default:
+		}
+		s.count(func(st *Stats) {
+			st.Steps++
+			st.StepRows++
+			if st.MaxBatch < 1 {
+				st.MaxBatch = 1
+			}
+		})
+		if p.events != nil {
+			p.events <- ev
+		}
+		return nil
+	}
+	res, err := lm.StreamOptions(p.ctx, s.backend, p.req.Prompt, onTok, p.req.Options())
+	switch {
+	case err == nil:
+		p.done <- outcome{res: res}
+		s.count(func(st *Stats) { st.Completed++ })
+	case p.ctx.Err() != nil:
+		p.done <- outcome{err: p.ctx.Err()}
+		s.count(func(st *Stats) { st.Cancelled++ })
+	default:
+		p.done <- outcome{err: err}
+		s.count(func(st *Stats) { st.Failed++ })
 	}
 }
 

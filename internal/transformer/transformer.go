@@ -470,6 +470,11 @@ func GPT3Estimate(dBlocks, p int) int {
 // caching, so each new token costs O(L·p) attention work instead of
 // rebuilding the full O(L²) graph. It reads the trained weights and does
 // not construct autograd state.
+//
+// Predictor is the transformer's streaming hook: it satisfies
+// sample.Stepper, so the unified generation API (lm.Gen / lm.Stream and the
+// serving front end) drives it token by token exactly like the other model
+// substrates.
 type Predictor struct {
 	m *Model
 	// Per layer, per head: cached keys and values, one row per position.

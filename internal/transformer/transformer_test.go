@@ -7,8 +7,12 @@ import (
 	"repro/internal/autograd"
 	"repro/internal/mathx"
 	"repro/internal/nn"
+	"repro/internal/sample"
 	"repro/internal/tensor"
 )
+
+// The streaming/serving stack drives Predictor through sample.Stepper.
+var _ sample.Stepper = (*Predictor)(nil)
 
 func tinyConfig() Config {
 	return Config{

@@ -17,7 +17,7 @@ func exampleConfig() llm.Config {
 }
 
 // Example is the quickstart: synthesize a corpus, train a small
-// transformer, and sample a continuation.
+// transformer, and sample a continuation with the unified options API.
 func Example() {
 	lines := llm.SyntheticCorpus(200, 42)
 	model, curve, err := llm.Train(lines, exampleConfig())
@@ -26,15 +26,42 @@ func Example() {
 		return
 	}
 	fmt.Println("trained:", curve.FinalLoss() > 0)
-	toks, err := model.GenerateTokens("the king", 6, llm.Temperature(0.8), 1)
+	res, err := model.Gen("the king",
+		llm.WithMaxTokens(6), llm.WithStrategy(llm.Temperature(0.8)), llm.WithSeed(1))
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	fmt.Println("generated tokens:", len(toks))
+	fmt.Println("generated tokens:", len(res.Tokens))
 	// Output:
 	// trained: true
 	// generated tokens: 6
+}
+
+// ExampleLLM_Stream streams a generation token by token: every sampled
+// token is delivered as an event whose text pieces concatenate to exactly
+// the final text.
+func ExampleLLM_Stream() {
+	lines := llm.SyntheticCorpus(200, 42)
+	model, _, err := llm.Train(lines, exampleConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var streamed string
+	res, err := model.Stream(context.Background(), "the king",
+		func(t llm.Token) error {
+			streamed += t.Text
+			return nil
+		},
+		llm.WithMaxTokens(5))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("pieces equal final text:", streamed == res.Text)
+	// Output:
+	// pieces equal final text: true
 }
 
 // ExampleTrain_workers trains with the data-parallel engine: the minibatch
@@ -56,9 +83,9 @@ func ExampleTrain_workers() {
 	// trained in parallel: true
 }
 
-// ExampleServer serves a trained model: concurrent Generate calls are
-// coalesced into batched forward passes, and each result is identical to
-// the corresponding direct LLM.Generate call.
+// ExampleServer serves a trained model: concurrent requests are coalesced
+// into batched forward passes, and each result is identical to the
+// corresponding direct Gen call with the same options.
 func ExampleServer() {
 	lines := llm.SyntheticCorpus(200, 42)
 	model, _, err := llm.Train(lines, exampleConfig())
@@ -69,13 +96,37 @@ func ExampleServer() {
 	srv := llm.NewServer(model, llm.ServerConfig{MaxBatch: 4})
 	defer srv.Close()
 
-	served, err := srv.Generate(context.Background(), "the king", 5, llm.Greedy(), 0)
+	opts := []llm.GenOption{llm.WithMaxTokens(5), llm.WithSeed(0)}
+	served, err := srv.Gen(context.Background(), "the king", opts...)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	direct, _ := model.Generate("the king", 5, llm.Greedy(), 0)
-	fmt.Println("matches the direct call:", served == direct)
+	direct, _ := model.Gen("the king", opts...)
+	fmt.Println("matches the direct call:", served.Text == direct.Text)
 	// Output:
 	// matches the direct call: true
+}
+
+// ExampleNewBackendServer serves a non-transformer rung of the §5 model
+// ladder through the same Server API: the backend is trained behind the
+// LanguageModel interface and served in single-sequence mode.
+func ExampleNewBackendServer() {
+	backend, err := llm.TrainBackend("ngram", llm.SyntheticCorpus(200, 42), 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	srv := llm.NewBackendServer(backend, llm.ServerConfig{})
+	defer srv.Close()
+
+	res, err := srv.Gen(context.Background(), "the king", llm.WithMaxTokens(5), llm.WithSeed(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	direct, _ := llm.Gen(backend, "the king", llm.WithMaxTokens(5), llm.WithSeed(2))
+	fmt.Println("served ngram matches direct:", res.Text == direct.Text)
+	// Output:
+	// served ngram matches direct: true
 }

@@ -20,7 +20,19 @@
 //	lines := llm.SyntheticCorpus(500, 42)
 //	model, _, err := llm.Train(lines, llm.DefaultConfig())
 //	if err != nil { ... }
-//	text, _ := model.Generate("the king", 8, llm.Temperature(0.8), 1)
+//	res, _ := model.Gen("the king",
+//		llm.WithMaxTokens(8), llm.WithStrategy(llm.Temperature(0.8)), llm.WithSeed(1))
+//
+// Generation is one operation parameterized by functional options
+// (WithMaxTokens, WithStrategy, WithSeed, WithStop), and every entry point
+// accepts the same options: direct calls, streaming, the batched server,
+// and any backend behind the LanguageModel interface. Streaming delivers
+// per-token events whose pieces concatenate to the exact final text:
+//
+//	model.Stream(ctx, "the king", func(t llm.Token) error {
+//		fmt.Print(t.Text)
+//		return nil
+//	}, llm.WithMaxTokens(8))
 //
 // To serve concurrent traffic, wrap the model in a Server: requests are
 // coalesced into batched forward passes while preserving the exact output
@@ -28,7 +40,8 @@
 //
 //	srv := llm.NewServer(model, llm.ServerConfig{})
 //	defer srv.Close()
-//	text, err := srv.Generate(ctx, "the king", 8, llm.Temperature(0.8), 1)
+//	res, err := srv.Gen(ctx, "the king",
+//		llm.WithMaxTokens(8), llm.WithStrategy(llm.Temperature(0.8)), llm.WithSeed(1))
 package llm
 
 import (
@@ -38,11 +51,13 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/grammar"
+	"repro/internal/lm"
 	"repro/internal/mathx"
 	"repro/internal/nn"
 	"repro/internal/sample"
 	"repro/internal/scaling"
 	"repro/internal/serve"
+	"repro/internal/train"
 	"repro/internal/transformer"
 )
 
@@ -102,11 +117,21 @@ func Train(lines []string, cfg Config) (*LLM, *TrainingCurve, error) {
 
 // TrainingCurve exposes the recorded optimization trajectory.
 type TrainingCurve struct {
-	res interface{ FinalTrainLoss() float64 }
+	res *train.Result
 }
 
 // FinalLoss returns the last training loss.
 func (c *TrainingCurve) FinalLoss() float64 { return c.res.FinalTrainLoss() }
+
+// Losses returns the full per-step training-loss slice (one entry per
+// optimizer step, in step order).
+func (c *TrainingCurve) Losses() []float64 {
+	out := make([]float64, len(c.res.Curve))
+	for i, rec := range c.res.Curve {
+		out[i] = rec.TrainLoss
+	}
+	return out
+}
 
 // Strategy selects how tokens are sampled (Eq. 8 of the paper and its
 // truncated variants).
@@ -124,6 +149,67 @@ func TopK(k int, t float64) Strategy { return sample.TopK{K: k, T: t} }
 // TopP returns nucleus sampling with mass p at temperature t.
 func TopP(p, t float64) Strategy { return sample.TopP{P: p, T: t} }
 
+// ParseStrategy resolves a strategy name ("greedy", "temp", "topk", "topp")
+// and its numeric knobs into a Strategy with conventional defaults — the
+// shared parser of the CLIs and the HTTP front end.
+func ParseStrategy(name string, temp, p float64, k int) (Strategy, error) {
+	return sample.ParseStrategy(name, temp, p, k)
+}
+
+// ---- Unified generation options ----
+
+// GenOption parameterizes one generation; build requests with the With*
+// constructors. The same options drive LLM.Gen, LLM.Stream, Server.Gen,
+// Server.Stream, and NewGenRequest.
+type GenOption = sample.Option
+
+// WithMaxTokens sets the generation budget.
+func WithMaxTokens(n int) GenOption { return sample.WithMaxTokens(n) }
+
+// WithStrategy sets the decoding strategy.
+func WithStrategy(s Strategy) GenOption { return sample.WithStrategy(s) }
+
+// WithSeed sets the per-request sampling seed.
+func WithSeed(seed uint64) GenOption { return sample.WithSeed(seed) }
+
+// WithStop stops decoding at the end-of-sequence separator and trims it.
+func WithStop() GenOption { return sample.WithStop() }
+
+// Token is one streamed generation event: the index-th sampled token, its
+// vocabulary id, and the decoded text piece it contributes. Concatenating
+// the pieces of a generation yields exactly the final text.
+type Token = sample.Token
+
+// LanguageModel is the backend-agnostic encode/step/decode contract of the
+// generation API: the trained transformer pipeline (*LLM) satisfies it, as
+// do the §5 ladder substrates trained via TrainBackend, so evaluation,
+// serving (single-sequence mode), and the CLIs accept any backend.
+type LanguageModel = lm.LanguageModel
+
+// Gen runs one generation over any backend with the unified options; for a
+// *LLM it is identical to model.Gen.
+func Gen(m LanguageModel, prompt string, opts ...GenOption) (GenResult, error) {
+	return lm.Gen(m, prompt, opts...)
+}
+
+// Stream is Gen with per-token delivery through onToken.
+func Stream(ctx context.Context, m LanguageModel, prompt string, onToken func(Token) error, opts ...GenOption) (GenResult, error) {
+	return lm.Stream(ctx, m, prompt, onToken, opts...)
+}
+
+// TrainBackend trains one rung of the §5 model ladder on lines and returns
+// it behind the LanguageModel interface. Recognized names: "ngram", "ffn",
+// "rnn", and "transformer" (the full pipeline with cfg defaults).
+func TrainBackend(name string, lines []string, seed uint64) (LanguageModel, error) {
+	if name == "transformer" {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		model, _, err := Train(lines, cfg)
+		return model, err
+	}
+	return lm.TrainBackend(name, lines, seed)
+}
+
 // SyntheticCorpus samples n sentences of English-like PCFG text — the
 // repository's stand-in for a natural-language corpus.
 func SyntheticCorpus(n int, seed uint64) []string {
@@ -137,10 +223,17 @@ func SyntheticCorpus(n int, seed uint64) []string {
 type ServerConfig = serve.Config
 
 // GenRequest is one generation job for a Server, with per-request sampling
-// strategy, seed, token budget, and stop behavior.
+// strategy, seed, token budget, and stop behavior — the struct form of the
+// unified generation options.
 type GenRequest = serve.Request
 
-// GenResult is a finished Server generation.
+// NewGenRequest builds a GenRequest from the unified functional options.
+func NewGenRequest(prompt string, opts ...GenOption) GenRequest {
+	return serve.NewRequest(prompt, opts...)
+}
+
+// GenResult is a finished generation — the same shape whether it came from
+// a direct Gen call or through a Server.
 type GenResult = serve.Result
 
 // ServerStats is a snapshot of Server throughput counters.
@@ -163,16 +256,44 @@ func NewServer(model *LLM, cfg ServerConfig) *Server {
 	return &Server{s: serve.New(model, cfg)}
 }
 
+// NewBackendServer starts a generation server over any LanguageModel: the
+// transformer pipeline gets the continuous-batching loop, every other
+// backend an equivalent single-sequence loop with the same request,
+// streaming, cancellation, and stats semantics.
+func NewBackendServer(m LanguageModel, cfg ServerConfig) *Server {
+	return &Server{s: serve.NewBackend(m, cfg)}
+}
+
 // Generate batches a free-running generation of n tokens, equivalent to
 // LLM.Generate(prompt, n, strat, seed) but safe to call from any number of
 // goroutines concurrently.
+//
+// Deprecated: use Gen with functional options, or Do with a GenRequest.
 func (s *Server) Generate(ctx context.Context, prompt string, n int, strat Strategy, seed uint64) (string, error) {
 	return s.s.Generate(ctx, prompt, n, strat, seed)
+}
+
+// Gen submits a generation built from the unified functional options and
+// blocks until it completes.
+func (s *Server) Gen(ctx context.Context, prompt string, opts ...GenOption) (GenResult, error) {
+	return s.s.Gen(ctx, prompt, opts...)
 }
 
 // Do submits a fully specified generation request.
 func (s *Server) Do(ctx context.Context, req GenRequest) (GenResult, error) {
 	return s.s.Do(ctx, req)
+}
+
+// Validate reports whether req would be accepted by Do/Stream, without
+// submitting it — front ends use it to reject bad requests before
+// committing to a response (e.g. before writing streaming headers).
+func (s *Server) Validate(req GenRequest) error { return s.s.Validate(req) }
+
+// Stream is Do with per-token delivery: onToken receives every sampled
+// token as its decoding step completes; the final text is bitwise identical
+// to the unbatched path for the same request.
+func (s *Server) Stream(ctx context.Context, req GenRequest, onToken func(Token) error) (GenResult, error) {
+	return s.s.Stream(ctx, req, onToken)
 }
 
 // Stats returns a snapshot of the server counters.
@@ -183,6 +304,11 @@ func (s *Server) Close() { s.s.Close() }
 
 // Generator is the model interface of the evaluation harness.
 type Generator = eval.Generator
+
+// Completer adapts any LanguageModel to the evaluation harness's Generator
+// interface (greedy, stop-at-EOS decoding) — *LLM satisfies Generator
+// directly, so this is mainly for the non-transformer backends.
+func Completer(m LanguageModel) Generator { return lm.Completer{M: m} }
 
 // Task is a named benchmark task.
 type Task = eval.Task

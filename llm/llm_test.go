@@ -1,6 +1,7 @@
 package llm_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,11 +22,70 @@ func TestQuickstartFlow(t *testing.T) {
 	if curve.FinalLoss() <= 0 {
 		t.Errorf("final loss = %v", curve.FinalLoss())
 	}
+	losses := curve.Losses()
+	if len(losses) != cfg.Steps {
+		t.Fatalf("Losses has %d entries, want one per step (%d)", len(losses), cfg.Steps)
+	}
+	if losses[len(losses)-1] != curve.FinalLoss() {
+		t.Errorf("Losses[-1] = %v != FinalLoss %v", losses[len(losses)-1], curve.FinalLoss())
+	}
 	out, err := model.Generate("the king", 6, llm.Temperature(0.8), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = out // may be empty if EOS sampled; API contract is no error
+
+	// The unified options API reproduces the positional call bitwise.
+	res, err := model.Gen("the king",
+		llm.WithMaxTokens(6), llm.WithStrategy(llm.Temperature(0.8)), llm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != out {
+		t.Errorf("Gen %q != Generate %q", res.Text, out)
+	}
+
+	// Streaming delivers pieces that concatenate to the same final text.
+	var streamed strings.Builder
+	sres, err := model.Stream(context.Background(), "the king", func(tok llm.Token) error {
+		streamed.WriteString(tok.Text)
+		return nil
+	}, llm.WithMaxTokens(6), llm.WithStrategy(llm.Temperature(0.8)), llm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Text != out || streamed.String() != out {
+		t.Errorf("streamed %q / pieces %q != %q", sres.Text, streamed.String(), out)
+	}
+}
+
+// TestBackendLadderThroughPublicAPI trains two non-transformer backends,
+// generates from both through the unified API, and runs the unchanged eval
+// harness against them.
+func TestBackendLadderThroughPublicAPI(t *testing.T) {
+	lines := llm.SyntheticCorpus(120, 11)
+	for _, name := range []string{"ngram", "ffn"} {
+		backend, err := llm.TrainBackend(name, lines, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := llm.Gen(backend, "the king", llm.WithMaxTokens(5), llm.WithSeed(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Tokens) != 5 {
+			t.Errorf("%s: %d tokens, want 5", name, len(res.Tokens))
+		}
+		task := llm.BenchmarkSuite(1)[0]
+		task.Items = task.Items[:6] // keep the public smoke test fast
+		acc := llm.ScoreTask(llm.Completer(backend), task, 1, 2)
+		if acc < 0 || acc > 1 {
+			t.Errorf("%s: accuracy %v out of range", name, acc)
+		}
+	}
+	if _, err := llm.TrainBackend("bogus", lines, 1); err == nil {
+		t.Error("unknown backend accepted")
+	}
 }
 
 func TestPublicBenchmarkSuite(t *testing.T) {
