@@ -535,6 +535,53 @@ func BenchmarkStreamingFirstToken(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeToken is E19: steady-state single-sequence decode cost of
+// the compiled inference fast path on the E18 serving config — per-token
+// latency, tokens/sec, and allocations per token (the latter pinned to zero
+// by the arena + preallocated KV cache; see also the regression test in
+// internal/transformer). Each iteration appends one token to a predictor
+// that is re-armed (outside the timer) whenever the window fills.
+func BenchmarkDecodeToken(b *testing.B) {
+	lines := corpus.PCFGText(grammar.TinyEnglish(), 120, 10, mathx.NewRNG(11))
+	model, _, err := core.Train(lines, core.Config{
+		Tokenizer: core.WordTok,
+		Model: transformer.Config{
+			Dim: 32, Layers: 2, Heads: 2, Window: 32,
+			Pos: transformer.PosLearned, Act: nn.GELU,
+		},
+		Steps: 30, BatchSize: 2, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.Model
+	prompt, err := model.EncodePrompt("the king", 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arm := func() (*transformer.Predictor, []float64) {
+		p := m.NewPredictor()
+		var logits []float64
+		for _, id := range prompt {
+			logits = p.Append(id)
+		}
+		return p, logits
+	}
+	p, logits := arm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Len() >= m.Cfg.Window {
+			b.StopTimer()
+			p, logits = arm()
+			b.StartTimer()
+		}
+		next, _ := mathx.ArgMax(logits)
+		logits = p.Append(next)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tok/s")
+}
+
 // BenchmarkGPT3ParameterFormula is E15: the §6 parameter arithmetic.
 func BenchmarkGPT3ParameterFormula(b *testing.B) {
 	var got int

@@ -13,6 +13,10 @@
 //	             [-p 0.9] [-seed 1] [-stream]
 //	llm-generate -backend ngram|ffn|rnn [-corpus lines.txt] [-synthetic 500]
 //	             -prompt "the king" [...]
+//
+// -cpuprofile and -memprofile write pprof profiles (CPU sampling over the
+// whole run; heap snapshot at exit) so decoding performance work can be
+// measured instead of guessed.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("llm-generate: ")
 	var (
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		backend    = flag.String("backend", "transformer", "model backend: transformer, ngram, ffn or rnn")
 		modelPath  = flag.String("model", "model.json", "checkpoint path (transformer backend)")
 		corpusPath = flag.String("corpus", "", "training corpus for non-transformer backends; empty = synthetic")
@@ -47,6 +53,12 @@ func main() {
 		stream     = flag.Bool("stream", false, "print tokens as they are sampled")
 	)
 	flag.Parse()
+
+	stopProfiles, err := llm.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	model, err := loadBackend(*backend, *modelPath, *corpusPath, *synthetic)
 	if err != nil {

@@ -8,7 +8,11 @@
 //	llm-train -out model.json [-corpus lines.txt] [-tokenizer word|bpe]
 //	          [-dim 32] [-layers 2] [-heads 2] [-window 16]
 //	          [-steps 400] [-lr 0.003] [-seed 7] [-synthetic 500]
-//	          [-workers N]
+//	          [-workers N] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -cpuprofile and -memprofile write pprof profiles (CPU sampling over the
+// whole run; heap snapshot at exit) so training performance work can be
+// measured instead of guessed.
 //
 // -workers > 1 shards each optimizer step's minibatch across that many
 // goroutines with deterministic gradient reduction (-workers -1 selects the
@@ -30,12 +34,15 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/nn"
 	"repro/internal/transformer"
+	"repro/llm"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("llm-train: ")
 	var (
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		corpusPath = flag.String("corpus", "", "training corpus file (one document per line); empty = synthetic")
 		synthetic  = flag.Int("synthetic", 500, "synthetic corpus size when -corpus is empty")
 		tokKind    = flag.String("tokenizer", "word", "tokenizer: word or bpe")
@@ -50,6 +57,12 @@ func main() {
 		out        = flag.String("out", "model.json", "checkpoint output path")
 	)
 	flag.Parse()
+
+	stopProfiles, err := llm.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	var lines []string
 	if *corpusPath != "" {

@@ -172,6 +172,7 @@ func argmaxRow(t *tensor.Tensor, i int) int {
 type Ablation struct {
 	saved []float64
 	dst   *tensor.Tensor
+	m     *transformer.Model
 }
 
 // AblateHead zeroes head h of block layer and returns a handle to restore
@@ -185,14 +186,17 @@ func AblateHead(m *transformer.Model, layer, head int) *Ablation {
 		panic(fmt.Sprintf("interp: head %d out of range", head))
 	}
 	wv := attn.HeadValueWeights(head)
-	a := &Ablation{saved: append([]float64(nil), wv.Data...), dst: wv}
+	a := &Ablation{saved: append([]float64(nil), wv.Data...), dst: wv, m: m}
 	for i := range wv.Data {
 		wv.Data[i] = 0
 	}
+	// The edit bypasses the trainer, so drop any compiled inference view.
+	m.InvalidateCompiled()
 	return a
 }
 
 // Restore reinstates the ablated weights.
 func (a *Ablation) Restore() {
 	copy(a.dst.Data, a.saved)
+	a.m.InvalidateCompiled()
 }

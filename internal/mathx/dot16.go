@@ -1,0 +1,42 @@
+package mathx
+
+// DotInterleaved16 computes sixteen dot products against a shared right-hand
+// vector in one pass: w holds sixteen rows interleaved element-wise
+// (w[i*16+k] is element i of row k, len(w) = 16*len(x)), and dst receives
+// the sixteen sums.
+//
+// Each row's sum accumulates in strictly ascending element order with a
+// separate multiply and add per term, so every result is bitwise identical
+// to sixteen independent Dot calls. The interleaved layout is what makes the
+// kernel fast: element i of all sixteen rows is one contiguous 128-byte run,
+// and the sixteen accumulators are independent dependency chains, so the
+// amd64 assembly implementation keeps four 4-lane vector accumulators in
+// flight and saturates the FP ports instead of stalling on one serial
+// add chain. This is the inner kernel of the transformer's compiled decode
+// path; packing is done once per weight matrix at predictor-compile time.
+func DotInterleaved16(dst *[16]float64, w, x []float64) {
+	if len(w) != 16*len(x) {
+		panic("mathx: DotInterleaved16 length mismatch")
+	}
+	dotInterleaved16(dst, w, x)
+}
+
+// dotInterleaved16Go is the portable implementation (and the reference the
+// assembly kernels are tested against bitwise): four passes of four
+// independent accumulators.
+func dotInterleaved16Go(dst *[16]float64, w, x []float64) {
+	for off := 0; off < 16; off += 4 {
+		var s0, s1, s2, s3 float64
+		for i, xv := range x {
+			base := i*16 + off
+			s0 += w[base] * xv
+			s1 += w[base+1] * xv
+			s2 += w[base+2] * xv
+			s3 += w[base+3] * xv
+		}
+		dst[off] = s0
+		dst[off+1] = s1
+		dst[off+2] = s2
+		dst[off+3] = s3
+	}
+}

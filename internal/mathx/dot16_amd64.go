@@ -1,0 +1,43 @@
+//go:build amd64
+
+package mathx
+
+// The assembly kernels keep four vector accumulators (one per group of four
+// interleaved rows); every lane performs the same sequence of scalar
+// multiply-then-add operations as the portable loop — separate VMULPD and
+// VADDPD, never fused multiply-add — so lane results are bitwise identical
+// to Dot. AVX (256-bit, four rows per register) is selected at startup when
+// the CPU and OS support it; every amd64 CPU has the SSE2 path.
+
+//go:noescape
+func dotInterleaved16AVX(dst *[16]float64, w, x []float64)
+
+//go:noescape
+func dotInterleaved16SSE(dst *[16]float64, w, x []float64)
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+var useAVX = detectAVX()
+
+// detectAVX reports AVX support: CPU capability (CPUID leaf 1 ECX bit 28),
+// OSXSAVE enabled (bit 27), and the OS actually saving xmm+ymm state
+// (XGETBV XCR0 bits 1 and 2).
+func detectAVX() bool {
+	_, _, ecx, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	return xcr0&0x6 == 0x6
+}
+
+func dotInterleaved16(dst *[16]float64, w, x []float64) {
+	if useAVX {
+		dotInterleaved16AVX(dst, w, x)
+		return
+	}
+	dotInterleaved16SSE(dst, w, x)
+}

@@ -1,0 +1,130 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotInterleaved16AVX(dst *[16]float64, w, x []float64)
+//
+// Four 256-bit accumulators Y0-Y3 hold the sixteen row sums (four rows per
+// register). Per element i: broadcast x[i], then for each group of four
+// rows one aligned-run load, one VMULPD and one VADDPD. Each lane sees the
+// exact scalar sequence s += w[i]*x[i] in ascending i order — no FMA, no
+// reassociation — so results are bitwise identical to the portable loop.
+TEXT ·dotInterleaved16AVX(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ w_base+8(FP), SI
+	MOVQ x_base+32(FP), DX
+	MOVQ x_len+40(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ AX, AX
+avxloop:
+	CMPQ AX, CX
+	JGE  avxdone
+	VBROADCASTSD (DX)(AX*8), Y4
+	MOVQ AX, BX
+	SHLQ $7, BX            // byte offset of element i's 16-row run: i*16*8
+	VMOVUPD (SI)(BX*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y0, Y0
+	VMOVUPD 32(SI)(BX*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y1, Y1
+	VMOVUPD 64(SI)(BX*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y2, Y2
+	VMOVUPD 96(SI)(BX*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y3, Y3
+	INCQ AX
+	JMP  avxloop
+avxdone:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func dotInterleaved16SSE(dst *[16]float64, w, x []float64)
+//
+// Baseline-amd64 variant of the same kernel: eight 128-bit accumulators
+// X0-X7 (two rows each), broadcast via UNPCKLPD. Identical per-lane
+// arithmetic order.
+TEXT ·dotInterleaved16SSE(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ w_base+8(FP), SI
+	MOVQ x_base+32(FP), DX
+	MOVQ x_len+40(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	XORQ AX, AX
+sseloop:
+	CMPQ AX, CX
+	JGE  ssedone
+	MOVSD    (DX)(AX*8), X8
+	UNPCKLPD X8, X8
+	MOVQ AX, BX
+	SHLQ $7, BX
+	MOVUPD (SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X0
+	MOVUPD 16(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X1
+	MOVUPD 32(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X2
+	MOVUPD 48(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X3
+	MOVUPD 64(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X4
+	MOVUPD 80(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X5
+	MOVUPD 96(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X6
+	MOVUPD 112(SI)(BX*1), X9
+	MULPD  X8, X9
+	ADDPD  X9, X7
+	INCQ AX
+	JMP  sseloop
+ssedone:
+	MOVUPD X0, (DI)
+	MOVUPD X1, 16(DI)
+	MOVUPD X2, 32(DI)
+	MOVUPD X3, 48(DI)
+	MOVUPD X4, 64(DI)
+	MOVUPD X5, 80(DI)
+	MOVUPD X6, 96(DI)
+	MOVUPD X7, 112(DI)
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package mathx
+
+func dotInterleaved16(dst *[16]float64, w, x []float64) {
+	dotInterleaved16Go(dst, w, x)
+}

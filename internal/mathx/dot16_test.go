@@ -1,0 +1,82 @@
+package mathx
+
+import "testing"
+
+// TestDotInterleaved16MatchesDot checks the interleaved kernel (assembly on
+// amd64, portable elsewhere) bitwise against both the portable reference
+// and sixteen independent Dot calls, across lengths that exercise the empty,
+// short, and long paths.
+func TestDotInterleaved16MatchesDot(t *testing.T) {
+	rng := NewRNG(1)
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 32, 33, 128, 1000} {
+		w := make([]float64, 16*n)
+		x := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Norm()
+		}
+		for i := range x {
+			x[i] = rng.Norm()
+		}
+		// Sprinkle exact zeros to cover the ±0 accumulation paths.
+		if n > 2 {
+			x[1] = 0
+			w[16+3] = 0
+		}
+		var got, ref [16]float64
+		DotInterleaved16(&got, w, x)
+		dotInterleaved16Go(&ref, w, x)
+		for k := 0; k < 16; k++ {
+			row := make([]float64, n)
+			for i := 0; i < n; i++ {
+				row[i] = w[i*16+k]
+			}
+			want := Dot(row, x)
+			if got[k] != want {
+				t.Fatalf("n=%d lane %d: kernel %v != Dot %v", n, k, got[k], want)
+			}
+			if ref[k] != want {
+				t.Fatalf("n=%d lane %d: portable %v != Dot %v", n, k, ref[k], want)
+			}
+		}
+	}
+}
+
+func TestDotInterleaved16PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var dst [16]float64
+	DotInterleaved16(&dst, make([]float64, 15), make([]float64, 1))
+}
+
+// TestSoftmaxIntoMatchesSoftmax pins the scratch variant (including the
+// aliased dst == xs case the attention path uses) bitwise to Softmax.
+func TestSoftmaxIntoMatchesSoftmax(t *testing.T) {
+	rng := NewRNG(2)
+	for _, n := range []int{1, 2, 17, 100} {
+		for _, beta := range []float64{0.25, 1, 4} {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Norm() * 3
+			}
+			want := Softmax(xs, beta)
+			dst := make([]float64, n)
+			SoftmaxInto(dst, xs, beta)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d beta=%v: SoftmaxInto[%d] = %v, Softmax %v", n, beta, i, dst[i], want[i])
+				}
+			}
+			// In place.
+			inplace := append([]float64(nil), xs...)
+			SoftmaxInto(inplace, inplace, beta)
+			for i := range want {
+				if inplace[i] != want[i] {
+					t.Fatalf("n=%d beta=%v aliased: [%d] = %v, want %v", n, beta, i, inplace[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -107,19 +107,28 @@ func LogSumExp(xs []float64) float64 {
 // Softmax writes the softmax of xs (with inverse temperature beta, i.e. the
 // Boltzmann distribution of the paper's Eq. 8) into a new slice.
 func Softmax(xs []float64, beta float64) []float64 {
-	out := make([]float64, len(xs))
+	return SoftmaxInto(make([]float64, len(xs)), xs, beta)
+}
+
+// SoftmaxInto is Softmax writing into a caller-provided slice (len(dst) must
+// equal len(xs)); dst may alias xs. It performs the exact arithmetic of
+// Softmax, so results are bitwise identical — the allocation-free variant the
+// inference hot paths reuse a scratch buffer with.
+func SoftmaxInto(dst, xs []float64, beta float64) []float64 {
+	if len(dst) != len(xs) {
+		panic("mathx: SoftmaxInto length mismatch")
+	}
 	if len(xs) == 0 {
-		return out
+		return dst
 	}
-	scaled := make([]float64, len(xs))
 	for i, x := range xs {
-		scaled[i] = beta * x
+		dst[i] = beta * x
 	}
-	lse := LogSumExp(scaled)
-	for i, x := range scaled {
-		out[i] = math.Exp(x - lse)
+	lse := LogSumExp(dst)
+	for i, x := range dst {
+		dst[i] = math.Exp(x - lse)
 	}
-	return out
+	return dst
 }
 
 // Clip returns x clamped into [lo, hi].

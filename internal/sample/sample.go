@@ -44,13 +44,20 @@ type Temperature struct{ T float64 }
 
 // Pick implements Strategy.
 func (s Temperature) Pick(logits []float64, rng *mathx.RNG) int {
+	return s.pickScratch(logits, rng, &pickScratch{})
+}
+
+func (s Temperature) pickScratch(logits []float64, rng *mathx.RNG, sc *pickScratch) int {
 	if s.T <= 0 {
 		panic("sample: temperature must be positive (use Greedy for T→0)")
 	}
-	return rng.Categorical(mathx.Softmax(logits, 1/s.T))
+	probs := sc.floats(&sc.probs, len(logits))
+	return rng.Categorical(mathx.SoftmaxInto(probs, logits, 1/s.T))
 }
 
-// TopK samples at temperature T from only the K highest-logit tokens.
+// TopK samples at temperature T from only the K highest-logit tokens,
+// selected by partial heap selection rather than a full-vocabulary sort
+// (identical result, including tie order).
 type TopK struct {
 	K int
 	T float64
@@ -58,12 +65,16 @@ type TopK struct {
 
 // Pick implements Strategy.
 func (s TopK) Pick(logits []float64, rng *mathx.RNG) int {
+	return s.pickScratch(logits, rng, &pickScratch{})
+}
+
+func (s TopK) pickScratch(logits []float64, rng *mathx.RNG, sc *pickScratch) int {
 	k := s.K
 	if k <= 0 || k > len(logits) {
 		k = len(logits)
 	}
-	idx := argsortDesc(logits)[:k]
-	sub := make([]float64, k)
+	idx := selectTopK(logits, k, sc)
+	sub := sc.floats(&sc.sub, k)
 	for i, j := range idx {
 		sub[i] = logits[j]
 	}
@@ -71,11 +82,13 @@ func (s TopK) Pick(logits []float64, rng *mathx.RNG) int {
 	if t <= 0 {
 		t = 1
 	}
-	return idx[rng.Categorical(mathx.Softmax(sub, 1/t))]
+	return idx[rng.Categorical(mathx.SoftmaxInto(sub, sub, 1/t))]
 }
 
 // TopP (nucleus) samples from the smallest set of tokens whose softmax
-// probability mass reaches P.
+// probability mass reaches P, found by popping a max-heap until the mass
+// condition holds rather than sorting the full vocabulary (identical
+// result: same selection, same tie order, same cumulative sums).
 type TopP struct {
 	P float64
 	T float64
@@ -83,36 +96,21 @@ type TopP struct {
 
 // Pick implements Strategy.
 func (s TopP) Pick(logits []float64, rng *mathx.RNG) int {
+	return s.pickScratch(logits, rng, &pickScratch{})
+}
+
+func (s TopP) pickScratch(logits []float64, rng *mathx.RNG, sc *pickScratch) int {
 	t := s.T
 	if t <= 0 {
 		t = 1
 	}
-	probs := mathx.Softmax(logits, 1/t)
-	idx := argsortDesc(probs)
-	mass := 0.0
-	cut := len(idx)
-	for i, j := range idx {
-		mass += probs[j]
-		if mass >= s.P {
-			cut = i + 1
-			break
-		}
-	}
-	idx = idx[:cut]
-	sub := make([]float64, cut)
+	probs := mathx.SoftmaxInto(sc.floats(&sc.probs, len(logits)), logits, 1/t)
+	idx := selectNucleus(probs, s.P, sc)
+	sub := sc.floats(&sc.sub, len(idx))
 	for i, j := range idx {
 		sub[i] = probs[j]
 	}
 	return idx[rng.Categorical(sub)]
-}
-
-func argsortDesc(xs []float64) []int {
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
-	return idx
 }
 
 // Decoder is the per-request state of incremental decoding: a sampling
@@ -128,6 +126,10 @@ type Decoder struct {
 	remaining int
 	done      bool
 	out       []int
+	// sc is reused across steps by the built-in strategies, so the
+	// per-token sampling state (softmax probabilities, selection heap) is
+	// allocated once per request instead of once per token.
+	sc pickScratch
 }
 
 // NewDecoder returns a decoder that samples up to maxTokens tokens with
@@ -144,7 +146,11 @@ func (d *Decoder) Next(logits []float64) (tok int, done bool) {
 	if d.done {
 		panic("sample: Decoder.Next after completion")
 	}
-	tok = d.strat.Pick(logits, d.rng)
+	if sp, ok := d.strat.(scratchPicker); ok {
+		tok = sp.pickScratch(logits, d.rng, &d.sc)
+	} else {
+		tok = d.strat.Pick(logits, d.rng)
+	}
 	d.out = append(d.out, tok)
 	d.remaining--
 	if d.remaining <= 0 || (d.stop >= 0 && tok == d.stop) {

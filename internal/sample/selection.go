@@ -1,0 +1,132 @@
+package sample
+
+import "repro/internal/mathx"
+
+// This file is the truncated-sampling fast path: TopK and TopP used to
+// stable-sort the full vocabulary per token; they now run partial selection
+// with a max-heap — O(V + k·log V) for top-k, O(V + m·log V) for a nucleus
+// of m tokens — over a scratch arena the Decoder reuses across steps. The
+// heap order (value descending, index ascending on ties) is exactly the
+// order sort.SliceStable produced, so the selected sets, their iteration
+// order, and therefore the sampled token streams are identical to the
+// sort-based implementation (argsortDesc, kept for the parity tests).
+
+// pickScratch is per-decoder scratch for the sampling strategies: softmax
+// probabilities, heap storage, and the selected-candidate buffers. The zero
+// value is ready to use; buffers grow to the vocabulary size once and are
+// reused every step.
+type pickScratch struct {
+	probs []float64 // softmax output (TopP) or truncated logits (TopK)
+	sub   []float64 // candidate weights handed to Categorical
+	heap  []int     // max-heap of candidate indices
+	sel   []int     // selected indices in descending order
+}
+
+func (sc *pickScratch) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (sc *pickScratch) ints(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// scratchPicker is implemented by strategies that can run against a reused
+// scratch arena; Decoder feeds its persistent scratch through it so
+// steady-state decoding does not reallocate sampling state.
+type scratchPicker interface {
+	pickScratch(logits []float64, rng *mathx.RNG, sc *pickScratch) int
+}
+
+// heapBetter is the selection order: higher value first, lower index first
+// on ties — the exact order of a stable descending sort.
+func heapBetter(xs []float64, a, b int) bool {
+	if xs[a] != xs[b] {
+		return xs[a] > xs[b]
+	}
+	return a < b
+}
+
+// heapInit fills h with 0..n-1 arranged as a max-heap under heapBetter.
+func heapInit(h []int, xs []float64) {
+	for i := range h {
+		h[i] = i
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, xs, i)
+	}
+}
+
+func siftDown(h []int, xs []float64, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && heapBetter(xs, h[r], h[l]) {
+			best = r
+		}
+		if !heapBetter(xs, h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// heapPop removes and returns the root of h (the current best index),
+// returning the shrunk heap.
+func heapPop(h []int, xs []float64) (int, []int) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if len(h) > 0 {
+		siftDown(h, xs, 0)
+	}
+	return top, h
+}
+
+// selectTopK writes the indices of the k largest values of xs into sc.sel
+// in stable descending order — equal to argsortDesc(xs)[:k] — without
+// sorting the rest.
+func selectTopK(xs []float64, k int, sc *pickScratch) []int {
+	h := sc.ints(&sc.heap, len(xs))
+	heapInit(h, xs)
+	sel := sc.ints(&sc.sel, k)
+	for i := 0; i < k; i++ {
+		sel[i], h = heapPop(h, xs)
+	}
+	return sel
+}
+
+// selectNucleus writes the smallest stable-descending prefix of probs whose
+// mass reaches p into sc.sel (the whole vocabulary when it never does),
+// accumulating mass in the same order — and therefore with the same
+// floating-point sums and cutoff — as the sorted implementation.
+func selectNucleus(probs []float64, p float64, sc *pickScratch) []int {
+	h := sc.ints(&sc.heap, len(probs))
+	heapInit(h, probs)
+	sel := sc.ints(&sc.sel, 0)
+	mass := 0.0
+	for len(h) > 0 {
+		var j int
+		j, h = heapPop(h, probs)
+		sel = append(sel, j)
+		mass += probs[j]
+		if mass >= p {
+			break
+		}
+	}
+	sc.sel = sel
+	return sel
+}

@@ -1,0 +1,192 @@
+package sample
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// argsortDesc is the sort-based selection order the heap path replaced,
+// kept as the parity-test reference.
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// referenceTopK is the retired sort-based TopK.Pick, kept verbatim as the
+// parity oracle for the heap-selection fast path.
+func referenceTopK(s TopK, logits []float64, rng *mathx.RNG) int {
+	k := s.K
+	if k <= 0 || k > len(logits) {
+		k = len(logits)
+	}
+	idx := argsortDesc(logits)[:k]
+	sub := make([]float64, k)
+	for i, j := range idx {
+		sub[i] = logits[j]
+	}
+	t := s.T
+	if t <= 0 {
+		t = 1
+	}
+	return idx[rng.Categorical(mathx.Softmax(sub, 1/t))]
+}
+
+// referenceTopP is the retired sort-based TopP.Pick.
+func referenceTopP(s TopP, logits []float64, rng *mathx.RNG) int {
+	t := s.T
+	if t <= 0 {
+		t = 1
+	}
+	probs := mathx.Softmax(logits, 1/t)
+	idx := argsortDesc(probs)
+	mass := 0.0
+	cut := len(idx)
+	for i, j := range idx {
+		mass += probs[j]
+		if mass >= s.P {
+			cut = i + 1
+			break
+		}
+	}
+	idx = idx[:cut]
+	sub := make([]float64, cut)
+	for i, j := range idx {
+		sub[i] = probs[j]
+	}
+	return idx[rng.Categorical(sub)]
+}
+
+// tieLogits builds a vocabulary with deliberate duplicate values so the
+// stable tie order (lower index first) is actually exercised.
+func tieLogits(n int, rng *mathx.RNG) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		// Quantized draws force frequent exact ties.
+		xs[i] = math.Floor(rng.Norm()*4) / 4
+	}
+	return xs
+}
+
+func TestSelectTopKMatchesArgsort(t *testing.T) {
+	rng := mathx.NewRNG(21)
+	var sc pickScratch
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(97)
+		xs := tieLogits(n, rng)
+		want := argsortDesc(xs)
+		for _, k := range []int{1, 2, n / 2, n} {
+			if k < 1 {
+				k = 1
+			}
+			if k > n {
+				k = n
+			}
+			got := selectTopK(xs, k, &sc)
+			for i := 0; i < k; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d k=%d pos %d: heap %d != sort %d (xs=%v)",
+						trial, n, k, i, got[i], want[i], xs)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectNucleusMatchesArgsort(t *testing.T) {
+	rng := mathx.NewRNG(22)
+	var sc pickScratch
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(97)
+		probs := mathx.Softmax(tieLogits(n, rng), 1)
+		for _, p := range []float64{0.1, 0.5, 0.9, 0.999, 1.0, 2.0} {
+			idx := argsortDesc(probs)
+			mass := 0.0
+			cut := len(idx)
+			for i, j := range idx {
+				mass += probs[j]
+				if mass >= p {
+					cut = i + 1
+					break
+				}
+			}
+			want := idx[:cut]
+			got := selectNucleus(probs, p, &sc)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d p=%v: nucleus size %d != %d", trial, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d p=%v pos %d: heap %d != sort %d", trial, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestHeapStrategiesMatchSortReference drives the live TopK/TopP (heap +
+// scratch) and the preserved sort-based implementations with identical RNG
+// streams over many random vocabularies: every sampled token must agree,
+// proving the fast path changes neither the candidate sets, their order,
+// nor the floating-point sums that pick the nucleus cutoff.
+func TestHeapStrategiesMatchSortReference(t *testing.T) {
+	rng := mathx.NewRNG(23)
+	var sc pickScratch
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(128)
+		logits := tieLogits(n, rng)
+		seed := uint64(trial)
+
+		topk := TopK{K: 1 + rng.Intn(n), T: 0.7}
+		if got, want := topk.pickScratch(logits, mathx.NewRNG(seed), &sc),
+			referenceTopK(topk, logits, mathx.NewRNG(seed)); got != want {
+			t.Fatalf("trial %d TopK%+v: heap %d != sort %d", trial, topk, got, want)
+		}
+
+		topp := TopP{P: []float64{0.1, 0.5, 0.9, 1}[rng.Intn(4)], T: 0.7}
+		if got, want := topp.pickScratch(logits, mathx.NewRNG(seed), &sc),
+			referenceTopP(topp, logits, mathx.NewRNG(seed)); got != want {
+			t.Fatalf("trial %d TopP%+v: heap %d != sort %d", trial, topp, got, want)
+		}
+
+		// And the exported Pick (fresh scratch) agrees with the reused one.
+		if got, want := topk.Pick(logits, mathx.NewRNG(seed)),
+			topk.pickScratch(logits, mathx.NewRNG(seed), &sc); got != want {
+			t.Fatalf("trial %d TopK: Pick %d != scratch %d", trial, got, want)
+		}
+		if got, want := topp.Pick(logits, mathx.NewRNG(seed)),
+			topp.pickScratch(logits, mathx.NewRNG(seed), &sc); got != want {
+			t.Fatalf("trial %d TopP: Pick %d != scratch %d", trial, got, want)
+		}
+	}
+}
+
+// TestDecoderScratchReuseIsAllocationFree pins the per-token sampling cost:
+// after the first step warms the scratch, further Decoder.Next calls with
+// the built-in truncated strategies must not allocate.
+func TestDecoderScratchReuseIsAllocationFree(t *testing.T) {
+	rng := mathx.NewRNG(24)
+	logits := make([]float64, 512)
+	for i := range logits {
+		logits[i] = rng.Norm()
+	}
+	for _, strat := range []Strategy{Temperature{T: 0.8}, TopK{K: 40, T: 0.8}, TopP{P: 0.9, T: 0.8}} {
+		d := NewDecoder(strat, -1, 1<<30, mathx.NewRNG(25))
+		d.Next(logits) // warm the scratch
+		// The token ring (d.out) grows amortized; pre-grow it so the
+		// measurement isolates the sampling path.
+		d.out = make([]int, 1, 4096)
+		allocs := testing.AllocsPerRun(200, func() {
+			d.Next(logits)
+		})
+		if allocs != 0 {
+			t.Errorf("%T: %v allocs per Next, want 0", strat, allocs)
+		}
+	}
+}

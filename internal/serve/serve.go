@@ -365,6 +365,9 @@ func (s *Server) loop() {
 	defer s.wg.Done()
 	bp := s.model.Model.NewBatchedPredictor()
 	var active []*liveReq
+	// Step buffers, reused across iterations: the decode loop allocates
+	// nothing per step beyond what a request's own lifecycle requires.
+	var ids, toks []int
 	for {
 		// Admission: block when idle, otherwise top up without waiting.
 		if len(active) == 0 {
@@ -410,24 +413,17 @@ func (s *Server) loop() {
 		}
 		// One batched forward step: prefilling requests feed their next
 		// prompt token, decoding requests feed their last sample.
-		ids := make([]int, len(active))
-		toks := make([]int, len(active))
-		for i, lr := range active {
-			ids[i] = lr.slot
+		ids, toks = ids[:0], toks[:0]
+		for _, lr := range active {
+			ids = append(ids, lr.slot)
 			if len(lr.forced) > 0 {
-				toks[i] = lr.forced[0]
+				toks = append(toks, lr.forced[0])
 			} else {
-				toks[i] = lr.last
+				toks = append(toks, lr.last)
 			}
 		}
 		logits := bp.Step(ids, toks)
-		s.count(func(st *Stats) {
-			st.Steps++
-			st.StepRows += uint64(len(ids))
-			if len(ids) > st.MaxBatch {
-				st.MaxBatch = len(ids)
-			}
-		})
+		s.countStep(len(ids))
 		alive = active[:0]
 		for i, lr := range active {
 			if len(lr.forced) > 0 {
@@ -569,13 +565,7 @@ func (s *Server) serveSingle(p *pending) {
 			return ErrClosed
 		default:
 		}
-		s.count(func(st *Stats) {
-			st.Steps++
-			st.StepRows++
-			if st.MaxBatch < 1 {
-				st.MaxBatch = 1
-			}
-		})
+		s.countStep(1)
 		if p.events != nil {
 			p.events <- ev
 		}
@@ -598,6 +588,18 @@ func (s *Server) serveSingle(p *pending) {
 func (s *Server) count(f func(*Stats)) {
 	s.mu.Lock()
 	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// countStep records one decoding step of the given batch width without
+// allocating (the closure form would capture the width and escape).
+func (s *Server) countStep(rows int) {
+	s.mu.Lock()
+	s.stats.Steps++
+	s.stats.StepRows += uint64(rows)
+	if rows > s.stats.MaxBatch {
+		s.stats.MaxBatch = rows
+	}
 	s.mu.Unlock()
 }
 

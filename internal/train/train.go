@@ -240,6 +240,12 @@ func Run(model LossModel, data []Batch, cfg Config) (*Result, error) {
 	}
 	rng := mathx.NewRNG(cfg.Seed + 1)
 	params := model.Parameters()
+	// Optimizer steps mutate the weight tensors in place; models that cache
+	// a compiled inference view (transformer.Model) must drop it so
+	// predictors built after this run see the trained weights.
+	if inv, ok := model.(interface{ InvalidateCompiled() }); ok {
+		defer inv.InvalidateCompiled()
+	}
 	pool := newWorkerPool(model, cfg)
 	res := &Result{}
 	idx := make([]int, cfg.BatchSize)

@@ -3,6 +3,8 @@ package transformer
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/mathx"
 	"repro/internal/nn"
@@ -18,29 +20,63 @@ import (
 //
 // Every step reproduces Predictor.Append's arithmetic operation-for-
 // operation, so the logits for a sequence are bitwise identical to running
-// it alone through a Predictor. The batch win is cache locality and — with
-// GOMAXPROCS > 1 — the parallel matmul kernels; per-sequence attention over
-// the KV cache stays sequential per row.
+// it alone through a Predictor: NewBatchedPredictor runs the same inference
+// compile step, and every dense projection goes through the same packed
+// kernels row by row; per-sequence attention over the KV cache stays
+// sequential per row.
+//
+// Like Predictor, the batched path avoids per-step churn: each sequence's
+// KV cache is preallocated to the window at Add, and all step intermediates
+// (projections, residuals, logits) live in a scratch arena reused across
+// Step calls. Rows are independent through every dense projection, so the
+// per-row packed sweeps fan out across GOMAXPROCS when the step is large
+// enough to amortize scheduling — output order per row is untouched, so
+// results stay bitwise identical at any worker count.
 //
 // A BatchedPredictor reads model weights and is not safe for concurrent use;
 // the serving loop owns one and is the sole caller.
 type BatchedPredictor struct {
 	m    *Model
+	c    *compiledModel
 	seqs map[int]*batchSeq
 	next int
+
+	// Step scratch, grown to the largest batch seen and reused.
+	rows    []*batchSeq
+	seen    map[int]bool
+	x       *tensor.Tensor // embeddings / residual stream (batch×Dim)
+	norm    *tensor.Tensor // layer-norm output (batch×Dim)
+	q       *tensor.Tensor // all heads' queries, head-major (batch×Dim)
+	k       *tensor.Tensor // all heads' keys (batch×Dim)
+	v       *tensor.Tensor // all heads' values (batch×Dim)
+	concat  *tensor.Tensor // concatenated head outputs (batch×Dim)
+	attnOut *tensor.Tensor // attention / FFN output (batch×Dim)
+	hidden  *tensor.Tensor // FFN hidden (batch×Hidden)
+	logits  *tensor.Tensor // unembedding output (batch×Vocab)
+	out     [][]float64    // per-sequence logit views handed to the caller
+	scores  []float64      // per-head attention scores (Window)
 }
 
 // batchSeq is one sequence's decoding state: positions processed so far and
-// the per-layer, per-head KV cache (one row per position).
+// the per-layer, per-head KV cache, preallocated to the model window (rows
+// [0, n) are valid).
 type batchSeq struct {
 	n    int
 	keys [][]*tensor.Tensor
 	vals [][]*tensor.Tensor
 }
 
-// NewBatchedPredictor creates an empty batch over m.
+// NewBatchedPredictor compiles m's weights (the same packed layouts
+// Predictor uses) and returns an empty batch over them. Like NewPredictor,
+// the compile step snapshots the matrix weights at call time.
 func (m *Model) NewBatchedPredictor() *BatchedPredictor {
-	return &BatchedPredictor{m: m, seqs: map[int]*batchSeq{}}
+	return &BatchedPredictor{
+		m:      m,
+		c:      m.compile(),
+		seqs:   map[int]*batchSeq{},
+		seen:   map[int]bool{},
+		scores: make([]float64, m.Cfg.Window),
+	}
 }
 
 // Add registers a new empty sequence and returns its handle.
@@ -55,8 +91,8 @@ func (bp *BatchedPredictor) Add() int {
 		s.keys[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
 		s.vals[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
 		for h := range s.keys[i] {
-			s.keys[i][h] = tensor.New(0, hd)
-			s.vals[i][h] = tensor.New(0, hd)
+			s.keys[i][h] = tensor.New(m.Cfg.Window, hd)
+			s.vals[i][h] = tensor.New(m.Cfg.Window, hd)
 		}
 	}
 	id := bp.next
@@ -80,10 +116,68 @@ func (bp *BatchedPredictor) Len(id int) int {
 	return s.n
 }
 
+// ensure resizes a scratch tensor view to rows×cols, reusing its backing
+// array when capacity allows.
+func ensure(t **tensor.Tensor, rows, cols int) *tensor.Tensor {
+	if *t == nil || cap((*t).Data) < rows*cols {
+		*t = tensor.New(rows, cols)
+		return *t
+	}
+	(*t).Shape[0], (*t).Shape[1] = rows, cols
+	(*t).Data = (*t).Data[:rows*cols]
+	return *t
+}
+
+// rowParallelWork is the per-call flop count above which a per-row sweep
+// fans out across goroutines (matches tensor.MatMul's threshold scale).
+const rowParallelWork = 64 * 64 * 64
+
+// parallelRows reports whether a per-row sweep of the given total flop
+// count should fan out. Call sites keep a plain inline loop for the serial
+// case so the steady-state single-core path allocates nothing (a closure
+// passed to rowParallel escapes to the heap).
+func parallelRows(n, work int) bool {
+	return runtime.GOMAXPROCS(0) >= 2 && n >= 2 && work >= rowParallelWork
+}
+
+// rowParallel runs f(i) for every row i in [0, n) across GOMAXPROCS
+// goroutines; callers gate on parallelRows. Each row writes only its own
+// outputs, so the result is identical to the serial loop at any worker
+// count.
+func rowParallel(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Step feeds one token per listed sequence and returns next-position logits
 // aligned with ids. Sequences not listed stay untouched, which lets callers
 // prefill a newly admitted request while others are mid-decode. It panics on
 // an unknown or duplicated id, and when a sequence's window is exhausted.
+//
+// The returned rows are views into the predictor's step scratch: they are
+// valid until the next Step call (the serving loop and every decoding
+// driver consume them immediately). Clone a row to retain it.
 func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 	m := bp.m
 	if len(ids) != len(tokens) {
@@ -93,17 +187,21 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 		return nil
 	}
 	batch := len(ids)
-	seqs := make([]*batchSeq, batch)
-	seen := make(map[int]bool, batch)
+	if cap(bp.rows) < batch {
+		bp.rows = make([]*batchSeq, batch)
+		bp.out = make([][]float64, batch)
+	}
+	seqs := bp.rows[:batch]
+	clear(bp.seen)
 	for i, id := range ids {
 		s := bp.seqs[id]
 		if s == nil {
 			panic(fmt.Sprintf("transformer: unknown batch sequence %d", id))
 		}
-		if seen[id] {
+		if bp.seen[id] {
 			panic(fmt.Sprintf("transformer: sequence %d listed twice in one step", id))
 		}
-		seen[id] = true
+		bp.seen[id] = true
 		if s.n >= m.Cfg.Window {
 			panic("transformer: predictor window exhausted")
 		}
@@ -111,9 +209,10 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 	}
 	// Embed the step's tokens: one row per sequence, at that sequence's
 	// own position.
-	x := tensor.GatherRows(m.TokEmb.W.Value, tokens)
+	x := ensure(&bp.x, batch, m.Cfg.Dim)
 	for i, s := range seqs {
 		row := x.Row(i)
+		copy(row, m.TokEmb.W.Value.Row(tokens[i]))
 		switch m.Cfg.Pos {
 		case PosLearned:
 			for j, v := range m.PosTable.Value.Row(s.n) {
@@ -126,18 +225,32 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 		}
 	}
 	for li, b := range m.Blocks {
-		x = bp.blockStepBatch(li, b, x, seqs)
+		bp.blockStepBatch(li, b, x, seqs)
 	}
-	x = layerNormRows(x, m.FinalNorm)
-	logits := tensor.MatMul(x, m.Output.W.Value)
-	obias := m.Output.B.Value.Row(0)
-	out := make([][]float64, batch)
-	for i := range out {
-		row := logits.Row(i)
-		for o, bv := range obias {
-			row[o] += bv
+	layerNormRowsInto(x, x, m.FinalNorm)
+	logits := ensure(&bp.logits, batch, m.Cfg.Vocab)
+	out := bp.out[:batch]
+	// The serial branches below inline the row bodies rather than calling a
+	// shared closure: a closure that is ever passed to rowParallel escapes
+	// and would cost one heap allocation per step even on the serial path.
+	if parallelRows(batch, batch*m.Cfg.Vocab*m.Cfg.Dim) {
+		rowParallel(batch, func(i int) {
+			row := logits.Row(i)
+			bp.c.out.matVec(row, x.Row(i))
+			for o, bv := range bp.c.outB {
+				row[o] += bv
+			}
+			out[i] = row
+		})
+	} else {
+		for i := 0; i < batch; i++ {
+			row := logits.Row(i)
+			bp.c.out.matVec(row, x.Row(i))
+			for o, bv := range bp.c.outB {
+				row[o] += bv
+			}
+			out[i] = row
 		}
-		out[i] = row
 	}
 	for _, s := range seqs {
 		s.n++
@@ -145,102 +258,146 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 	return out
 }
 
-func (bp *BatchedPredictor) blockStepBatch(li int, b *Block, x *tensor.Tensor, seqs []*batchSeq) *tensor.Tensor {
+// blockStepBatch advances one block over the residual stream in x, in place.
+func (bp *BatchedPredictor) blockStepBatch(li int, b *Block, x *tensor.Tensor, seqs []*batchSeq) {
 	m := bp.m
+	cl := &bp.c.layers[li]
 	hd := m.Cfg.Dim / m.Cfg.Heads
 	batch := x.Shape[0]
 	attnIn := x
 	if !b.postNorm {
-		attnIn = layerNormRows(x, b.LN1)
+		attnIn = layerNormRowsInto(ensure(&bp.norm, batch, m.Cfg.Dim), x, b.LN1)
 	}
-	// All heads' Q/K/V projections for the whole batch in one batched call.
-	ws := make([]*tensor.Tensor, 0, 3*len(b.Attn.heads))
-	for _, h := range b.Attn.heads {
-		ws = append(ws, h.Wq.W.Value, h.Wk.W.Value, h.Wv.W.Value)
+	// All heads' Q/K/V projections, one packed sweep per sequence row.
+	q := ensure(&bp.q, batch, m.Cfg.Dim)
+	k := ensure(&bp.k, batch, m.Cfg.Dim)
+	v := ensure(&bp.v, batch, m.Cfg.Dim)
+	// Serial branches inline the row bodies: a closure passed to
+	// rowParallel escapes and would allocate per step (see Step).
+	if parallelRows(batch, batch*3*m.Cfg.Dim*m.Cfg.Dim) {
+		rowParallel(batch, func(i int) {
+			in := attnIn.Row(i)
+			cl.wq.matVec(q.Row(i), in)
+			cl.wk.matVec(k.Row(i), in)
+			cl.wv.matVec(v.Row(i), in)
+		})
+	} else {
+		for i := 0; i < batch; i++ {
+			in := attnIn.Row(i)
+			cl.wq.matVec(q.Row(i), in)
+			cl.wk.matVec(k.Row(i), in)
+			cl.wv.matVec(v.Row(i), in)
+		}
 	}
-	projs := tensor.MatMulBatch(attnIn, ws)
-	concat := tensor.New(batch, m.Cfg.Dim)
+	concat := ensure(&bp.concat, batch, m.Cfg.Dim)
 	scale := 1 / math.Sqrt(float64(hd))
 	stride := m.Cfg.SparseStride
 	for hi := range b.Attn.heads {
-		q, k, v := projs[3*hi], projs[3*hi+1], projs[3*hi+2]
 		for i, s := range seqs {
-			s.keys[li][hi] = appendRow(s.keys[li][hi], k.Row(i))
-			s.vals[li][hi] = appendRow(s.vals[li][hi], v.Row(i))
 			kc, vc := s.keys[li][hi], s.vals[li][hi]
 			pos := s.n
-			scores := make([]float64, pos+1)
-			for j := 0; j <= pos; j++ {
-				if stride > 0 && pos-j >= stride && j%stride != 0 {
-					scores[j] = math.Inf(-1)
-					continue
+			copy(kc.Row(pos), k.Row(i)[hi*hd:(hi+1)*hd])
+			copy(vc.Row(pos), v.Row(i)[hi*hd:(hi+1)*hd])
+			qh := q.Row(i)[hi*hd : (hi+1)*hd]
+			scores := bp.scores[:pos+1]
+			if stride > 0 {
+				for j := 0; j <= pos; j++ {
+					if pos-j >= stride && j%stride != 0 {
+						scores[j] = math.Inf(-1)
+						continue
+					}
+					scores[j] = mathx.Dot(qh, kc.Row(j)) * scale
 				}
-				scores[j] = mathx.Dot(q.Row(i), kc.Row(j)) * scale
+			} else {
+				attnScores(scores, qh, kc, pos, scale)
 			}
-			w := mathx.Softmax(scores, 1)
+			w := mathx.SoftmaxInto(scores, scores, 1)
 			out := concat.Row(i)[hi*hd : (hi+1)*hd]
-			for j := 0; j <= pos; j++ {
-				if w[j] == 0 {
-					continue
-				}
-				vr := vc.Row(j)
-				for d := range out {
-					out[d] += w[j] * vr[d]
-				}
+			weightedValueSum(out, vc, w, pos, hd)
+		}
+	}
+	attnOut := ensure(&bp.attnOut, batch, m.Cfg.Dim)
+	if parallelRows(batch, batch*m.Cfg.Dim*m.Cfg.Dim) {
+		rowParallel(batch, func(i int) { cl.wo.matVec(attnOut.Row(i), concat.Row(i)) })
+	} else {
+		for i := 0; i < batch; i++ {
+			cl.wo.matVec(attnOut.Row(i), concat.Row(i))
+		}
+	}
+	for i := 0; i < batch; i++ {
+		xr, ar := x.Row(i), attnOut.Row(i)
+		for d := range xr {
+			xr[d] += ar[d]
+		}
+	}
+	if b.postNorm {
+		layerNormRowsInto(x, x, b.LN1)
+	}
+	ffnIn := x
+	if !b.postNorm {
+		ffnIn = layerNormRowsInto(ensure(&bp.norm, batch, m.Cfg.Dim), x, b.LN2)
+	}
+	h := ensure(&bp.hidden, batch, m.Cfg.Hidden)
+	if parallelRows(batch, batch*m.Cfg.Dim*m.Cfg.Hidden) {
+		rowParallel(batch, func(i int) {
+			row := h.Row(i)
+			cl.ffnIn.matVec(row, ffnIn.Row(i))
+			for j, bv := range cl.ffnInB {
+				row[j] += bv
+			}
+			for j, hv := range row {
+				row[j] = actScalar(b.FFN.Act, hv)
+			}
+		})
+	} else {
+		for i := 0; i < batch; i++ {
+			row := h.Row(i)
+			cl.ffnIn.matVec(row, ffnIn.Row(i))
+			for j, bv := range cl.ffnInB {
+				row[j] += bv
+			}
+			for j, hv := range row {
+				row[j] = actScalar(b.FFN.Act, hv)
 			}
 		}
 	}
-	attnOut := tensor.MatMul(concat, b.Attn.Wo.W.Value)
-	res := tensor.New(batch, m.Cfg.Dim)
-	for i := 0; i < batch; i++ {
-		xr, ar, rr := x.Row(i), attnOut.Row(i), res.Row(i)
-		for d := range rr {
-			rr[d] = xr[d] + ar[d]
+	ffnOut := ensure(&bp.attnOut, batch, m.Cfg.Dim)
+	if parallelRows(batch, batch*m.Cfg.Dim*m.Cfg.Hidden) {
+		rowParallel(batch, func(i int) {
+			fr := ffnOut.Row(i)
+			cl.ffnOut.matVec(fr, h.Row(i))
+			xr := x.Row(i)
+			for j, bv := range cl.ffnOutB {
+				fr[j] += bv
+			}
+			for d := range xr {
+				xr[d] += fr[d]
+			}
+		})
+	} else {
+		for i := 0; i < batch; i++ {
+			fr := ffnOut.Row(i)
+			cl.ffnOut.matVec(fr, h.Row(i))
+			xr := x.Row(i)
+			for j, bv := range cl.ffnOutB {
+				fr[j] += bv
+			}
+			for d := range xr {
+				xr[d] += fr[d]
+			}
 		}
 	}
 	if b.postNorm {
-		res = layerNormRows(res, b.LN1)
+		layerNormRowsInto(x, x, b.LN2)
 	}
-	ffnIn := res
-	if !b.postNorm {
-		ffnIn = layerNormRows(res, b.LN2)
-	}
-	h := tensor.MatMul(ffnIn, b.FFN.In.W.Value)
-	inBias := b.FFN.In.B.Value.Row(0)
-	for i := 0; i < batch; i++ {
-		row := h.Row(i)
-		for j, bv := range inBias {
-			row[j] += bv
-		}
-		for j, v := range row {
-			row[j] = actScalar(b.FFN.Act, v)
-		}
-	}
-	ffnOut := tensor.MatMul(h, b.FFN.Out.W.Value)
-	outBias := b.FFN.Out.B.Value.Row(0)
-	out := tensor.New(batch, m.Cfg.Dim)
-	for i := 0; i < batch; i++ {
-		rr, fr, or := res.Row(i), ffnOut.Row(i), out.Row(i)
-		for j, bv := range outBias {
-			fr[j] += bv
-		}
-		for d := range or {
-			or[d] = rr[d] + fr[d]
-		}
-	}
-	if b.postNorm {
-		out = layerNormRows(out, b.LN2)
-	}
-	return out
 }
 
-// layerNormRows applies the inference-path layer norm row-by-row, reusing
-// the same per-vector kernel as Predictor so batched and unbatched decoding
-// agree bitwise.
-func layerNormRows(x *tensor.Tensor, ln *nn.LayerNorm) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
+// layerNormRowsInto applies the inference-path layer norm row-by-row into
+// dst (which may alias x), reusing the same per-vector kernel as Predictor
+// so batched and unbatched decoding agree bitwise.
+func layerNormRowsInto(dst, x *tensor.Tensor, ln *nn.LayerNorm) *tensor.Tensor {
 	for i := 0; i < x.Shape[0]; i++ {
-		copy(out.Row(i), applyLayerNormVec(x.Row(i), ln))
+		layerNormInto(dst.Row(i), x.Row(i), ln)
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,141 @@
+package transformer
+
+import (
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// packedMat is one projection compiled for single-token inference: the
+// weight matrix transposed to output-major and then packed sixteen output
+// rows at a time into the element-interleaved layout mathx.DotInterleaved16
+// consumes (block b stores rows 16b..16b+15; within a block, element i of
+// all sixteen rows is contiguous). Leftover rows (rows % 16) stay in plain
+// transposed row-major form and are reduced with sequential mathx.Dot
+// calls. Both paths accumulate every output in ascending input order, so a
+// packed matVec is bitwise identical to the training-layout loop it
+// replaces.
+type packedMat struct {
+	rows, cols int
+	blocks     []float64      // (rows/16)·cols·16 interleaved elements
+	tail       *tensor.Tensor // (rows%16)×cols transposed remainder, or nil
+}
+
+// packMat compiles wT (an output-major, i.e. already transposed, weight
+// matrix) into the interleaved block layout.
+func packMat(wT *tensor.Tensor) *packedMat {
+	rows, cols := wT.Shape[0], wT.Shape[1]
+	nb := rows / 16
+	pm := &packedMat{rows: rows, cols: cols, blocks: make([]float64, nb*cols*16)}
+	for b := 0; b < nb; b++ {
+		seg := pm.blocks[b*cols*16 : (b+1)*cols*16]
+		for k := 0; k < 16; k++ {
+			row := wT.Row(b*16 + k)
+			for i, v := range row {
+				seg[i*16+k] = v
+			}
+		}
+	}
+	if rem := rows % 16; rem > 0 {
+		pm.tail = tensor.New(rem, cols)
+		copy(pm.tail.Data, wT.Data[nb*16*cols:])
+	}
+	return pm
+}
+
+// matVec writes wT·x into dst (len rows), one interleaved block — sixteen
+// outputs — per kernel call.
+func (pm *packedMat) matVec(dst, x []float64) {
+	nb := pm.rows / 16
+	for b := 0; b < nb; b++ {
+		mathx.DotInterleaved16((*[16]float64)(dst[b*16:b*16+16]),
+			pm.blocks[b*pm.cols*16:(b+1)*pm.cols*16], x)
+	}
+	if pm.tail != nil {
+		base := nb * 16
+		for r := 0; r < pm.tail.Shape[0]; r++ {
+			dst[base+r] = mathx.Dot(pm.tail.Row(r), x)
+		}
+	}
+}
+
+// compiledLayer is one block's weights packed for single-token inference.
+// The Q/K/V projections of all heads are stacked into one Dim-output matrix
+// each, rows grouped head-major: output h·hd+r is output r of head h, so a
+// single packed matVec produces the concatenated per-head vectors the
+// attention step consumes.
+type compiledLayer struct {
+	wq, wk, wv *packedMat // Dim outputs each, head-stacked
+	wo         *packedMat // Dim outputs
+	ffnIn      *packedMat // Hidden outputs
+	ffnOut     *packedMat // Dim outputs
+	ffnInB     []float64  // views of the live bias tensors
+	ffnOutB    []float64
+}
+
+// compiledModel is the inference-compiled view of a Model: packed projection
+// layouts for every block plus the unembedding. Biases and layer-norm
+// parameters are aliased, not copied — only matrix layouts change.
+type compiledModel struct {
+	layers []compiledLayer
+	out    *packedMat // Vocab outputs
+	outB   []float64
+}
+
+// compile returns the packed inference view of m's weights, building it on
+// first use and sharing it across predictors (serving creates a predictor
+// per request; repacking identical weights each time would dominate short
+// generations). The view snapshots the matrix weights: training through
+// train.Run invalidates the cache (see InvalidateCompiled), so predictors
+// built after a run see the trained weights, while predictors built before
+// keep decoding against the weights they were compiled from. Code that
+// mutates weight tensors directly must call InvalidateCompiled itself.
+func (m *Model) compile() *compiledModel {
+	m.compiledMu.Lock()
+	defer m.compiledMu.Unlock()
+	if m.compiledCache == nil {
+		m.compiledCache = m.buildCompiled()
+	}
+	return m.compiledCache
+}
+
+// InvalidateCompiled drops the cached inference view; the next predictor
+// re-packs the current weights. train.Run calls it after every run.
+func (m *Model) InvalidateCompiled() {
+	m.compiledMu.Lock()
+	m.compiledCache = nil
+	m.compiledMu.Unlock()
+}
+
+// buildCompiled packs every weight matrix for the decode fast path.
+func (m *Model) buildCompiled() *compiledModel {
+	hd := m.Cfg.Dim / m.Cfg.Heads
+	c := &compiledModel{
+		layers: make([]compiledLayer, len(m.Blocks)),
+		out:    packMat(tensor.TransposePack(m.Output.W.Value)),
+		outB:   m.Output.B.Value.Row(0),
+	}
+	for li, b := range m.Blocks {
+		cl := &c.layers[li]
+		cl.wq = packMat(packHeads(b.Attn.heads, hd, m.Cfg.Dim, func(h *head) *nn.Linear { return h.Wq }))
+		cl.wk = packMat(packHeads(b.Attn.heads, hd, m.Cfg.Dim, func(h *head) *nn.Linear { return h.Wk }))
+		cl.wv = packMat(packHeads(b.Attn.heads, hd, m.Cfg.Dim, func(h *head) *nn.Linear { return h.Wv }))
+		cl.wo = packMat(tensor.TransposePack(b.Attn.Wo.W.Value))
+		cl.ffnIn = packMat(tensor.TransposePack(b.FFN.In.W.Value))
+		cl.ffnOut = packMat(tensor.TransposePack(b.FFN.Out.W.Value))
+		cl.ffnInB = b.FFN.In.B.Value.Row(0)
+		cl.ffnOutB = b.FFN.Out.B.Value.Row(0)
+	}
+	return c
+}
+
+// packHeads stacks the transposed per-head projection matrices (each Dim×hd
+// in training layout) into one (heads·hd)×Dim matrix, head-major.
+func packHeads(heads []*head, hd, dim int, pick func(*head) *nn.Linear) *tensor.Tensor {
+	out := tensor.New(len(heads)*hd, dim)
+	for hi, h := range heads {
+		t := tensor.TransposePack(pick(h).W.Value)
+		copy(out.Data[hi*hd*dim:(hi+1)*hd*dim], t.Data)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file preserves the pre-compile Predictor implementation verbatim as a
+// reference: the decode fast path must reproduce its logits bitwise (same
+// accumulation order everywhere), and the E19 experiment measures the
+// speedup against it. It is the slow path by construction — training-layout
+// matVec, copy-grown KV cache, fresh slices per token.
+
+type legacyPredictor struct {
+	m    *Model
+	keys [][]*tensor.Tensor
+	vals [][]*tensor.Tensor
+	n    int
+}
+
+func newLegacyPredictor(m *Model) *legacyPredictor {
+	p := &legacyPredictor{m: m}
+	p.keys = make([][]*tensor.Tensor, len(m.Blocks))
+	p.vals = make([][]*tensor.Tensor, len(m.Blocks))
+	for i, b := range m.Blocks {
+		p.keys[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
+		p.vals[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
+		hd := m.Cfg.Dim / m.Cfg.Heads
+		for h := range p.keys[i] {
+			p.keys[i][h] = tensor.New(0, hd)
+			p.vals[i][h] = tensor.New(0, hd)
+		}
+	}
+	return p
+}
+
+func (p *legacyPredictor) Append(id int) []float64 {
+	m := p.m
+	if p.n >= m.Cfg.Window {
+		panic("transformer: legacy predictor window exhausted")
+	}
+	pos := p.n
+	x := make([]float64, m.Cfg.Dim)
+	copy(x, m.TokEmb.W.Value.Row(id))
+	switch m.Cfg.Pos {
+	case PosLearned:
+		for j, v := range m.PosTable.Value.Row(pos) {
+			x[j] += v
+		}
+	case PosSinusoidal:
+		for j, v := range m.sinTable.Row(pos) {
+			x[j] += v
+		}
+	}
+	for li, b := range m.Blocks {
+		x = p.blockStep(li, b, x, pos)
+	}
+	x = legacyLayerNorm(x, m.FinalNorm)
+	logits := make([]float64, m.Cfg.Vocab)
+	w := m.Output.W.Value
+	for j := range x {
+		if x[j] == 0 {
+			continue
+		}
+		row := w.Row(j)
+		for o := range logits {
+			logits[o] += x[j] * row[o]
+		}
+	}
+	for o, bv := range m.Output.B.Value.Row(0) {
+		logits[o] += bv
+	}
+	p.n++
+	return logits
+}
+
+func (p *legacyPredictor) blockStep(li int, b *Block, x []float64, pos int) []float64 {
+	m := p.m
+	hd := m.Cfg.Dim / m.Cfg.Heads
+	attnIn := x
+	if !b.postNorm {
+		attnIn = legacyLayerNorm(x, b.LN1)
+	}
+	concat := make([]float64, m.Cfg.Dim)
+	for hi, h := range b.Attn.heads {
+		q := legacyMatVecT(h.Wq.W.Value, attnIn)
+		k := legacyMatVecT(h.Wk.W.Value, attnIn)
+		v := legacyMatVecT(h.Wv.W.Value, attnIn)
+		p.keys[li][hi] = legacyAppendRow(p.keys[li][hi], k)
+		p.vals[li][hi] = legacyAppendRow(p.vals[li][hi], v)
+		kc, vc := p.keys[li][hi], p.vals[li][hi]
+		scale := 1 / math.Sqrt(float64(hd))
+		scores := make([]float64, pos+1)
+		s := m.Cfg.SparseStride
+		for j := 0; j <= pos; j++ {
+			if s > 0 && pos-j >= s && j%s != 0 {
+				scores[j] = math.Inf(-1)
+				continue
+			}
+			scores[j] = mathx.Dot(q, kc.Row(j)) * scale
+		}
+		w := mathx.Softmax(scores, 1)
+		out := make([]float64, hd)
+		for j := 0; j <= pos; j++ {
+			if w[j] == 0 {
+				continue
+			}
+			vr := vc.Row(j)
+			for d := range out {
+				out[d] += w[j] * vr[d]
+			}
+		}
+		copy(concat[hi*hd:(hi+1)*hd], out)
+	}
+	attnOut := legacyMatVecT(b.Attn.Wo.W.Value, concat)
+	res := make([]float64, len(x))
+	for i := range res {
+		res[i] = x[i] + attnOut[i]
+	}
+	if b.postNorm {
+		res = legacyLayerNorm(res, b.LN1)
+	}
+	ffnIn := res
+	if !b.postNorm {
+		ffnIn = legacyLayerNorm(res, b.LN2)
+	}
+	ffnOut := legacyFFN(b.FFN, ffnIn)
+	out := make([]float64, len(res))
+	for i := range out {
+		out[i] = res[i] + ffnOut[i]
+	}
+	if b.postNorm {
+		out = legacyLayerNorm(out, b.LN2)
+	}
+	return out
+}
+
+func legacyAppendRow(t *tensor.Tensor, row []float64) *tensor.Tensor {
+	cols := t.Shape[1]
+	return &tensor.Tensor{Shape: []int{t.Shape[0] + 1, cols}, Data: append(t.Data, row...)}
+}
+
+func legacyMatVecT(w *tensor.Tensor, x []float64) []float64 {
+	out := make([]float64, w.Shape[1])
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := w.Row(i)
+		for j, wv := range row {
+			out[j] += xv * wv
+		}
+	}
+	return out
+}
+
+func legacyLayerNorm(x []float64, ln *nn.LayerNorm) []float64 {
+	mu := mathx.Mean(x)
+	va := 0.0
+	for _, v := range x {
+		d := v - mu
+		va += d * d
+	}
+	va /= float64(len(x))
+	is := 1 / math.Sqrt(va+ln.Eps)
+	g := ln.Gain.Value.Row(0)
+	b := ln.Bias.Value.Row(0)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v-mu)*is*g[i] + b[i]
+	}
+	return out
+}
+
+func legacyFFN(f *nn.FFN, x []float64) []float64 {
+	h := legacyMatVecT(f.In.W.Value, x)
+	for i, bv := range f.In.B.Value.Row(0) {
+		h[i] += bv
+	}
+	for i, v := range h {
+		h[i] = actScalar(f.Act, v)
+	}
+	out := legacyMatVecT(f.Out.W.Value, h)
+	for i, bv := range f.Out.B.Value.Row(0) {
+		out[i] += bv
+	}
+	return out
+}
+
+// TestCompiledPredictorMatchesLegacyBitwise drives the compiled fast path
+// and the preserved pre-compile implementation over identical token streams
+// across every positional scheme, norm order, and the sparse mask: logits
+// must agree bitwise at every step, not just within tolerance — the whole
+// fast path is layout and reuse changes, never arithmetic changes.
+func TestCompiledPredictorMatchesLegacyBitwise(t *testing.T) {
+	for _, cfg := range []Config{
+		{Vocab: 23, Dim: 16, Layers: 2, Heads: 2, Window: 14, Pos: PosLearned, Act: nn.GELU},
+		{Vocab: 23, Dim: 16, Layers: 1, Heads: 4, Window: 14, Pos: PosSinusoidal, Act: nn.ReLU},
+		{Vocab: 23, Dim: 16, Layers: 2, Heads: 2, Window: 14, Pos: PosNone, Act: nn.Tanh, PostNorm: true},
+		{Vocab: 23, Dim: 16, Layers: 2, Heads: 2, Window: 14, Pos: PosLearned, Act: nn.GELU, SparseStride: 3},
+	} {
+		m := MustNew(cfg, mathx.NewRNG(77))
+		rng := mathx.NewRNG(78)
+		fast := m.NewPredictor()
+		slow := newLegacyPredictor(m)
+		for step := 0; step < cfg.Window; step++ {
+			id := rng.Intn(cfg.Vocab)
+			got := fast.Append(id)
+			want := slow.Append(id)
+			for o := range want {
+				if got[o] != want[o] {
+					t.Fatalf("cfg %+v step %d logit %d: compiled %v != legacy %v",
+						cfg, step, o, got[o], want[o])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDecodeTokenVsLegacy is the E19 before/after pair at the E18
+// serving shape: per-token Append cost of the compiled fast path against
+// the preserved pre-compile implementation.
+func BenchmarkDecodeTokenVsLegacy(b *testing.B) {
+	cfg := Config{Vocab: 33, Dim: 32, Layers: 2, Heads: 2, Window: 32,
+		Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(9))
+	rng := mathx.NewRNG(10)
+	b.Run("compiled", func(b *testing.B) {
+		p := m.NewPredictor()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if p.Len() >= cfg.Window {
+				b.StopTimer()
+				p = m.NewPredictor()
+				b.StartTimer()
+			}
+			p.Append(rng.Intn(cfg.Vocab))
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		p := newLegacyPredictor(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if p.n >= cfg.Window {
+				b.StopTimer()
+				p = newLegacyPredictor(m)
+				b.StartTimer()
+			}
+			p.Append(rng.Intn(cfg.Vocab))
+		}
+	})
+}

@@ -13,6 +13,7 @@ package transformer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/autograd"
 	"repro/internal/mathx"
@@ -195,6 +196,12 @@ type Model struct {
 	Output    *nn.Linear // Dim → Vocab
 
 	masks map[int]*tensor.Tensor // cached causal masks per length
+
+	// Inference-compiled weight snapshot, built lazily by the predictors
+	// and shared between them; train.Run invalidates it after mutating the
+	// weights (see InvalidateCompiled).
+	compiledMu    sync.Mutex
+	compiledCache *compiledModel
 }
 
 // New constructs a model with §6 initialization (weights ~ N(0, 1/√fan-in)).
@@ -471,31 +478,69 @@ func GPT3Estimate(dBlocks, p int) int {
 // rebuilding the full O(L²) graph. It reads the trained weights and does
 // not construct autograd state.
 //
+// Predictor is the decode fast path: NewPredictor runs an inference compile
+// step that packs every projection into transposed contiguous layout, the
+// KV cache is preallocated to the full window (no copy-growth per token),
+// and all intermediate vectors live in a per-predictor scratch arena reused
+// across Append calls — steady-state decoding performs zero heap
+// allocations while producing logits bitwise identical to the training
+// graph's forward pass.
+//
 // Predictor is the transformer's streaming hook: it satisfies
 // sample.Stepper, so the unified generation API (lm.Gen / lm.Stream and the
 // serving front end) drives it token by token exactly like the other model
 // substrates.
 type Predictor struct {
 	m *Model
-	// Per layer, per head: cached keys and values, one row per position.
+	c *compiledModel
+	// Per layer, per head: cached keys and values, preallocated to Window
+	// rows; rows [0, n) are valid.
 	keys [][]*tensor.Tensor
 	vals [][]*tensor.Tensor
-	// Residual stream cache for positions processed so far.
-	n int
+	n    int
+
+	// Scratch arena, sized once in NewPredictor and reused every Append.
+	x      []float64 // residual stream (Dim)
+	norm   []float64 // layer-norm output (Dim)
+	q      []float64 // all heads' queries, head-major (Dim)
+	k      []float64 // all heads' keys (Dim)
+	v      []float64 // all heads' values (Dim)
+	concat []float64 // concatenated head outputs (Dim)
+	att    []float64 // attention output / FFN output (Dim)
+	hidden []float64 // FFN hidden (Hidden)
+	scores []float64 // attention scores/weights (Window)
+	logits []float64 // next-token logits (Vocab)
 }
 
-// NewPredictor creates an empty-cache predictor for m.
+// NewPredictor compiles m's weights into the packed inference layout and
+// returns an empty-cache predictor over them. The compile step snapshots
+// the matrix weights; training m further does not retarget an existing
+// predictor.
 func (m *Model) NewPredictor() *Predictor {
-	p := &Predictor{m: m}
+	cfg := m.Cfg
+	p := &Predictor{
+		m:      m,
+		c:      m.compile(),
+		x:      make([]float64, cfg.Dim),
+		norm:   make([]float64, cfg.Dim),
+		q:      make([]float64, cfg.Dim),
+		k:      make([]float64, cfg.Dim),
+		v:      make([]float64, cfg.Dim),
+		concat: make([]float64, cfg.Dim),
+		att:    make([]float64, cfg.Dim),
+		hidden: make([]float64, cfg.Hidden),
+		scores: make([]float64, cfg.Window),
+		logits: make([]float64, cfg.Vocab),
+	}
+	hd := cfg.Dim / cfg.Heads
 	p.keys = make([][]*tensor.Tensor, len(m.Blocks))
 	p.vals = make([][]*tensor.Tensor, len(m.Blocks))
 	for i, b := range m.Blocks {
 		p.keys[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
 		p.vals[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
-		hd := m.Cfg.Dim / m.Cfg.Heads
 		for h := range p.keys[i] {
-			p.keys[i][h] = tensor.New(0, hd).Reshape(0, hd)
-			p.vals[i][h] = tensor.New(0, hd)
+			p.keys[i][h] = tensor.New(cfg.Window, hd)
+			p.vals[i][h] = tensor.New(cfg.Window, hd)
 		}
 	}
 	return p
@@ -506,6 +551,10 @@ func (p *Predictor) Len() int { return p.n }
 
 // Append feeds one token and returns the logits for the next position
 // (length Vocab). It panics when the window is exhausted.
+//
+// The returned slice is the predictor's reusable scratch: it is valid until
+// the next Append call, matching how every decoding loop in this repository
+// consumes logits (pick a token, then step again). Clone it to retain.
 func (p *Predictor) Append(id int) []float64 {
 	m := p.m
 	if p.n >= m.Cfg.Window {
@@ -513,125 +562,158 @@ func (p *Predictor) Append(id int) []float64 {
 	}
 	pos := p.n
 	// Embed the single token.
-	x := make([]float64, m.Cfg.Dim)
-	copy(x, m.TokEmb.W.Value.Row(id))
+	copy(p.x, m.TokEmb.W.Value.Row(id))
 	switch m.Cfg.Pos {
 	case PosLearned:
 		for j, v := range m.PosTable.Value.Row(pos) {
-			x[j] += v
+			p.x[j] += v
 		}
 	case PosSinusoidal:
 		for j, v := range m.sinTable.Row(pos) {
-			x[j] += v
+			p.x[j] += v
 		}
 	}
 	for li, b := range m.Blocks {
-		x = p.blockStep(li, b, x, pos)
+		p.blockStep(li, b, pos)
 	}
-	x = applyLayerNormVec(x, m.FinalNorm)
-	// Output projection.
-	logits := make([]float64, m.Cfg.Vocab)
-	w := m.Output.W.Value
-	for j := range x {
-		if x[j] == 0 {
-			continue
-		}
-		row := w.Row(j)
-		for o := range logits {
-			logits[o] += x[j] * row[o]
-		}
-	}
-	for o, bv := range m.Output.B.Value.Row(0) {
-		logits[o] += bv
+	layerNormInto(p.norm, p.x, m.FinalNorm)
+	// Unembedding through the packed kernel.
+	c := p.c
+	c.out.matVec(p.logits, p.norm)
+	for o, bv := range c.outB {
+		p.logits[o] += bv
 	}
 	p.n++
-	return logits
+	return p.logits
 }
 
-func (p *Predictor) blockStep(li int, b *Block, x []float64, pos int) []float64 {
+// blockStep advances one block over the residual stream in p.x, in place.
+func (p *Predictor) blockStep(li int, b *Block, pos int) {
 	m := p.m
+	cl := &p.c.layers[li]
 	hd := m.Cfg.Dim / m.Cfg.Heads
-	attnIn := x
+	attnIn := p.x
 	if !b.postNorm {
-		attnIn = applyLayerNormVec(x, b.LN1)
+		layerNormInto(p.norm, p.x, b.LN1)
+		attnIn = p.norm
 	}
-	concat := make([]float64, m.Cfg.Dim)
-	for hi, h := range b.Attn.heads {
-		q := matVecT(h.Wq.W.Value, attnIn)
-		k := matVecT(h.Wk.W.Value, attnIn)
-		v := matVecT(h.Wv.W.Value, attnIn)
-		// Grow the cache.
-		p.keys[li][hi] = appendRow(p.keys[li][hi], k)
-		p.vals[li][hi] = appendRow(p.vals[li][hi], v)
+	// Q/K/V for every head in three packed sweeps.
+	cl.wq.matVec(p.q, attnIn)
+	cl.wk.matVec(p.k, attnIn)
+	cl.wv.matVec(p.v, attnIn)
+	scale := 1 / math.Sqrt(float64(hd))
+	stride := m.Cfg.SparseStride
+	for hi := 0; hi < m.Cfg.Heads; hi++ {
 		kc, vc := p.keys[li][hi], p.vals[li][hi]
-		scale := 1 / math.Sqrt(float64(hd))
-		scores := make([]float64, pos+1)
-		s := m.Cfg.SparseStride
-		for j := 0; j <= pos; j++ {
-			if s > 0 && pos-j >= s && j%s != 0 {
-				scores[j] = math.Inf(-1)
-				continue
+		qh := p.q[hi*hd : (hi+1)*hd]
+		copy(kc.Row(pos), p.k[hi*hd:(hi+1)*hd])
+		copy(vc.Row(pos), p.v[hi*hd:(hi+1)*hd])
+		scores := p.scores[:pos+1]
+		if stride > 0 {
+			for j := 0; j <= pos; j++ {
+				if pos-j >= stride && j%stride != 0 {
+					scores[j] = math.Inf(-1)
+					continue
+				}
+				scores[j] = mathx.Dot(qh, kc.Row(j)) * scale
 			}
-			scores[j] = mathx.Dot(q, kc.Row(j)) * scale
+		} else {
+			attnScores(scores, qh, kc, pos, scale)
 		}
-		w := mathx.Softmax(scores, 1)
-		out := make([]float64, hd)
-		for j := 0; j <= pos; j++ {
-			if w[j] == 0 {
-				continue
-			}
-			vr := vc.Row(j)
-			for d := range out {
-				out[d] += w[j] * vr[d]
-			}
-		}
-		copy(concat[hi*hd:(hi+1)*hd], out)
+		w := mathx.SoftmaxInto(scores, scores, 1)
+		out := p.concat[hi*hd : (hi+1)*hd]
+		weightedValueSum(out, vc, w, pos, hd)
 	}
-	attnOut := matVecT(b.Attn.Wo.W.Value, concat)
-	res := make([]float64, len(x))
-	for i := range res {
-		res[i] = x[i] + attnOut[i]
+	cl.wo.matVec(p.att, p.concat)
+	for i := range p.x {
+		p.x[i] += p.att[i]
 	}
 	if b.postNorm {
-		res = applyLayerNormVec(res, b.LN1)
+		layerNormInto(p.x, p.x, b.LN1)
 	}
-	ffnIn := res
+	ffnIn := p.x
 	if !b.postNorm {
-		ffnIn = applyLayerNormVec(res, b.LN2)
+		layerNormInto(p.norm, p.x, b.LN2)
+		ffnIn = p.norm
 	}
-	ffnOut := ffnVec(b.FFN, ffnIn)
-	out := make([]float64, len(res))
-	for i := range out {
-		out[i] = res[i] + ffnOut[i]
+	cl.ffnIn.matVec(p.hidden, ffnIn)
+	for r, bv := range cl.ffnInB {
+		p.hidden[r] = actScalar(b.FFN.Act, p.hidden[r]+bv)
+	}
+	cl.ffnOut.matVec(p.att, p.hidden)
+	for r, bv := range cl.ffnOutB {
+		p.att[r] += bv
+	}
+	for i := range p.x {
+		p.x[i] += p.att[i]
 	}
 	if b.postNorm {
-		out = applyLayerNormVec(out, b.LN2)
+		layerNormInto(p.x, p.x, b.LN2)
 	}
-	return out
 }
 
-func appendRow(t *tensor.Tensor, row []float64) *tensor.Tensor {
-	cols := t.Shape[1]
-	nt := &tensor.Tensor{Shape: []int{t.Shape[0] + 1, cols}, Data: append(t.Data, row...)}
-	return nt
-}
-
-// matVecT computes xᵀ·W for W in×out, returning length-out.
-func matVecT(w *tensor.Tensor, x []float64) []float64 {
-	out := make([]float64, w.Shape[1])
-	for i, xv := range x {
-		if xv == 0 {
+// weightedValueSum accumulates the attention-weighted value rows into out:
+// out[d] = Σ_j w[j]·v_j[d], j ascending (Eq. 13's convex combination). For
+// the common 16-wide head, the position-major value cache is exactly the
+// element-interleaved layout mathx.DotInterleaved16 consumes (lane d sweeps
+// positions in order), so one kernel call does the whole reduction; other
+// widths take the scalar loop. Both run every output's additions in the
+// same ascending-j order as the training graph.
+func weightedValueSum(out []float64, vc *tensor.Tensor, w []float64, pos, hd int) {
+	if hd == 16 {
+		mathx.DotInterleaved16((*[16]float64)(out), vc.Data[:(pos+1)*16], w[:pos+1])
+		return
+	}
+	for d := range out {
+		out[d] = 0
+	}
+	for j := 0; j <= pos; j++ {
+		if w[j] == 0 {
 			continue
 		}
-		row := w.Row(i)
-		for j, wv := range row {
-			out[j] += xv * wv
+		vr := vc.Row(j)
+		for d := range out {
+			out[d] += w[j] * vr[d]
 		}
 	}
-	return out
 }
 
-func applyLayerNormVec(x []float64, ln *nn.LayerNorm) []float64 {
+// attnScores fills scores[j] = (q · key row j)·scale for j in [0, pos],
+// four cached rows per pass (same independent-accumulator trick as
+// matVecRows; each score's accumulation order is unchanged). The caller
+// handles the sparse-stride mask, which disables this dense kernel.
+func attnScores(scores []float64, q []float64, keys *tensor.Tensor, pos int, scale float64) {
+	hd := keys.Shape[1]
+	data := keys.Data
+	if len(q) != hd {
+		panic("transformer: attnScores length mismatch")
+	}
+	j := 0
+	for ; j+4 <= pos+1; j += 4 {
+		r0 := data[(j+0)*hd : (j+1)*hd][:len(q)]
+		r1 := data[(j+1)*hd : (j+2)*hd][:len(q)]
+		r2 := data[(j+2)*hd : (j+3)*hd][:len(q)]
+		r3 := data[(j+3)*hd : (j+4)*hd][:len(q)]
+		var s0, s1, s2, s3 float64
+		for i, qv := range q {
+			s0 += r0[i] * qv
+			s1 += r1[i] * qv
+			s2 += r2[i] * qv
+			s3 += r3[i] * qv
+		}
+		scores[j+0] = s0 * scale
+		scores[j+1] = s1 * scale
+		scores[j+2] = s2 * scale
+		scores[j+3] = s3 * scale
+	}
+	for ; j <= pos; j++ {
+		scores[j] = mathx.Dot(data[j*hd:(j+1)*hd], q) * scale
+	}
+}
+
+// layerNormInto writes ln(x) into dst (dst may alias x): the inference-path
+// layer norm shared by the single-token and batched decode kernels.
+func layerNormInto(dst, x []float64, ln *nn.LayerNorm) {
 	mu := mathx.Mean(x)
 	va := 0.0
 	for _, v := range x {
@@ -642,26 +724,9 @@ func applyLayerNormVec(x []float64, ln *nn.LayerNorm) []float64 {
 	is := 1 / math.Sqrt(va+ln.Eps)
 	g := ln.Gain.Value.Row(0)
 	b := ln.Bias.Value.Row(0)
-	out := make([]float64, len(x))
 	for i, v := range x {
-		out[i] = (v-mu)*is*g[i] + b[i]
+		dst[i] = (v-mu)*is*g[i] + b[i]
 	}
-	return out
-}
-
-func ffnVec(f *nn.FFN, x []float64) []float64 {
-	h := matVecT(f.In.W.Value, x)
-	for i, bv := range f.In.B.Value.Row(0) {
-		h[i] += bv
-	}
-	for i, v := range h {
-		h[i] = actScalar(f.Act, v)
-	}
-	out := matVecT(f.Out.W.Value, h)
-	for i, bv := range f.Out.B.Value.Row(0) {
-		out[i] += bv
-	}
-	return out
 }
 
 func actScalar(a nn.Activation, x float64) float64 {

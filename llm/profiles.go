@@ -1,0 +1,46 @@
+package llm
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles turns on the pprof instrumentation shared by this
+// repository's command-line tools: when cpuPath is non-empty, CPU sampling
+// starts immediately; when memPath is non-empty, a heap profile is written
+// when the returned stop function runs. Either path may be empty. Callers
+// must invoke stop (typically via defer) before exiting so the CPU profile
+// is flushed and the heap snapshot taken.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("llm: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("llm: cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "llm: mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // snapshot live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "llm: mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}
