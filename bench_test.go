@@ -11,6 +11,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/scaling"
 	"repro/internal/serve"
+	"repro/internal/tokenizer"
 	"repro/internal/train"
 	"repro/internal/transformer"
 )
@@ -589,4 +591,115 @@ func BenchmarkGPT3ParameterFormula(b *testing.B) {
 		got = transformer.GPT3Estimate(96, 12288)
 	}
 	b.ReportMetric(float64(got)/1e9, "params-B")
+}
+
+// BenchmarkPrefill is E20: prompt ingestion throughput of the chunked
+// prefill fast path (Predictor.Extend, matrix-matrix over the whole prompt)
+// against the token-by-token Append loop it replaces, for a 256-token
+// prompt at the E18 serving shape. Outputs are bitwise identical (see the
+// parity tests in internal/transformer); only the schedule of the
+// arithmetic differs. Timing does not depend on weight values, so the
+// model is randomly initialized.
+func BenchmarkPrefill(b *testing.B) {
+	cfg := transformer.Config{
+		Vocab: 33, Dim: 32, Layers: 2, Heads: 2, Window: 288,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}
+	m := transformer.MustNew(cfg, mathx.NewRNG(9))
+	rng := mathx.NewRNG(10)
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = rng.Intn(cfg.Vocab)
+	}
+	b.Run("extend", func(b *testing.B) {
+		m.NewPredictor().Extend(prompt) // compile + warm outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := m.NewPredictor()
+			b.StartTimer()
+			p.Extend(prompt)
+		}
+		b.ReportMetric(float64(b.N*len(prompt))/b.Elapsed().Seconds(), "tok/s")
+	})
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := m.NewPredictor()
+			b.StartTimer()
+			for _, id := range prompt {
+				p.Append(id)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(prompt))/b.Elapsed().Seconds(), "tok/s")
+	})
+}
+
+// BenchmarkTTFTLongPrompt is the E20 serving measurement: time-to-first-
+// token through the batched server as a function of prompt length and
+// concurrent load. Chunked prefill scheduling keeps TTFT growing roughly
+// linearly in prompt length while concurrent decodes continue between
+// chunks.
+func BenchmarkTTFTLongPrompt(b *testing.B) {
+	lines := corpus.PCFGText(grammar.TinyEnglish(), 120, 10, mathx.NewRNG(11))
+	tok := tokenizer.NewWord(lines)
+	cfg := transformer.Config{
+		Vocab: tok.VocabSize(), Dim: 32, Layers: 2, Heads: 2, Window: 288,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}
+	model := &core.LLM{Tok: tok, Model: transformer.MustNew(cfg, mathx.NewRNG(12))}
+	for _, promptLen := range []int{16, 64, 256} {
+		prompt := strings.TrimSpace(strings.Repeat("the ", promptLen))
+		chunks := []int{0} // 0 = the default chunk size
+		if promptLen == 256 {
+			// The one-token-chunk variant approximates the pre-fast-path
+			// loop (one forced prompt token per step), quantifying what
+			// chunked prefill buys at the serving layer.
+			chunks = []int{0, 1}
+		}
+		for _, load := range []int{1, 8} {
+			for _, chunk := range chunks {
+				name := fmt.Sprintf("prompt%d/load%d", promptLen, load)
+				if chunk > 0 {
+					name += fmt.Sprintf("/chunk%d", chunk)
+				}
+				b.Run(name, func(b *testing.B) {
+					s := serve.New(model, serve.Config{
+						MaxBatch: 8, CoalesceWait: time.Millisecond, PrefillChunk: chunk,
+					})
+					defer s.Close()
+					var mu sync.Mutex
+					var totalFirst time.Duration
+					for i := 0; i < b.N; i++ {
+						var wg sync.WaitGroup
+						start := time.Now()
+						for j := 0; j < load; j++ {
+							wg.Add(1)
+							go func(j int) {
+								defer wg.Done()
+								first := true
+								_, err := s.Stream(context.Background(),
+									serve.NewRequest(prompt,
+										sample.WithMaxTokens(8), sample.WithSeed(uint64(j))),
+									func(sample.Token) error {
+										if first {
+											first = false
+											mu.Lock()
+											totalFirst += time.Since(start)
+											mu.Unlock()
+										}
+										return nil
+									})
+								if err != nil {
+									b.Error(err)
+								}
+							}(j)
+						}
+						wg.Wait()
+					}
+					b.ReportMetric(float64(totalFirst.Microseconds())/1000/float64(b.N*load), "ttft-ms")
+				})
+			}
+		}
+	}
 }

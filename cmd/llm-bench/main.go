@@ -3,18 +3,29 @@
 // settings and prints a leaderboard. It either loads a checkpoint or trains
 // a fresh tiny model on the synthetic corpus.
 //
+// With -json it instead runs the inference performance benchmarks — the
+// chunked-prefill fast path against token-by-token prompt ingestion, and
+// steady-state decode — on the E18 serving shape, and writes the results as
+// machine-readable JSON (BENCH_prefill.json and BENCH_decode.json in -out),
+// so the performance trajectory across commits can be tracked by tooling
+// rather than read out of benchmark logs.
+//
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
+//	llm-bench -json [-out .] [-prompt-tokens 256] [-reps 30]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -32,8 +43,19 @@ func main() {
 		modelPath = flag.String("model", "", "checkpoint path; empty = train a fresh tiny model")
 		shotsFlag = flag.String("shots", "0,3", "comma-separated shot counts")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		jsonMode  = flag.Bool("json", false, "run the inference perf benchmarks and write BENCH_*.json instead of the eval leaderboard")
+		outDir    = flag.String("out", ".", "directory for the -json result files")
+		promptLen = flag.Int("prompt-tokens", 256, "prompt length for the -json prefill benchmark")
+		reps      = flag.Int("reps", 30, "repetitions per -json measurement")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runPerfJSON(*outDir, *promptLen, *reps, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var model *core.LLM
 	name := "fresh-tiny"
@@ -82,4 +104,146 @@ func main() {
 		}
 	}
 	fmt.Print(lb.Format())
+}
+
+// perfResult is one benchmark's machine-readable record. Fields are stable:
+// downstream tooling diffs them across commits.
+type perfResult struct {
+	Bench        string             `json:"bench"`
+	Shape        map[string]int     `json:"shape"`
+	PromptTokens int                `json:"prompt_tokens,omitempty"`
+	Reps         int                `json:"reps"`
+	Metrics      map[string]float64 `json:"metrics"`
+	UnixTime     int64              `json:"unix_time"`
+}
+
+// runPerfJSON measures prefill (chunked Extend vs token-by-token Append)
+// and steady-state decode on the E18 serving shape with randomly
+// initialized weights (timing is weight-value independent), writing
+// BENCH_prefill.json and BENCH_decode.json into dir.
+func runPerfJSON(dir string, promptLen, reps int, seed uint64) error {
+	if promptLen < 1 {
+		return fmt.Errorf("-prompt-tokens %d must be positive", promptLen)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps %d must be positive", reps)
+	}
+	cfg := transformer.Config{
+		Vocab: 33, Dim: 32, Layers: 2, Heads: 2, Window: promptLen + 32,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}
+	m := transformer.MustNew(cfg, mathx.NewRNG(seed))
+	rng := mathx.NewRNG(seed + 1)
+	prompt := make([]int, promptLen)
+	for i := range prompt {
+		prompt[i] = rng.Intn(cfg.Vocab)
+	}
+	shape := map[string]int{
+		"vocab": cfg.Vocab, "dim": cfg.Dim, "layers": cfg.Layers,
+		"heads": cfg.Heads, "window": cfg.Window,
+	}
+
+	m.NewPredictor().Extend(prompt) // compile + warm outside the timers
+	extend := minDuration(reps, func() time.Duration {
+		p := m.NewPredictor()
+		start := time.Now()
+		p.Extend(prompt)
+		return time.Since(start)
+	})
+	appendT := minDuration(reps, func() time.Duration {
+		p := m.NewPredictor()
+		start := time.Now()
+		for _, id := range prompt {
+			p.Append(id)
+		}
+		return time.Since(start)
+	})
+	prefill := perfResult{
+		Bench: "prefill", Shape: shape, PromptTokens: promptLen, Reps: reps,
+		Metrics: map[string]float64{
+			"extend_ns":      float64(extend.Nanoseconds()),
+			"append_ns":      float64(appendT.Nanoseconds()),
+			"extend_tok_s":   tokPerSec(promptLen, extend),
+			"append_tok_s":   tokPerSec(promptLen, appendT),
+			"extend_speedup": float64(appendT) / float64(extend),
+		},
+		UnixTime: time.Now().Unix(),
+	}
+
+	// Steady-state decode: greedy continuation after a short seed prompt,
+	// on its own fixed shape (window sized so the timed loop never re-arms
+	// a predictor and the metric is independent of -prompt-tokens).
+	const decodeTokens = 256
+	const decodeSeed = 16
+	dcfg := cfg
+	dcfg.Window = decodeSeed + decodeTokens
+	dm := transformer.MustNew(dcfg, mathx.NewRNG(seed))
+	dshape := map[string]int{
+		"vocab": dcfg.Vocab, "dim": dcfg.Dim, "layers": dcfg.Layers,
+		"heads": dcfg.Heads, "window": dcfg.Window,
+	}
+	seedPrompt := make([]int, decodeSeed)
+	for i := range seedPrompt {
+		seedPrompt[i] = rng.Intn(dcfg.Vocab)
+	}
+	dm.NewPredictor().Extend(seedPrompt) // compile + warm outside the timer
+	decode := minDuration(reps, func() time.Duration {
+		p := dm.NewPredictor()
+		logits := p.Extend(seedPrompt)
+		start := time.Now()
+		for j := 0; j < decodeTokens; j++ {
+			next, _ := mathx.ArgMax(logits)
+			logits = p.Append(next)
+		}
+		return time.Since(start)
+	})
+	decodeRes := perfResult{
+		Bench: "decode", Shape: dshape, Reps: reps,
+		Metrics: map[string]float64{
+			"decode_ns":    float64(decode.Nanoseconds()),
+			"decode_tok_s": tokPerSec(decodeTokens, decode),
+		},
+		UnixTime: time.Now().Unix(),
+	}
+
+	if err := writeBench(filepath.Join(dir, "BENCH_prefill.json"), prefill); err != nil {
+		return err
+	}
+	if err := writeBench(filepath.Join(dir, "BENCH_decode.json"), decodeRes); err != nil {
+		return err
+	}
+	fmt.Printf("prefill %d tokens: extend %.2fms (%.0f tok/s), append %.2fms (%.0f tok/s), speedup %.2fx\n",
+		promptLen, ms(extend), prefill.Metrics["extend_tok_s"],
+		ms(appendT), prefill.Metrics["append_tok_s"], prefill.Metrics["extend_speedup"])
+	fmt.Printf("decode %d tokens: %.2fms (%.0f tok/s)\n",
+		decodeTokens, ms(decode), decodeRes.Metrics["decode_tok_s"])
+	return nil
+}
+
+// minDuration reports the fastest of reps runs — the standard noise-robust
+// point estimate for micro-measurements. f times its own measured section
+// and returns the duration, so per-rep setup (predictor construction, seed
+// prefill) stays outside the clock.
+func minDuration(reps int, f func() time.Duration) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		if d := f(); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func tokPerSec(tokens int, d time.Duration) float64 {
+	return float64(tokens) / d.Seconds()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func writeBench(path string, v perfResult) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

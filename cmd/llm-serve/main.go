@@ -11,7 +11,14 @@
 //
 //	llm-serve [-model model.json] [-backend transformer|ngram|ffn|rnn]
 //	          [-addr :8372] [-max-batch 8] [-coalesce 2ms] [-queue 64]
-//	          [-synthetic 500]
+//	          [-prefill-chunk 32] [-synthetic 500]
+//
+// Prompts are ingested through the chunked prefill fast path: whole chunks
+// of -prefill-chunk tokens per matrix pass, interleaved with the in-flight
+// batch's decode steps so a long prompt never stalls running streams by
+// more than one chunk (negative = whole prompts in one pass). /v1/stats
+// reports prompt_tokens and decode_tokens separately, plus the
+// prefill_chunk_hist histogram of chunk sizes.
 //
 // Endpoints:
 //
@@ -60,6 +67,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 8, "max sequences decoded per batched step")
 		coalesce  = flag.Duration("coalesce", 2*time.Millisecond, "linger for more requests before decoding a fresh batch")
 		queue     = flag.Int("queue", 64, "pending-request buffer depth")
+		prefill   = flag.Int("prefill-chunk", 32, "max prompt tokens ingested per prefill pass between decode steps (negative = whole prompt)")
 	)
 	flag.Parse()
 
@@ -70,6 +78,7 @@ func main() {
 
 	srv := llm.NewBackendServer(model, llm.ServerConfig{
 		MaxBatch: *maxBatch, CoalesceWait: *coalesce, QueueDepth: *queue,
+		PrefillChunk: *prefill,
 	})
 	defer srv.Close()
 

@@ -177,8 +177,11 @@ func (l *LLM) Gen(prompt string, opts ...sample.Option) (lm.Result, error) {
 
 // Stream is Gen with per-token delivery: onToken receives every sampled
 // token (id, decoded text piece, index) as it is produced; the pieces
-// concatenate to the final Result.Text. Cancelling ctx — including during
-// prompt prefill — aborts the generation.
+// concatenate to the final Result.Text. Cancelling ctx aborts the
+// generation: cancellation is observed between decode steps and once
+// before the prompt's chunked prefill pass (see lm.Stream; serving
+// deployments needing bounded mid-prefill cancellation latency chunk at
+// the scheduling layer via serve.Config.PrefillChunk).
 func (l *LLM) Stream(ctx context.Context, prompt string, onToken func(sample.Token) error, opts ...sample.Option) (lm.Result, error) {
 	return lm.Stream(ctx, l, prompt, onToken, opts...)
 }

@@ -53,8 +53,12 @@ func Gen(m LanguageModel, prompt string, opts ...sample.Option) (Result, error) 
 // Stream is Gen with per-token delivery: onToken (when non-nil) is invoked
 // for every sampled token, in order, with its decoded text piece; the
 // concatenation of the pieces equals the final Result.Text. A non-nil error
-// from onToken, or ctx cancellation (checked between steps, including
-// during prompt prefill), aborts the generation.
+// from onToken, or ctx cancellation, aborts the generation. Cancellation is
+// checked between decode steps; during prompt prefill it is checked once up
+// front on the chunked fast path (models whose stepper is a sample.Extender
+// ingest the whole prompt in one pass) and between tokens on the per-token
+// path — serving deployments needing bounded mid-prefill cancellation
+// latency chunk at the scheduling layer (serve.Config.PrefillChunk).
 func Stream(ctx context.Context, m LanguageModel, prompt string, onToken func(sample.Token) error, opts ...sample.Option) (Result, error) {
 	return StreamOptions(ctx, m, prompt, onToken, sample.BuildOptions(opts...))
 }
@@ -83,11 +87,23 @@ func StreamOptions(ctx context.Context, m LanguageModel, prompt string, onToken 
 	}
 	st := m.NewStepper()
 	var logits []float64
-	for _, id := range ids {
+	if ex, ok := st.(sample.Extender); ok {
+		// Chunked prefill: the whole prompt in one matrix-matrix pass,
+		// bitwise identical to the per-token loop below. Cancellation is
+		// checked once up front; serving deployments that need bounded
+		// cancellation latency chunk at the scheduling layer (see
+		// serve.Config.PrefillChunk).
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		logits = st.Append(id)
+		logits = ex.Extend(ids)
+	} else {
+		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			logits = st.Append(id)
+		}
 	}
 	stop := -1
 	if o.StopAtEOS {

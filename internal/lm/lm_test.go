@@ -276,3 +276,41 @@ func TestPieceDecoder(t *testing.T) {
 		t.Errorf("dropped token piece = %q, want empty", got[1])
 	}
 }
+
+// TestPromptLongerThanWindowKeepsLast pins the over-window prompt policy
+// end to end: EncodePrompt keeps the last Window−budget tokens, and the
+// generation drivers (whose prefill now runs through the chunked Extend
+// path) produce exactly the output of the truncated prompt.
+func TestPromptLongerThanWindowKeepsLast(t *testing.T) {
+	setup(t)
+	long := strings.TrimSpace(strings.Repeat("the king sees the queen ", 6)) // 30 words ≫ window 16
+	const budget = 4
+	room := tfModel.ContextWindow() - budget
+
+	ids, err := tfModel.EncodePrompt(long, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tfModel.Tok.Encode(long)
+	if len(ids) != room {
+		t.Fatalf("EncodePrompt kept %d tokens, want %d", len(ids), room)
+	}
+	for i, id := range ids {
+		if want := full[len(full)-room+i]; id != want {
+			t.Fatalf("EncodePrompt[%d] = %d, want keep-last suffix token %d", i, id, want)
+		}
+	}
+
+	got, err := lm.Gen(tfModel, long, sample.WithMaxTokens(budget), sample.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same generation from the pre-truncated prompt text.
+	want, err := lm.Gen(tfModel, tfModel.Decode(ids), sample.WithMaxTokens(budget), sample.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != want.Text {
+		t.Fatalf("overlong prompt generation %q != truncated prompt generation %q", got.Text, want.Text)
+	}
+}

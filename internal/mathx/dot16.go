@@ -21,6 +21,23 @@ func DotInterleaved16(dst *[16]float64, w, x []float64) {
 	dotInterleaved16(dst, w, x)
 }
 
+// DotInterleaved16X2 runs DotInterleaved16 for two right-hand vectors
+// against the same interleaved block in one pass: dst0 receives the sixteen
+// row sums against x0, dst1 against x1. Per lane the arithmetic is exactly
+// DotInterleaved16's (ascending elements, separate multiply and add), so
+// both results are bitwise identical to two independent calls. The fusion
+// exists for the chunked prefill matrices: the per-lane accumulation order
+// pins each sum to a serial add chain, so a single vector's sixteen lanes
+// leave the FP adders mostly idle waiting on latency — interleaving a
+// second vector's sixteen independent chains roughly doubles throughput
+// while also halving weight-block traffic.
+func DotInterleaved16X2(dst0, dst1 *[16]float64, w, x0, x1 []float64) {
+	if len(w) != 16*len(x0) || len(x0) != len(x1) {
+		panic("mathx: DotInterleaved16X2 length mismatch")
+	}
+	dotInterleaved16x2(dst0, dst1, w, x0, x1)
+}
+
 // dotInterleaved16Go is the portable implementation (and the reference the
 // assembly kernels are tested against bitwise): four passes of four
 // independent accumulators.

@@ -15,6 +15,9 @@ func dotInterleaved16AVX(dst *[16]float64, w, x []float64)
 //go:noescape
 func dotInterleaved16SSE(dst *[16]float64, w, x []float64)
 
+//go:noescape
+func dotInterleaved16X2AVX(dst0, dst1 *[16]float64, w, x0, x1 []float64)
+
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
 func xgetbv0() (eax, edx uint32)
@@ -40,4 +43,13 @@ func dotInterleaved16(dst *[16]float64, w, x []float64) {
 		return
 	}
 	dotInterleaved16SSE(dst, w, x)
+}
+
+func dotInterleaved16x2(dst0, dst1 *[16]float64, w, x0, x1 []float64) {
+	if useAVX {
+		dotInterleaved16X2AVX(dst0, dst1, w, x0, x1)
+		return
+	}
+	dotInterleaved16SSE(dst0, w, x0)
+	dotInterleaved16SSE(dst1, w, x1)
 }

@@ -128,3 +128,69 @@ TEXT ·xgetbv0(SB), NOSPLIT, $0-8
 	MOVL AX, eax+0(FP)
 	MOVL DX, edx+4(FP)
 	RET
+
+// func dotInterleaved16X2AVX(dst0, dst1 *[16]float64, w, x0, x1 []float64)
+//
+// Two right-hand vectors against one interleaved block: Y0-Y3 accumulate
+// x0's sixteen row sums, Y4-Y7 x1's. Per element one shared block load
+// feeds both vectors' multiply-add pairs, and the eight independent
+// accumulator chains hide the vector-add latency that bounds the one-vector
+// kernel. Lane arithmetic (separate VMULPD and VADDPD, ascending elements)
+// is exactly dotInterleaved16AVX's, so both results are bitwise identical
+// to two independent calls.
+TEXT ·dotInterleaved16X2AVX(SB), NOSPLIT, $0-88
+	MOVQ dst0+0(FP), DI
+	MOVQ dst1+8(FP), R9
+	MOVQ w_base+16(FP), SI
+	MOVQ x0_base+40(FP), DX
+	MOVQ x0_len+48(FP), CX
+	MOVQ x1_base+64(FP), R10
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ AX, AX
+x2loop:
+	CMPQ AX, CX
+	JGE  x2done
+	VBROADCASTSD (DX)(AX*8), Y8
+	VBROADCASTSD (R10)(AX*8), Y9
+	MOVQ AX, BX
+	SHLQ $7, BX            // byte offset of element i's 16-row run: i*16*8
+	VMOVUPD (SI)(BX*1), Y10
+	VMULPD  Y8, Y10, Y11
+	VADDPD  Y11, Y0, Y0
+	VMULPD  Y9, Y10, Y12
+	VADDPD  Y12, Y4, Y4
+	VMOVUPD 32(SI)(BX*1), Y10
+	VMULPD  Y8, Y10, Y11
+	VADDPD  Y11, Y1, Y1
+	VMULPD  Y9, Y10, Y12
+	VADDPD  Y12, Y5, Y5
+	VMOVUPD 64(SI)(BX*1), Y10
+	VMULPD  Y8, Y10, Y11
+	VADDPD  Y11, Y2, Y2
+	VMULPD  Y9, Y10, Y12
+	VADDPD  Y12, Y6, Y6
+	VMOVUPD 96(SI)(BX*1), Y10
+	VMULPD  Y8, Y10, Y11
+	VADDPD  Y11, Y3, Y3
+	VMULPD  Y9, Y10, Y12
+	VADDPD  Y12, Y7, Y7
+	INCQ AX
+	JMP  x2loop
+x2done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VMOVUPD Y4, (R9)
+	VMOVUPD Y5, 32(R9)
+	VMOVUPD Y6, 64(R9)
+	VMOVUPD Y7, 96(R9)
+	VZEROUPPER
+	RET

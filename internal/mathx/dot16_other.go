@@ -5,3 +5,8 @@ package mathx
 func dotInterleaved16(dst *[16]float64, w, x []float64) {
 	dotInterleaved16Go(dst, w, x)
 }
+
+func dotInterleaved16x2(dst0, dst1 *[16]float64, w, x0, x1 []float64) {
+	dotInterleaved16Go(dst0, w, x0)
+	dotInterleaved16Go(dst1, w, x1)
+}

@@ -41,6 +41,36 @@ func TestDotInterleaved16MatchesDot(t *testing.T) {
 	}
 }
 
+// TestDotInterleaved16X2MatchesSingle checks the fused two-vector kernel
+// bitwise against two independent DotInterleaved16 calls.
+func TestDotInterleaved16X2MatchesSingle(t *testing.T) {
+	rng := NewRNG(3)
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 32, 33, 128, 1000} {
+		w := make([]float64, 16*n)
+		x0 := make([]float64, n)
+		x1 := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Norm()
+		}
+		for i := range x0 {
+			x0[i], x1[i] = rng.Norm(), rng.Norm()
+		}
+		if n > 2 {
+			x0[1], x1[2] = 0, 0
+		}
+		var want0, want1, got0, got1 [16]float64
+		DotInterleaved16(&want0, w, x0)
+		DotInterleaved16(&want1, w, x1)
+		DotInterleaved16X2(&got0, &got1, w, x0, x1)
+		for k := 0; k < 16; k++ {
+			if got0[k] != want0[k] || got1[k] != want1[k] {
+				t.Fatalf("n=%d lane %d: X2 (%v, %v) != single (%v, %v)",
+					n, k, got0[k], got1[k], want0[k], want1[k])
+			}
+		}
+	}
+}
+
 func TestDotInterleaved16PanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {

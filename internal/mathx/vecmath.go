@@ -1,0 +1,168 @@
+package mathx
+
+import "math"
+
+// This file is the vectorized-transcendental layer behind the prefill fast
+// path: slice kernels for exp, tanh, and tanh-GELU whose results are bitwise
+// identical to the scalar math.Exp / math.Tanh / GELU calls they replace.
+//
+// The amd64 implementations replicate, four lanes at a time, the exact
+// operation sequence of the scalar code: Go's math.Exp assembly (the SLEEF
+// Taylor + squaring scheme, FMA path) and the Cephes math.Tanh rational
+// approximation. Every lane performs the same IEEE-754 operations in the
+// same order as one scalar call, so results match bit for bit. Lanes whose
+// argument falls outside a conservative "plain arithmetic" range (near
+// overflow/underflow, non-finite, NaN) are detected by a vectorized screen
+// and the block falls back to the scalar function, which handles every
+// special case by definition. Non-amd64 builds, and amd64 CPUs without
+// AVX2+FMA, always take the scalar loop.
+
+// ExpShiftInto writes exp(xs[i]-shift) into dst[i] for every element. Each
+// result is bitwise identical to math.Exp(xs[i]-shift): the vector kernel
+// performs the same subtraction and the same exponential operation sequence
+// per lane. dst may alias xs. A shift of 0 makes it a plain vectorized exp.
+//
+// The shifted form exists for softmax: both exp sweeps there subtract a
+// row statistic (max, then log-sum-exp) right before exponentiating, and
+// fusing the subtraction avoids a separate pass over the row.
+func ExpShiftInto(dst, xs []float64, shift float64) {
+	if len(dst) != len(xs) {
+		panic("mathx: ExpShiftInto length mismatch")
+	}
+	i := 0
+	for useVecMath && len(xs)-i >= 4 {
+		i += expShiftBlocks(dst[i:], xs[i:], shift)
+		if len(xs)-i >= 4 {
+			// The kernel stopped on a block with an out-of-range lane:
+			// resolve those four scalars, then resume vectorized.
+			for k := 0; k < 4; k++ {
+				dst[i+k] = math.Exp(xs[i+k] - shift)
+			}
+			i += 4
+		}
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = math.Exp(xs[i] - shift)
+	}
+}
+
+// TanhInto writes math.Tanh(xs[i]) into dst[i], bitwise identical to the
+// scalar calls. dst may alias xs.
+func TanhInto(dst, xs []float64) {
+	if len(dst) != len(xs) {
+		panic("mathx: TanhInto length mismatch")
+	}
+	i := 0
+	for useVecMath && len(xs)-i >= 4 {
+		i += tanhBlocks(dst[i:], xs[i:])
+		if len(xs)-i >= 4 {
+			for k := 0; k < 4; k++ {
+				dst[i+k] = math.Tanh(xs[i+k])
+			}
+			i += 4
+		}
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = math.Tanh(xs[i])
+	}
+}
+
+// GELU is the tanh-approximation Gaussian Error Linear Unit used by the
+// transformer (the GPT activation): 0.5·x·(1+tanh(√(2/π)·(x+0.044715·x³))).
+// It is the scalar reference the vectorized GELUInto must match bitwise;
+// the transformer's inference and training paths share it.
+func GELU(x float64) float64 {
+	const c = 0.7978845608028654
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+// GELUInto writes GELU(xs[i]) into dst[i], bitwise identical to the scalar
+// calls. dst may alias xs.
+func GELUInto(dst, xs []float64) {
+	if len(dst) != len(xs) {
+		panic("mathx: GELUInto length mismatch")
+	}
+	i := 0
+	for useVecMath && len(xs)-i >= 4 {
+		i += geluBlocks(dst[i:], xs[i:])
+		if len(xs)-i >= 4 {
+			for k := 0; k < 4; k++ {
+				dst[i+k] = GELU(xs[i+k])
+			}
+			i += 4
+		}
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = GELU(xs[i])
+	}
+}
+
+// SoftmaxFastInto is SoftmaxInto with the two exponential sweeps vectorized:
+// it performs the exact arithmetic of SoftmaxInto (same scale, same max, the
+// same exp(x−max) terms summed in the same order, the same exp(x−logsumexp)
+// normalization), so the result is bitwise identical for every input. The
+// softmax over each attention row is the dominant irreducible cost of
+// prefill, which is why it gets its own scratch-carrying entry point: the
+// caller provides scratch (len ≥ len(xs), must not overlap dst) so the
+// kernel allocates nothing. dst may alias xs.
+func SoftmaxFastInto(dst, xs, scratch []float64, beta float64) []float64 {
+	if len(dst) != len(xs) {
+		panic("mathx: SoftmaxFastInto length mismatch")
+	}
+	if len(xs) == 0 {
+		return dst
+	}
+	if len(scratch) < len(xs) {
+		panic("mathx: SoftmaxFastInto scratch too small")
+	}
+	if beta == 1 {
+		// 1*x is bitwise x for every value the softmax paths see, so the
+		// scale pass reduces to at most a copy.
+		if &dst[0] != &xs[0] {
+			copy(dst, xs)
+		}
+	} else {
+		for i, x := range xs {
+			dst[i] = beta * x
+		}
+	}
+	m := softmaxMax(dst)
+	lse := m
+	if !math.IsInf(m, -1) {
+		scratch = scratch[:len(xs)]
+		ExpShiftInto(scratch, dst, m)
+		s := 0.0
+		for _, e := range scratch {
+			s += e
+		}
+		lse = m + math.Log(s)
+	}
+	ExpShiftInto(dst, dst, lse)
+	return dst
+}
+
+// softmaxMax returns the maximum of xs with ArgMax's scan semantics (NaN
+// wins only from position zero), folding NaN-free whole blocks through the
+// vector max first. The one permitted deviation from the scalar scan is the
+// sign of a zero maximum (the vector fold may pick the other zero of a
+// ±0 tie); the downstream softmax arithmetic is bitwise-insensitive to it,
+// because exp(x−m) and the x−lse chain collapse both signed zeros to the
+// same results — SoftmaxFastInto's parity tests cover the tie cases.
+func softmaxMax(xs []float64) float64 {
+	i := 0
+	bv := math.Inf(-1)
+	if useVecMath && len(xs) >= 8 {
+		if n, m := maxBlocks(xs); n > 0 {
+			bv, i = m, n
+		}
+	}
+	if i == 0 {
+		bv, i = xs[0], 1
+	}
+	for ; i < len(xs); i++ {
+		if xs[i] > bv {
+			bv = xs[i]
+		}
+	}
+	return bv
+}

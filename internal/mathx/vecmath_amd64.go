@@ -1,0 +1,52 @@
+//go:build amd64
+
+package mathx
+
+// The vector transcendental kernels need AVX2 (256-bit integer shifts for
+// the exponent reconstruction) and FMA (the scalar math.Exp assembly they
+// replicate takes its FMA path exactly when the CPU has AVX and FMA, so the
+// lane arithmetic only matches on such CPUs). detectAVX already verified
+// OS support for ymm state.
+var useVecMath = useAVX && detectAVX2FMA()
+
+// detectAVX2FMA reports CPUID FMA (leaf 1 ECX bit 12) and AVX2 (leaf 7
+// EBX bit 5).
+func detectAVX2FMA() bool {
+	_, _, ecx, _ := cpuid(1, 0)
+	const fma = 1 << 12
+	if ecx&fma == 0 {
+		return false
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx&avx2 != 0
+}
+
+// Each *Blocks kernel processes xs four lanes at a time, writing exp/tanh/
+// GELU results that are bitwise identical to the scalar functions, and stops
+// early at the first block containing a lane outside its safe-arithmetic
+// range (or with fewer than four elements left). It returns the number of
+// elements completed — always a multiple of four — and the Go wrapper
+// resolves the offending block with scalar calls before resuming.
+
+//go:noescape
+func expShiftBlocksAVX(dst, xs []float64, shift float64) int
+
+//go:noescape
+func tanhBlocksAVX(dst, xs []float64) int
+
+//go:noescape
+func geluBlocksAVX(dst, xs []float64) int
+
+//go:noescape
+func maxBlocksAVX(xs []float64) (n int, m float64)
+
+func expShiftBlocks(dst, xs []float64, shift float64) int {
+	return expShiftBlocksAVX(dst, xs, shift)
+}
+
+func tanhBlocks(dst, xs []float64) int { return tanhBlocksAVX(dst, xs) }
+
+func geluBlocks(dst, xs []float64) int { return geluBlocksAVX(dst, xs) }
+
+func maxBlocks(xs []float64) (int, float64) { return maxBlocksAVX(xs) }

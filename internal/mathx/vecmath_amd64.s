@@ -1,0 +1,332 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Vectorized exp / tanh / GELU kernels, four float64 lanes per step.
+//
+// Every lane executes the exact operation sequence of the scalar function
+// it replaces — Go's math.Exp assembly (SLEEF Taylor-plus-squaring, FMA
+// path) for exp, and the Cephes rational approximation of math.Tanh (whose
+// large-|x| branch itself calls math.Exp) — so each result is bitwise
+// identical to the scalar call. The packed instructions apply one IEEE-754
+// operation per lane with the same rounding as their scalar counterparts;
+// no reassociation, no extra fusing beyond the FMAs the scalar path already
+// performs. Each kernel screens its block with a vectorized range test and
+// stops at the first block containing a lane outside the plain-arithmetic
+// range (near overflow/underflow, non-finite, NaN); the Go wrapper resolves
+// that block with scalar calls, which handle every special case.
+
+// ---- constants, replicated across the four lanes ----
+
+#define REP4(name, val) \
+	DATA name<>+0(SB)/8, val \
+	DATA name<>+8(SB)/8, val \
+	DATA name<>+16(SB)/8, val \
+	DATA name<>+24(SB)/8, val \
+	GLOBL name<>(SB), RODATA|NOPTR, $32
+
+// math.Exp constants (copied verbatim from the Go runtime's exp assembly).
+REP4(log2e4, $1.4426950408889634073599246810018920)
+REP4(ln2u4, $0.69314718055966295651160180568695068359375)
+REP4(ln2l4, $0.28235290563031577122588448175013436025525412068e-12)
+REP4(sixt4, $0.0625)
+REP4(expc8, $2.4801587301587301587e-5)
+REP4(expc7, $1.9841269841269841270e-4)
+REP4(expc6, $1.3888888888888888889e-3)
+REP4(expc5, $8.3333333333333333333e-3)
+REP4(expc4, $4.1666666666666666667e-2)
+REP4(expc3, $1.6666666666666666667e-1)
+REP4(half4, $0.5)
+REP4(one4, $1.0)
+REP4(two4, $2.0)
+REP4(bias4, $0x00000000000003ff)
+// Safe range for the vector exp: comfortably inside the scalar overflow
+// (709.78) and denormal-result (≈ -708.4) thresholds.
+REP4(explo4, $-700.0)
+REP4(exphi4, $700.0)
+
+// math.Tanh constants (Cephes P/Q rational coefficients).
+REP4(tanhp0, $-9.64399179425052238628e-1)
+REP4(tanhp1, $-9.92877231001918586564e1)
+REP4(tanhp2, $-1.61468768441708447952e3)
+REP4(tanhq0, $1.12811678491632931402e2)
+REP4(tanhq1, $2.23548839060100448583e3)
+REP4(tanhq2, $4.84406305325125486048e3)
+REP4(t625_4, $0.625)
+// Tanh screen: |x| <= 350 keeps the inner exp argument 2|x| inside the
+// exp safe range; beyond ~19 the exp branch already rounds to ±1 exactly,
+// matching the scalar large-|x| cutoff at 44.014... bit for bit.
+REP4(tanhhi4, $350.0)
+
+// GELU constants: sqrt(2/pi) and the cubic coefficient of the tanh
+// approximation (shared with mathx.GELU and the transformer activation).
+REP4(geluc4, $0.7978845608028654)
+REP4(gelua4, $0.044715)
+// GELU screen: |x| <= 20 bounds the tanh argument by ~302, inside the tanh
+// screen range.
+REP4(geluhi4, $20.0)
+
+REP4(absmask4, $0x7fffffffffffffff)
+REP4(signmask4, $0x8000000000000000)
+
+DATA neginf8<>+0(SB)/8, $0xfff0000000000000
+GLOBL neginf8<>(SB), RODATA|NOPTR, $8
+
+// EXPCOREP: RV = exp(RV), lane-exact replica of math.Exp's FMA path.
+// RT is a ymm temporary; RI/XI the same ymm/xmm register pair carrying the
+// int32 exponents across the Taylor chain. Lanes must be pre-screened into
+// [-700, 700]. Two instantiations on disjoint registers form independent
+// dependency chains the out-of-order core overlaps.
+#define EXPCOREP(RV, RT, RI, XI) \
+	VMULPD log2e4<>(SB), RV, RT        \ // k = round(x/ln2)
+	VCVTPD2DQY RT, XI                  \ // (round-to-nearest, as the scalar CVTSD2SL)
+	VCVTDQ2PD XI, RT                   \
+	VFNMADD231PD ln2u4<>(SB), RT, RV   \ // x -= k*ln2 (split high/low)
+	VFNMADD231PD ln2l4<>(SB), RT, RV   \
+	VMULPD sixt4<>(SB), RV, RV         \ // x /= 16
+	VMOVUPD expc8<>(SB), RT            \ // Taylor series for e^x - 1
+	VFMADD213PD expc7<>(SB), RV, RT    \
+	VFMADD213PD expc6<>(SB), RV, RT    \
+	VFMADD213PD expc5<>(SB), RV, RT    \
+	VFMADD213PD expc4<>(SB), RV, RT    \
+	VFMADD213PD expc3<>(SB), RV, RT    \
+	VFMADD213PD half4<>(SB), RV, RT    \
+	VFMADD213PD one4<>(SB), RV, RT     \
+	VMULPD RT, RV, RV                  \
+	VADDPD two4<>(SB), RV, RT          \ // four squarings: g*(g+2), undoing /16
+	VMULPD RT, RV, RV                  \
+	VADDPD two4<>(SB), RV, RT          \
+	VMULPD RT, RV, RV                  \
+	VADDPD two4<>(SB), RV, RT          \
+	VMULPD RT, RV, RV                  \
+	VADDPD two4<>(SB), RV, RT          \
+	VFMADD213PD one4<>(SB), RT, RV     \
+	VPMOVSXDQ XI, RT                   \ // scale by 2^k via exponent bits
+	VPADDQ bias4<>(SB), RT, RT         \
+	VPSLLQ $52, RT, RT                 \
+	VMULPD RT, RV, RV
+
+#define EXPCORE EXPCOREP(Y0, Y1, Y3, X3)
+
+// TANHEXP: Y0 = sign-restored exp-branch tanh of Y7 (valid for |x| >=
+// 0.625): 1 - 2/(exp(2|x|)+1), the Cephes large-argument form. Input Y2 =
+// |Y7|. Clobbers Y1, Y3, X3; preserves Y2, Y7.
+#define TANHEXP \
+	VMULPD two4<>(SB), Y2, Y0          \
+	EXPCORE                            \ // e = exp(2z)
+	VADDPD one4<>(SB), Y0, Y0          \
+	VMOVUPD two4<>(SB), Y1             \
+	VDIVPD Y0, Y1, Y0                  \ // 2/(e+1)
+	VMOVUPD one4<>(SB), Y1             \
+	VSUBPD Y0, Y1, Y0                  \ // 1 - 2/(e+1)
+	VANDPD signmask4<>(SB), Y7, Y1     \
+	VXORPD Y1, Y0, Y0                  // restore sign
+
+// TANHPOLY: Y6 = rational-branch tanh of Y7 (valid for |x| < 0.625, except
+// that ±0 must be passed through afterwards): x + x·s·P(s)/Q(s), s = x².
+// Clobbers Y3, Y4, Y5; preserves Y2, Y7.
+#define TANHPOLY \
+	VMULPD Y7, Y7, Y3                  \ // s = x*x
+	VMOVUPD tanhp0<>(SB), Y4           \
+	VMULPD Y3, Y4, Y4                  \ // num = (P0*s+P1)*s+P2
+	VADDPD tanhp1<>(SB), Y4, Y4        \
+	VMULPD Y3, Y4, Y4                  \
+	VADDPD tanhp2<>(SB), Y4, Y4        \
+	VADDPD tanhq0<>(SB), Y3, Y5        \ // den = ((s+Q0)*s+Q1)*s+Q2
+	VMULPD Y3, Y5, Y5                  \
+	VADDPD tanhq1<>(SB), Y5, Y5        \
+	VMULPD Y3, Y5, Y5                  \
+	VADDPD tanhq2<>(SB), Y5, Y5        \
+	VMULPD Y3, Y7, Y6                  \ // poly = x + x*s*num/den
+	VMULPD Y4, Y6, Y6                  \
+	VDIVPD Y5, Y6, Y6                  \
+	VADDPD Y6, Y7, Y6
+
+// TANHZERO: pass ±0 inputs through unchanged (the scalar x == 0 special
+// case; the rational branch would flip the sign of -0). Clobbers Y4.
+#define TANHZERO \
+	VXORPD Y4, Y4, Y4                  \
+	VCMPPD $0x00, Y4, Y7, Y4           \ // x == ±0 -> x itself
+	VBLENDVPD Y4, Y7, Y0, Y0
+
+// TANHCORE: Y0 = tanh(Y7), lane-exact replica of math.Tanh: both branches
+// computed and blended on |x| < 0.625. Input Y2 = |Y7|. Clobbers Y1-Y6,
+// X3; preserves Y7. Lanes must be pre-screened to |x| <= 350 and ordered.
+#define TANHCORE \
+	TANHEXP                            \
+	TANHPOLY                           \
+	VCMPPD $0x11, t625_4<>(SB), Y2, Y4 \ // z < 0.625 -> rational branch
+	VBLENDVPD Y4, Y6, Y0, Y0           \
+	TANHZERO
+
+// func expShiftBlocksAVX(dst, xs []float64, shift float64) int
+TEXT ·expShiftBlocksAVX(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ xs_base+24(FP), SI
+	MOVQ xs_len+32(FP), CX
+	VBROADCASTSD shift+48(FP), Y15
+	XORQ AX, AX
+exploop8:
+	// Eight lanes per pass while they last: two independent exp chains in
+	// flight hide the serial FMA latency that bounds a single chain.
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $8
+	JLT  exploop
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD 32(SI)(AX*8), Y8
+	VSUBPD  Y15, Y0, Y0
+	VSUBPD  Y15, Y8, Y8
+	VCMPPD $0x1D, explo4<>(SB), Y0, Y1
+	VCMPPD $0x12, exphi4<>(SB), Y0, Y2
+	VANDPD Y2, Y1, Y1
+	VCMPPD $0x1D, explo4<>(SB), Y8, Y9
+	VCMPPD $0x12, exphi4<>(SB), Y8, Y10
+	VANDPD Y10, Y9, Y9
+	VANDPD Y9, Y1, Y1
+	VMOVMSKPD Y1, DX
+	CMPL DX, $0xF
+	JNE  exploop
+	EXPCOREP(Y0, Y1, Y3, X3)
+	EXPCOREP(Y8, Y9, Y10, X10)
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y8, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  exploop8
+exploop:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JLT  expdone
+	VMOVUPD (SI)(AX*8), Y0
+	VSUBPD  Y15, Y0, Y0                 // a = x - shift
+	VCMPPD $0x1D, explo4<>(SB), Y0, Y1  // a >= -700
+	VCMPPD $0x12, exphi4<>(SB), Y0, Y2  // a <= 700 (false for NaN)
+	VANDPD Y2, Y1, Y1
+	VMOVMSKPD Y1, DX
+	CMPL DX, $0xF
+	JNE  expdone
+	EXPCORE
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  exploop8
+expdone:
+	MOVQ AX, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func tanhBlocksAVX(dst, xs []float64) int
+TEXT ·tanhBlocksAVX(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ xs_base+24(FP), SI
+	MOVQ xs_len+32(FP), CX
+	XORQ AX, AX
+tanhloop:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JLT  tanhdone
+	VMOVUPD (SI)(AX*8), Y7
+	VANDPD absmask4<>(SB), Y7, Y2
+	VCMPPD $0x12, tanhhi4<>(SB), Y2, Y1 // |x| <= 350 (false for NaN)
+	VMOVMSKPD Y1, DX
+	CMPL DX, $0xF
+	JNE  tanhdone
+	TANHCORE
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  tanhloop
+tanhdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func maxBlocksAVX(xs []float64) (n int, m float64)
+//
+// Folds four-lane maxima over the longest NaN-free prefix of whole blocks,
+// returning how many elements were folded (a multiple of four) and their
+// maximum. Max is order-independent for NaN-free data, so the fold equals
+// the scalar scan's value — except possibly the sign of a zero maximum,
+// which the softmax caller tolerates (see softmaxMax). Blocks containing a
+// NaN stop the kernel; the caller rescans from there with the exact scalar
+// semantics.
+TEXT ·maxBlocksAVX(SB), NOSPLIT, $0-40
+	MOVQ xs_base+0(FP), SI
+	MOVQ xs_len+8(FP), CX
+	XORQ AX, AX
+	VBROADCASTSD neginf8<>(SB), Y0      // running max, seeded with -Inf
+maxloop:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JLT  maxdone
+	VMOVUPD (SI)(AX*8), Y1
+	VCMPPD $0x03, Y1, Y1, Y2            // unordered with itself = NaN lane
+	VMOVMSKPD Y2, DX
+	TESTL DX, DX
+	JNE  maxdone
+	VMAXPD Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  maxloop
+maxdone:
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPD X1, X0, X0
+	VPERMILPD $1, X0, X1
+	VMAXSD X1, X0, X0
+	MOVQ AX, n+24(FP)
+	MOVSD X0, m+32(FP)
+	VZEROUPPER
+	RET
+
+// func geluBlocksAVX(dst, xs []float64) int
+TEXT ·geluBlocksAVX(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ xs_base+24(FP), SI
+	MOVQ xs_len+32(FP), CX
+	XORQ AX, AX
+geluloop:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JLT  geludone
+	VMOVUPD (SI)(AX*8), Y8
+	VANDPD absmask4<>(SB), Y8, Y1
+	VCMPPD $0x12, geluhi4<>(SB), Y1, Y1 // |x| <= 20 (false for NaN)
+	VMOVMSKPD Y1, DX
+	CMPL DX, $0xF
+	JNE  geludone
+	VMULPD gelua4<>(SB), Y8, Y7         // t = c*(x + 0.044715*x*x*x),
+	VMULPD Y8, Y7, Y7                   // multiply-by-multiply as in the
+	VMULPD Y8, Y7, Y7                   // scalar source (no fusing)
+	VADDPD Y7, Y8, Y7
+	VMULPD geluc4<>(SB), Y7, Y7
+	// Dispatch on the tanh branch: when all four lanes fall on one side of
+	// the 0.625 threshold — the common case for a block of neighboring
+	// activations — only that branch is computed.
+	VANDPD absmask4<>(SB), Y7, Y2       // z = |t|
+	VCMPPD $0x11, t625_4<>(SB), Y2, Y4  // z < 0.625
+	VMOVMSKPD Y4, R8
+	CMPL R8, $0xF
+	JEQ  gelupoly
+	CMPL R8, $0x0
+	JEQ  geluexp
+	TANHCORE                            // mixed block: both branches
+	JMP  gelutanh
+gelupoly:
+	TANHPOLY
+	VMOVUPD Y6, Y0
+	TANHZERO
+	JMP  gelutanh
+geluexp:
+	TANHEXP
+gelutanh:
+	VADDPD one4<>(SB), Y0, Y0           // 1 + tanh(t)
+	VMULPD half4<>(SB), Y8, Y1          // 0.5*x
+	VMULPD Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  geluloop
+geludone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET

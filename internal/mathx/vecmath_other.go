@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package mathx
+
+// Non-amd64 builds always take the scalar loops in vecmath.go.
+const useVecMath = false
+
+func expShiftBlocks(dst, xs []float64, shift float64) int { return 0 }
+
+func tanhBlocks(dst, xs []float64) int { return 0 }
+
+func geluBlocks(dst, xs []float64) int { return 0 }
+
+func maxBlocks(xs []float64) (int, float64) { return 0, 0 }

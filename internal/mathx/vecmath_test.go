@@ -1,0 +1,257 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// The vector kernels claim bitwise identity with the scalar functions; the
+// tests sweep dense grids across every branch boundary of the scalar
+// implementations, the special values, and randomized mixtures (specials
+// embedded mid-slice, to exercise the block-fallback resume path).
+
+// specials every kernel must pass through its scalar fallback untouched.
+var vecSpecials = []float64{
+	0, math.Copysign(0, -1), 1, -1,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.MaxFloat64, -math.MaxFloat64,
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	1e-300, -1e-300, 5e-324,
+	// exp overflow/denormal-result boundaries
+	709.782712893384, 709.7827128933841, -708.39, -708.4, -745.2,
+	699.999, 700.0, 700.001, -699.999, -700.0, -700.001,
+	// tanh branch boundaries
+	0.625, 0.6249999999999999, 0.6250000000000001, -0.625,
+	44.014845965556525, 44.014845965556526, 44.1, -44.1,
+	19, 19.5, 350.0, 350.1, -350.0, -350.1, 20.0, 20.1, -20.0, -20.1,
+}
+
+func denseGrid(lo, hi float64, n int) []float64 {
+	xs := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+	}
+	return xs
+}
+
+// mixed builds a slice interleaving grid values with specials at varying
+// offsets so fallback blocks occur at every alignment.
+func mixed(grid []float64) []float64 {
+	out := make([]float64, 0, len(grid)+len(vecSpecials)*8)
+	k := 0
+	for i, v := range grid {
+		out = append(out, v)
+		if i%7 == 3 {
+			out = append(out, vecSpecials[k%len(vecSpecials)])
+			k++
+		}
+	}
+	return append(out, vecSpecials...)
+}
+
+func TestExpShiftIntoMatchesMathExp(t *testing.T) {
+	for _, shift := range []float64{0, 1.5, -3.25, 690, -690} {
+		xs := mixed(denseGrid(-760, 760, 200001))
+		dst := make([]float64, len(xs))
+		ExpShiftInto(dst, xs, shift)
+		for i, x := range xs {
+			want := math.Exp(x - shift)
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("shift %v: exp(%v-%v) = %v (bits %x), want %v (bits %x)",
+					shift, x, shift, dst[i], math.Float64bits(dst[i]), want, math.Float64bits(want))
+			}
+		}
+	}
+	// In-place aliasing.
+	xs := denseGrid(-20, 20, 1001)
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = math.Exp(x)
+	}
+	ExpShiftInto(xs, xs, 0)
+	for i := range xs {
+		if math.Float64bits(xs[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("aliased exp mismatch at %d", i)
+		}
+	}
+}
+
+func TestExpShiftIntoShortAndEmpty(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) - 3.5
+		}
+		dst := make([]float64, n)
+		ExpShiftInto(dst, xs, 0.5)
+		for i := range xs {
+			want := math.Exp(xs[i] - 0.5)
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("n=%d i=%d: got %v want %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestTanhIntoMatchesMathTanh(t *testing.T) {
+	xs := mixed(denseGrid(-400, 400, 200001))
+	// Dense coverage around the rational/exp switch and the ±1 cutoff.
+	xs = append(xs, denseGrid(-1, 1, 50001)...)
+	xs = append(xs, denseGrid(43, 45, 20001)...)
+	dst := make([]float64, len(xs))
+	TanhInto(dst, xs)
+	for i, x := range xs {
+		want := math.Tanh(x)
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Fatalf("tanh(%v) = %v (bits %x), want %v (bits %x)",
+				x, dst[i], math.Float64bits(dst[i]), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestGELUIntoMatchesScalar(t *testing.T) {
+	xs := mixed(denseGrid(-25, 25, 200001))
+	dst := make([]float64, len(xs))
+	GELUInto(dst, xs)
+	for i, x := range xs {
+		want := GELU(x)
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Fatalf("gelu(%v) = %v (bits %x), want %v (bits %x)",
+				x, dst[i], math.Float64bits(dst[i]), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestGELUFormulaPinned pins the scalar reference to the exact expression
+// the transformer activation historically used; the vector kernel and the
+// inference fast paths all inherit bitwise identity from this form.
+func TestGELUFormulaPinned(t *testing.T) {
+	for _, x := range append(denseGrid(-9, 9, 10001), vecSpecials...) {
+		const c = 0.7978845608028654
+		want := 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+		got := GELU(x)
+		if math.Float64bits(got) != math.Float64bits(want) &&
+			!(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("GELU(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSoftmaxFastIntoMatchesSoftmaxInto(t *testing.T) {
+	rng := NewRNG(41)
+	scratch := make([]float64, 300)
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(257)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Norm() * 20
+		}
+		// Sprinkle the masked-attention sentinel and ties.
+		if n > 0 && trial%3 == 0 {
+			for k := 0; k < n/4; k++ {
+				xs[rng.Intn(n)] = math.Inf(-1)
+			}
+		}
+		if n > 2 && trial%5 == 0 {
+			xs[0] = xs[n-1]
+		}
+		if n > 0 && trial%17 == 0 {
+			for i := range xs {
+				xs[i] = math.Inf(-1)
+			}
+		}
+		// Signed-zero maxima in both orders: the vector max fold may pick
+		// either zero of a tie, which must not change any output bit.
+		if n > 9 && trial%7 == 0 {
+			for i := range xs {
+				xs[i] = -math.Abs(xs[i])
+			}
+			xs[1], xs[8] = math.Copysign(0, -1), 0
+			if trial%2 == 0 {
+				xs[1], xs[8] = xs[8], xs[1]
+			}
+		}
+		beta := []float64{1, 1, 1, 0.5, 2.25}[trial%5]
+		want := make([]float64, n)
+		SoftmaxInto(want, xs, beta)
+		got := SoftmaxFastInto(make([]float64, n), xs, scratch, beta)
+		for i := range want {
+			wb, gb := math.Float64bits(want[i]), math.Float64bits(got[i])
+			if wb != gb && !(math.IsNaN(want[i]) && math.IsNaN(got[i])) {
+				t.Fatalf("trial %d beta %v elem %d: got %x want %x", trial, beta, i, gb, wb)
+			}
+		}
+		// Aliased form, as the attention rows use it.
+		aliased := append([]float64(nil), xs...)
+		SoftmaxFastInto(aliased, aliased, scratch, beta)
+		for i := range want {
+			wb, gb := math.Float64bits(want[i]), math.Float64bits(aliased[i])
+			if wb != gb && !(math.IsNaN(want[i]) && math.IsNaN(aliased[i])) {
+				t.Fatalf("trial %d aliased elem %d: got %x want %x", trial, i, gb, wb)
+			}
+		}
+	}
+}
+
+func BenchmarkExpShiftInto(b *testing.B) {
+	xs := denseGrid(-30, 0, 256)
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpShiftInto(dst, xs, 1.0)
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+func BenchmarkMathExpLoop(b *testing.B) {
+	xs := denseGrid(-30, 0, 256)
+	dst := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range xs {
+			dst[j] = math.Exp(x - 1.0)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+func BenchmarkGELUInto(b *testing.B) {
+	xs := denseGrid(-8, 8, 256)
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GELUInto(dst, xs)
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+func BenchmarkSoftmaxFastInto(b *testing.B) {
+	rng := NewRNG(7)
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = rng.Norm() * 4
+	}
+	dst := make([]float64, len(xs))
+	scratch := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxFastInto(dst, xs, scratch, 1)
+	}
+}
+
+func BenchmarkSoftmaxInto(b *testing.B) {
+	rng := NewRNG(7)
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = rng.Norm() * 4
+	}
+	dst := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxInto(dst, xs, 1)
+	}
+}

@@ -24,6 +24,17 @@ type StepperFunc func(id int) []float64
 // Append implements Stepper.
 func (f StepperFunc) Append(id int) []float64 { return f(id) }
 
+// Extender is a Stepper that can ingest a whole token chunk in one pass:
+// Extend feeds ids in order and returns the logits after the last one,
+// bitwise identical to len(ids) Append calls, but as batched matrix work
+// (transformer.Predictor implements it; see its documentation for the
+// keep-last window-truncation behavior). The generation drivers type-assert
+// for it so prompt prefill takes the fast path on models that provide one.
+type Extender interface {
+	Stepper
+	Extend(ids []int) []float64
+}
+
 // Strategy picks the next token from logits.
 type Strategy interface {
 	Pick(logits []float64, rng *mathx.RNG) int
@@ -173,8 +184,12 @@ func Generate(s Stepper, prompt []int, n int, strat Strategy, stop int, rng *mat
 		panic("sample: empty prompt")
 	}
 	var logits []float64
-	for _, id := range prompt {
-		logits = s.Append(id)
+	if ex, ok := s.(Extender); ok {
+		logits = ex.Extend(prompt)
+	} else {
+		for _, id := range prompt {
+			logits = s.Append(id)
+		}
 	}
 	if n <= 0 {
 		return nil

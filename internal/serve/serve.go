@@ -21,6 +21,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sync"
 	"time"
 
@@ -47,6 +49,15 @@ type Config struct {
 	// requests to arrive before decoding starts (default 2ms). 0 keeps
 	// the default; negative disables lingering.
 	CoalesceWait time.Duration
+	// PrefillChunk caps how many prompt tokens one chunked-prefill pass
+	// ingests (default 32). The loop runs at most one prefill chunk
+	// between consecutive decode steps, so this bounds the extra latency
+	// a mid-decode request can see from another request's prompt: one
+	// chunk's compute, regardless of prompt length. Larger chunks ingest
+	// prompts faster (better time-to-first-token for the new request);
+	// smaller chunks keep in-flight streams smoother. 0 keeps the
+	// default; negative removes the cap (whole prompts in one pass).
+	PrefillChunk int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceWait == 0 {
 		c.CoalesceWait = 2 * time.Millisecond
+	}
+	if c.PrefillChunk == 0 {
+		c.PrefillChunk = 32
 	}
 	return c
 }
@@ -93,17 +107,28 @@ func (r Request) Options() sample.Options {
 // Result is a finished generation (same shape as the direct lm.Gen path).
 type Result = lm.Result
 
-// Stats is a snapshot of server counters. StepRows/Steps is the mean batch
-// size actually achieved; MaxBatch is the peak. Once the server is idle,
-// Requests == Completed + Cancelled + Failed.
+// Stats is a snapshot of server counters. StepRows/Steps is the mean decode
+// batch size actually achieved; MaxBatch is the peak. PromptTokens and
+// DecodeTokens split throughput by phase — prompt ingestion through the
+// chunked prefill fast path versus sampled tokens from decode steps — so
+// prefill and decode rates are separately observable. Once the server is
+// idle, Requests == Completed + Cancelled + Failed.
 type Stats struct {
 	Requests  uint64 `json:"requests"`  // accepted by Do/Generate (past validation)
 	Completed uint64 `json:"completed"` // finished with a result
 	Cancelled uint64 `json:"cancelled"` // dropped by context cancellation
 	Failed    uint64 `json:"failed"`    // prompt errors and shutdown rejections
-	Steps     uint64 `json:"steps"`     // batched forward steps executed
-	StepRows  uint64 `json:"step_rows"` // total sequence-rows fed across all steps
-	MaxBatch  int    `json:"max_batch"` // largest per-step batch observed
+	Steps     uint64 `json:"steps"`     // decode steps executed
+	StepRows  uint64 `json:"step_rows"` // total sequence-rows fed across decode steps
+	MaxBatch  int    `json:"max_batch"` // largest per-step decode batch observed
+
+	PromptTokens uint64 `json:"prompt_tokens"` // prompt tokens ingested by prefill
+	DecodeTokens uint64 `json:"decode_tokens"` // tokens sampled (incl. each prompt's first, sampled from prefill logits)
+
+	// PrefillChunkHist is a histogram of per-pass prefill chunk sizes:
+	// bucket i counts chunks of size in (2^(i-1), 2^i] (bucket 0 is size
+	// 1, the last bucket collects everything larger than 2^7).
+	PrefillChunkHist [9]uint64 `json:"prefill_chunk_hist"`
 }
 
 // Server owns one model and one serving loop (batched for core.LLM,
@@ -113,6 +138,10 @@ type Server struct {
 	model   *core.LLM // non-nil in batched mode
 	window  int       // 0 = unbounded
 	cfg     Config
+
+	// newBatch builds the loop's predictor; a seam the scheduling tests
+	// replace to observe the exact prefill/decode call sequence.
+	newBatch func() batchPredictor
 
 	queue chan *pending
 	quit  chan struct{}
@@ -175,6 +204,9 @@ func newServer(backend lm.LanguageModel, model *core.LLM, cfg Config) *Server {
 		window:  backend.ContextWindow(),
 		cfg:     cfg.withDefaults(),
 		quit:    make(chan struct{}),
+	}
+	if model != nil {
+		s.newBatch = func() batchPredictor { return model.Model.NewBatchedPredictor() }
 	}
 	s.queue = make(chan *pending, s.cfg.QueueDepth)
 	return s
@@ -361,13 +393,28 @@ func (s *Server) Stream(ctx context.Context, req Request, onToken func(sample.To
 
 // ---- batching loop (transformer backend) ----
 
+// loop is the continuous-batching scheduler. Each iteration interleaves the
+// two phases of the workload:
+//
+//   - at most ONE chunked prefill pass (round-robin over the requests still
+//     ingesting their prompt, at most PrefillChunk tokens), so a prompt of
+//     any length delays in-flight decodes by one bounded chunk rather than
+//     monopolizing the loop;
+//   - one batched decode step over every request past its prompt.
+//
+// A request whose prompt finishes mid-iteration samples its first token
+// from the prefill logits immediately (the exact logits the old
+// one-forced-token-per-step loop sampled, so outputs are unchanged) and
+// joins the decode batch the same iteration.
 func (s *Server) loop() {
 	defer s.wg.Done()
-	bp := s.model.Model.NewBatchedPredictor()
+	bp := s.newBatch()
 	var active []*liveReq
 	// Step buffers, reused across iterations: the decode loop allocates
 	// nothing per step beyond what a request's own lifecycle requires.
 	var ids, toks []int
+	var decs []*liveReq
+	rr := 0 // round-robin cursor over prefilling requests
 	for {
 		// Admission: block when idle, otherwise top up without waiting.
 		if len(active) == 0 {
@@ -411,45 +458,83 @@ func (s *Server) loop() {
 		if len(active) == 0 {
 			continue
 		}
-		// One batched forward step: prefilling requests feed their next
-		// prompt token, decoding requests feed their last sample.
-		ids, toks = ids[:0], toks[:0]
-		for _, lr := range active {
-			ids = append(ids, lr.slot)
+		// One prefill chunk for the next prompt-ingesting request.
+		var pf *liveReq
+		for i := 0; i < len(active); i++ {
+			lr := active[(rr+i)%len(active)]
 			if len(lr.forced) > 0 {
-				toks = append(toks, lr.forced[0])
-			} else {
-				toks = append(toks, lr.last)
+				pf = lr
+				rr = (rr + i + 1) % len(active)
+				break
 			}
+		}
+		if pf != nil {
+			chunk := len(pf.forced)
+			if s.cfg.PrefillChunk > 0 && chunk > s.cfg.PrefillChunk {
+				chunk = s.cfg.PrefillChunk
+			}
+			logits := bp.Prefill(pf.slot, pf.forced[:chunk])
+			pf.forced = pf.forced[chunk:]
+			// A finished prompt samples its first token from these logits
+			// below; the same counter update keeps DecodeTokens covering
+			// every sampled token, as in single-sequence mode.
+			s.countPrefill(chunk, len(pf.forced) == 0)
+			if len(pf.forced) == 0 {
+				// Prompt fully ingested: the chunk's logits are the first
+				// to sample.
+				if s.sampleTok(pf, logits) {
+					bp.Drop(pf.slot)
+					s.finish(pf)
+					active = remove(active, pf)
+				}
+			}
+		}
+		// One batched decode step over every request past its prompt.
+		ids, toks, decs = ids[:0], toks[:0], decs[:0]
+		for _, lr := range active {
+			if len(lr.forced) == 0 {
+				ids = append(ids, lr.slot)
+				toks = append(toks, lr.last)
+				decs = append(decs, lr)
+			}
+		}
+		if len(ids) == 0 {
+			continue
 		}
 		logits := bp.Step(ids, toks)
 		s.countStep(len(ids))
-		alive = active[:0]
-		for i, lr := range active {
-			if len(lr.forced) > 0 {
-				lr.forced = lr.forced[1:]
-				if len(lr.forced) > 0 {
-					alive = append(alive, lr) // still prefilling
-					continue
-				}
-				// Prompt fully fed: these logits are the first to sample.
-			}
-			tok, done := lr.dec.Next(logits[i])
-			lr.last = tok
-			if lr.p.events != nil {
-				// Delivered as soon as this batching step completes;
-				// capacity is pre-sized, so the loop never blocks.
-				lr.p.events <- lr.pd.Next(tok)
-			}
-			if done {
+		for i, lr := range decs {
+			if s.sampleTok(lr, logits[i]) {
 				bp.Drop(lr.slot)
 				s.finish(lr)
-				continue
+				active = remove(active, lr)
 			}
-			alive = append(alive, lr)
 		}
-		active = alive
 	}
+}
+
+// sampleTok samples one token for lr from logits, delivers its stream event,
+// and reports whether the request finished.
+func (s *Server) sampleTok(lr *liveReq, logits []float64) bool {
+	tok, done := lr.dec.Next(logits)
+	lr.last = tok
+	if lr.p.events != nil {
+		// Delivered as soon as this step completes; capacity is pre-sized,
+		// so the loop never blocks.
+		lr.p.events <- lr.pd.Next(tok)
+	}
+	return done
+}
+
+// remove deletes lr from the batch, preserving order (the round-robin
+// cursor and per-step iteration depend on stable ordering). slices.Delete
+// zeroes the vacated tail slot, so a finished request's buffers are not
+// retained by the backing array while the server idles.
+func remove(active []*liveReq, lr *liveReq) []*liveReq {
+	if i := slices.Index(active, lr); i >= 0 {
+		return slices.Delete(active, i, i+1)
+	}
+	return active
 }
 
 // admit moves a queued request into the decoding batch.
@@ -559,6 +644,12 @@ func (s *Server) serveSingle(p *pending) {
 		s.count(func(st *Stats) { st.Cancelled++ })
 		return
 	}
+	// The prompt-token split of the batched loop, for parity: the driver
+	// below re-encodes, so this costs one extra (cheap) encode.
+	if ids, err := s.backend.EncodePrompt(p.req.Prompt, p.req.MaxTokens); err == nil {
+		n := uint64(len(ids))
+		s.count(func(st *Stats) { st.PromptTokens += n })
+	}
 	onTok := func(ev sample.Token) error {
 		select {
 		case <-s.quit:
@@ -592,21 +683,47 @@ func (s *Server) count(f func(*Stats)) {
 }
 
 // countStep records one decoding step of the given batch width without
-// allocating (the closure form would capture the width and escape).
+// allocating (the closure form would capture the width and escape). Every
+// decode row samples exactly one token, so the same call maintains
+// DecodeTokens.
 func (s *Server) countStep(rows int) {
 	s.mu.Lock()
 	s.stats.Steps++
 	s.stats.StepRows += uint64(rows)
+	s.stats.DecodeTokens += uint64(rows)
 	if rows > s.stats.MaxBatch {
 		s.stats.MaxBatch = rows
 	}
 	s.mu.Unlock()
 }
 
+// countPrefill records one chunked-prefill pass of the given token count;
+// sampled marks a pass that completed its prompt, whose logits immediately
+// yield one sampled token (counted here so DecodeTokens spans every
+// sampled token without an extra lock in the sampling path).
+func (s *Server) countPrefill(chunk int, sampled bool) {
+	bucket := bits.Len(uint(chunk - 1))
+	if chunk <= 1 {
+		bucket = 0
+	}
+	if max := len(s.stats.PrefillChunkHist) - 1; bucket > max {
+		bucket = max
+	}
+	s.mu.Lock()
+	s.stats.PromptTokens += uint64(chunk)
+	s.stats.PrefillChunkHist[bucket]++
+	if sampled {
+		s.stats.DecodeTokens++
+	}
+	s.mu.Unlock()
+}
+
 // batchPredictor is the slice of transformer.BatchedPredictor the loop uses
-// (an interface so the admission helpers stay testable).
+// (an interface so the admission helpers and the chunk scheduling stay
+// testable).
 type batchPredictor interface {
 	Add() int
 	Drop(id int)
 	Step(ids []int, tokens []int) [][]float64
+	Prefill(id int, ids []int) []float64
 }

@@ -274,6 +274,24 @@ func TestStatsUnderConcurrentLoad(t *testing.T) {
 	if st.MaxBatch < 2 || st.MaxBatch > cfg.MaxBatch {
 		t.Errorf("MaxBatch = %d, want in [2, %d]", st.MaxBatch, cfg.MaxBatch)
 	}
+	// The prompt/decode split: every decode row samples one token, every
+	// completed request additionally sampled its first token from prefill
+	// logits (cancelled requests may or may not have reached that point),
+	// and the completed requests' prompts all went through prefill.
+	if st.DecodeTokens < st.StepRows+st.Completed || st.DecodeTokens > st.StepRows+st.Requests {
+		t.Errorf("DecodeTokens = %d, want in [StepRows+Completed, StepRows+Requests] = [%d, %d]",
+			st.DecodeTokens, st.StepRows+st.Completed, st.StepRows+st.Requests)
+	}
+	if st.PromptTokens < st.Completed {
+		t.Errorf("PromptTokens = %d < Completed = %d: prompts unaccounted", st.PromptTokens, st.Completed)
+	}
+	chunks := uint64(0)
+	for _, c := range st.PrefillChunkHist {
+		chunks += c
+	}
+	if chunks == 0 {
+		t.Errorf("PrefillChunkHist empty with %d prompt tokens ingested", st.PromptTokens)
+	}
 }
 
 // ---- single-sequence backend mode ----

@@ -55,6 +55,10 @@ type BatchedPredictor struct {
 	logits  *tensor.Tensor // unembedding output (batch×Vocab)
 	out     [][]float64    // per-sequence logit views handed to the caller
 	scores  []float64      // per-head attention scores (Window)
+
+	// Prefill logits buffer, created on first Prefill and reused (the
+	// chunk scratch itself is pooled on the model).
+	pfLogits []float64
 }
 
 // batchSeq is one sequence's decoding state: positions processed so far and

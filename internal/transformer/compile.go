@@ -59,6 +59,46 @@ func (pm *packedMat) matVec(dst, x []float64) {
 	}
 }
 
+// matMat is the chunk (matrix-matrix) form of matVec: it writes wT·x_r into
+// row r of dst for every row of xs (dst is rows×pm.rows, xs is rows×pm.cols).
+// The serial loop walks weight blocks in the outer loop and chunk rows in
+// the inner loop, so each packed block is streamed from memory once per
+// chunk instead of once per token — the locality shift that makes prefill a
+// matrix-matrix operation. Per row the arithmetic is exactly matVec's (same
+// kernel, same ascending accumulation), so results are bitwise identical to
+// row-by-row matVec calls at any chunk size. Large chunks fan the
+// independent rows out across GOMAXPROCS.
+func (pm *packedMat) matMat(dst, xs *tensor.Tensor) {
+	rows := xs.Shape[0]
+	if parallelRows(rows, rows*pm.rows*pm.cols) {
+		rowParallel(rows, func(r int) { pm.matVec(dst.Row(r), xs.Row(r)) })
+		return
+	}
+	nb := pm.rows / 16
+	for b := 0; b < nb; b++ {
+		blk := pm.blocks[b*pm.cols*16 : (b+1)*pm.cols*16]
+		r := 0
+		for ; r+2 <= rows; r += 2 {
+			mathx.DotInterleaved16X2(
+				(*[16]float64)(dst.Row(r)[b*16:b*16+16]),
+				(*[16]float64)(dst.Row(r + 1)[b*16:b*16+16]),
+				blk, xs.Row(r), xs.Row(r+1))
+		}
+		for ; r < rows; r++ {
+			mathx.DotInterleaved16((*[16]float64)(dst.Row(r)[b*16:b*16+16]), blk, xs.Row(r))
+		}
+	}
+	if pm.tail != nil {
+		base := nb * 16
+		for tr := 0; tr < pm.tail.Shape[0]; tr++ {
+			trow := pm.tail.Row(tr)
+			for r := 0; r < rows; r++ {
+				dst.Row(r)[base+tr] = mathx.Dot(trow, xs.Row(r))
+			}
+		}
+	}
+}
+
 // compiledLayer is one block's weights packed for single-token inference.
 // The Q/K/V projections of all heads are stacked into one Dim-output matrix
 // each, rows grouped head-major: output h·hd+r is output r of head h, so a

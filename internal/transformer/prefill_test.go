@@ -1,0 +1,320 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+// bitsEqual compares logit slices bit for bit.
+func bitsEqual(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: logit %d: %v (bits %x) != %v (bits %x)",
+				tag, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestExtendMatchesAppendBitwise drives Extend and token-by-token Append
+// over identical streams across positional schemes, norm orders, head
+// widths (including non-16 head dims), and the sparse mask: the final
+// logits, the full KV caches, and every subsequent Append must agree
+// bitwise.
+func TestExtendMatchesAppendBitwise(t *testing.T) {
+	for _, cfg := range []Config{
+		{Vocab: 23, Dim: 16, Layers: 2, Heads: 2, Window: 40, Pos: PosLearned, Act: nn.GELU},
+		{Vocab: 23, Dim: 16, Layers: 1, Heads: 4, Window: 40, Pos: PosSinusoidal, Act: nn.ReLU},
+		{Vocab: 23, Dim: 16, Layers: 2, Heads: 2, Window: 40, Pos: PosNone, Act: nn.Tanh, PostNorm: true},
+		{Vocab: 23, Dim: 16, Layers: 2, Heads: 2, Window: 40, Pos: PosLearned, Act: nn.GELU, SparseStride: 3},
+		{Vocab: 31, Dim: 24, Layers: 2, Heads: 2, Window: 37, Pos: PosLearned, Act: nn.GELU},    // head dim 12
+		{Vocab: 31, Dim: 40, Layers: 1, Heads: 2, Window: 21, Pos: PosSinusoidal, Act: nn.GELU}, // head dim 20
+	} {
+		m := MustNew(cfg, mathx.NewRNG(77))
+		rng := mathx.NewRNG(78)
+		for _, n := range []int{1, 2, 15, 16, 17, cfg.Window} {
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = rng.Intn(cfg.Vocab)
+			}
+			fast := m.NewPredictor()
+			slow := m.NewPredictor()
+			got := fast.Extend(ids)
+			var want []float64
+			for _, id := range ids {
+				want = slow.Append(id)
+			}
+			bitsEqual(t, "extend", got, want)
+			if fast.Len() != slow.Len() {
+				t.Fatalf("cfg %+v n %d: Len %d != %d", cfg, n, fast.Len(), slow.Len())
+			}
+			// The caches must match too: continue decoding both greedily.
+			for fast.Len() < cfg.Window {
+				next, _ := mathx.ArgMax(want)
+				bitsEqual(t, "decode-after-extend", fast.Append(next), slow.Append(next))
+			}
+		}
+	}
+}
+
+// TestExtendProperty fuzzes random configurations and random chunk
+// schedules (including chunks of one, re-extension mid-generation, and
+// interleaved Append calls): every Extend must match the same tokens fed
+// through Append on a shadow predictor, bitwise, at every step.
+func TestExtendProperty(t *testing.T) {
+	rng := mathx.NewRNG(991)
+	for trial := 0; trial < 40; trial++ {
+		heads := 1 + rng.Intn(3)
+		hd := []int{4, 8, 12, 16, 20}[rng.Intn(5)]
+		cfg := Config{
+			Vocab:  11 + rng.Intn(40),
+			Dim:    heads * hd,
+			Hidden: 8 + rng.Intn(64),
+			Layers: 1 + rng.Intn(2),
+			Heads:  heads,
+			Window: 18 + rng.Intn(46),
+			Pos:    []PosKind{PosSinusoidal, PosLearned, PosNone}[rng.Intn(3)],
+			Act:    []nn.Activation{nn.ReLU, nn.Tanh, nn.GELU}[rng.Intn(3)],
+		}
+		if rng.Intn(4) == 0 {
+			cfg.PostNorm = true
+		}
+		if rng.Intn(5) == 0 {
+			cfg.SparseStride = 2 + rng.Intn(3)
+		}
+		m := MustNew(cfg, mathx.NewRNG(uint64(trial)*13+1))
+		fast := m.NewPredictor()
+		slow := m.NewPredictor()
+		for fast.Len() < cfg.Window {
+			room := cfg.Window - fast.Len()
+			n := 1 + rng.Intn(room)
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = rng.Intn(cfg.Vocab)
+			}
+			var got, want []float64
+			if rng.Intn(4) == 0 && n == 1 {
+				got = fast.Append(ids[0])
+			} else {
+				got = fast.Extend(ids)
+			}
+			for _, id := range ids {
+				want = slow.Append(id)
+			}
+			bitsEqual(t, "property", got, want)
+		}
+	}
+}
+
+// TestExtendEdgeLengths pins the length edges: empty chunks, chunk 1, one
+// below the window, exactly the window, and beyond the window (keep-last
+// truncation).
+func TestExtendEdgeLengths(t *testing.T) {
+	cfg := Config{Vocab: 19, Dim: 32, Layers: 2, Heads: 2, Window: 24, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(5))
+	rng := mathx.NewRNG(6)
+	mk := func(n int) []int {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = rng.Intn(cfg.Vocab)
+		}
+		return ids
+	}
+
+	if got := m.NewPredictor().Extend(nil); got != nil {
+		t.Fatalf("Extend(nil) = %v, want nil", got)
+	}
+	if got := m.NewPredictor().Extend([]int{}); got != nil {
+		t.Fatalf("Extend(empty) = %v, want nil", got)
+	}
+
+	for _, n := range []int{1, cfg.Window - 1, cfg.Window} {
+		ids := mk(n)
+		fast, slow := m.NewPredictor(), m.NewPredictor()
+		var want []float64
+		for _, id := range ids {
+			want = slow.Append(id)
+		}
+		bitsEqual(t, "edge", fast.Extend(ids), want)
+		if fast.Len() != n {
+			t.Fatalf("Len after Extend(%d) = %d", n, fast.Len())
+		}
+	}
+
+	// Longer than the window: only the last Window ids are ingested.
+	long := mk(cfg.Window + 9)
+	fast, slow := m.NewPredictor(), m.NewPredictor()
+	var want []float64
+	for _, id := range long[len(long)-cfg.Window:] {
+		want = slow.Append(id)
+	}
+	bitsEqual(t, "overlong", fast.Extend(long), want)
+	if fast.Len() != cfg.Window {
+		t.Fatalf("Len after overlong Extend = %d, want %d", fast.Len(), cfg.Window)
+	}
+	// Window full: further Extend ingests nothing.
+	if got := fast.Extend(mk(3)); got != nil {
+		t.Fatalf("Extend on a full window = %v, want nil", got)
+	}
+
+	// Mid-generation re-extension beyond the room keeps the last room ids.
+	fast, slow = m.NewPredictor(), m.NewPredictor()
+	head := mk(10)
+	fast.Extend(head)
+	for _, id := range head {
+		slow.Append(id)
+	}
+	over := mk(cfg.Window) // room is Window-10
+	room := cfg.Window - 10
+	for _, id := range over[len(over)-room:] {
+		want = slow.Append(id)
+	}
+	bitsEqual(t, "re-extend-overlong", fast.Extend(over), want)
+}
+
+// TestBatchedPrefillMatchesStepBitwise drives Prefill against per-token
+// Step calls for interleaved sequences: logits after the chunk, and every
+// subsequent batched step, must agree bitwise — including sequences
+// prefilled while others are mid-decode.
+func TestBatchedPrefillMatchesStepBitwise(t *testing.T) {
+	cfg := Config{Vocab: 29, Dim: 32, Layers: 2, Heads: 2, Window: 40, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(17))
+	rng := mathx.NewRNG(18)
+
+	fast := m.NewBatchedPredictor()
+	slow := m.NewBatchedPredictor()
+	fa, sa := fast.Add(), slow.Add()
+
+	// Sequence A: prompt via Prefill vs per-token Step.
+	prompt := make([]int, 23)
+	for i := range prompt {
+		prompt[i] = rng.Intn(cfg.Vocab)
+	}
+	got := fast.Prefill(fa, prompt)
+	var want []float64
+	for _, id := range prompt {
+		want = slow.Step([]int{sa}, []int{id})[0]
+	}
+	bitsEqual(t, "batched-prefill", got, want)
+
+	// Decode A a few steps, then admit B and prefill it mid-decode.
+	tokA := func(l []float64) int { i, _ := mathx.ArgMax(l); return i }
+	a := tokA(want)
+	for s := 0; s < 3; s++ {
+		gl := fast.Step([]int{fa}, []int{a})[0]
+		wl := slow.Step([]int{sa}, []int{a})[0]
+		bitsEqual(t, "decode-A", gl, wl)
+		a = tokA(wl)
+	}
+	fb, sb := fast.Add(), slow.Add()
+	promptB := make([]int, 17)
+	for i := range promptB {
+		promptB[i] = rng.Intn(cfg.Vocab)
+	}
+	gotB := fast.Prefill(fb, promptB)
+	var wantB []float64
+	for _, id := range promptB {
+		wantB = slow.Step([]int{sb}, []int{id})[0]
+	}
+	bitsEqual(t, "batched-prefill-mid-decode", gotB, wantB)
+	bf := tokA(wantB)
+
+	// Joint decode of both sequences.
+	for s := 0; s < 4; s++ {
+		gl := fast.Step([]int{fa, fb}, []int{a, bf})
+		wl := slow.Step([]int{sa, sb}, []int{a, bf})
+		bitsEqual(t, "decode-joint-A", gl[0], wl[0])
+		bitsEqual(t, "decode-joint-B", gl[1], wl[1])
+		a, bf = tokA(wl[0]), tokA(wl[1])
+	}
+
+	if fast.Len(fa) != slow.Len(sa) || fast.Len(fb) != slow.Len(sb) {
+		t.Fatalf("length divergence")
+	}
+
+	// Unknown sequence panics, mirroring Step.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Prefill of unknown sequence did not panic")
+		}
+	}()
+	fast.Prefill(99, []int{1})
+}
+
+// TestExtendAllocs pins the steady-state allocation count of the chunked
+// prefill path: after warmup, Extend must stay within two allocations per
+// call (zero in practice; the bound leaves room for the runtime).
+func TestExtendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	cfg := Config{Vocab: 33, Dim: 32, Layers: 2, Heads: 2, Window: 512, Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(3))
+	rng := mathx.NewRNG(4)
+	ids := make([]int, 4)
+	for i := range ids {
+		ids[i] = rng.Intn(cfg.Vocab)
+	}
+	p := m.NewPredictor()
+	p.Extend(ids) // create and size the chunk scratch
+	avg := testing.AllocsPerRun(64, func() {
+		p.Extend(ids)
+	})
+	if avg > 2 {
+		t.Fatalf("Extend allocations per call = %v, want <= 2", avg)
+	}
+}
+
+// BenchmarkPrefillExtendVsAppend is the package-level E20 pair: chunked
+// prefill against token-by-token Append (and the legacy pre-compile
+// reference) for a 256-token prompt at the E18 serving shape.
+func BenchmarkPrefillExtendVsAppend(b *testing.B) {
+	cfg := Config{Vocab: 33, Dim: 32, Layers: 2, Heads: 2, Window: 288,
+		Pos: PosLearned, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(9))
+	rng := mathx.NewRNG(10)
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = rng.Intn(cfg.Vocab)
+	}
+	b.Run("extend", func(b *testing.B) {
+		p := m.NewPredictor()
+		p.Extend(prompt) // warm scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p = m.NewPredictor()
+			b.StartTimer()
+			p.Extend(prompt)
+		}
+		b.ReportMetric(float64(b.N*len(prompt))/b.Elapsed().Seconds(), "tok/s")
+	})
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := m.NewPredictor()
+			b.StartTimer()
+			for _, id := range prompt {
+				p.Append(id)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(prompt))/b.Elapsed().Seconds(), "tok/s")
+	})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := newLegacyPredictor(m)
+			b.StartTimer()
+			for _, id := range prompt {
+				p.Append(id)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(prompt))/b.Elapsed().Seconds(), "tok/s")
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package transformer
+
+const raceEnabled = false

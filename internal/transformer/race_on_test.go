@@ -1,0 +1,8 @@
+//go:build race
+
+package transformer
+
+// raceEnabled reports that the race detector is active: sync.Pool drops
+// items at random under it (to widen race coverage), which breaks strict
+// allocation pins on pooled paths.
+const raceEnabled = true

@@ -202,6 +202,11 @@ type Model struct {
 	// weights (see InvalidateCompiled).
 	compiledMu    sync.Mutex
 	compiledCache *compiledModel
+
+	// Chunk-prefill scratch, pooled per model so each serving request's
+	// fresh predictor reuses a previous request's buffers instead of
+	// allocating them on its first Extend/Prefill.
+	pfPool sync.Pool
 }
 
 // New constructs a model with §6 initialization (weights ~ N(0, 1/√fan-in)).
@@ -739,8 +744,7 @@ func actScalar(a nn.Activation, x float64) float64 {
 	case nn.Tanh:
 		return math.Tanh(x)
 	case nn.GELU:
-		const c = 0.7978845608028654
-		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+		return mathx.GELU(x)
 	default:
 		panic("transformer: unknown activation")
 	}

@@ -219,7 +219,10 @@ func SyntheticCorpus(n int, seed uint64) []string {
 // ---- Serving ----
 
 // ServerConfig tunes the request-batching generation service; the zero
-// value selects sensible defaults (batch of 8, 2ms coalescing window).
+// value selects sensible defaults (batch of 8, 2ms coalescing window,
+// 32-token prefill chunks). PrefillChunk bounds how much of a new request's
+// prompt is ingested between decode steps, so long prompts never stall
+// in-flight streams by more than one chunk.
 type ServerConfig = serve.Config
 
 // GenRequest is one generation job for a Server, with per-request sampling
@@ -236,7 +239,10 @@ func NewGenRequest(prompt string, opts ...GenOption) GenRequest {
 // a direct Gen call or through a Server.
 type GenResult = serve.Result
 
-// ServerStats is a snapshot of Server throughput counters.
+// ServerStats is a snapshot of Server throughput counters, including the
+// prompt/decode split (PromptTokens vs DecodeTokens) and the histogram of
+// prefill chunk sizes, so prompt-ingestion and generation throughput are
+// separately observable.
 type ServerStats = serve.Stats
 
 // ErrServerClosed is returned for requests submitted to a closed Server.
@@ -245,8 +251,10 @@ var ErrServerClosed = serve.ErrClosed
 // Server is a batched generation service over a trained model: concurrent
 // Generate calls are coalesced into batched forward passes that share each
 // decoding step's matrix work, while every request keeps its own sampling
-// parameters and context-cancellation path. Results are identical to the
-// corresponding unbatched LLM.Generate call.
+// parameters and context-cancellation path. Prompts are ingested through
+// the chunked prefill fast path (whole chunks as matrix-matrix work,
+// interleaved with decode steps in bounded pieces). Results are identical
+// to the corresponding unbatched LLM.Generate call.
 type Server struct {
 	s *serve.Server
 }
