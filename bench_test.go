@@ -584,6 +584,92 @@ func BenchmarkDecodeToken(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tok/s")
 }
 
+// BenchmarkBatchedDecodeScaling is E21: batched decode throughput as a
+// function of batch size, on the E17 serving shape (the config
+// BenchmarkBatchedGeneration serves). Each batchN iteration runs one
+// BatchedPredictor.Step over N concurrent sequences; with the
+// cross-sequence GEMM step every packed weight block is streamed from
+// memory once per step regardless of N, so tokens/s should scale with N
+// until the per-sequence attention work (which cannot batch across
+// sequences) dominates (per-row matVec decoding instead re-streams the
+// whole weight set N times per step, pinning per-step cost to N × the
+// batch-1 cost). The serialN rungs measure that per-row baseline: N
+// independent Predictor.Append calls, the exact per-sequence work the old
+// per-row Step performed. Sequences re-arm at the window, so each rung
+// decodes the same position distribution regardless of iteration count.
+func BenchmarkBatchedDecodeScaling(b *testing.B) {
+	const vocab, window = 96, 64
+	cfg := transformer.Config{
+		Vocab: vocab, Dim: 64, Layers: 2, Heads: 4, Window: window,
+		Pos: transformer.PosLearned, Act: nn.GELU,
+	}
+	m := transformer.MustNew(cfg, mathx.NewRNG(21))
+	seed := []int{1, 2, 3}
+	for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			bp := m.NewBatchedPredictor()
+			ids := make([]int, batch)
+			last := make([]int, batch)
+			arm := func() {
+				for i := range ids {
+					ids[i] = bp.Add()
+					last[i] = seed[0]
+				}
+				for _, tok := range seed[1:] {
+					bp.Step(ids, last)
+					for i := range last {
+						last[i] = tok
+					}
+				}
+			}
+			arm()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bp.Len(ids[0]) >= window {
+					b.StopTimer()
+					for _, id := range ids {
+						bp.Drop(id)
+					}
+					arm()
+					b.StartTimer()
+				}
+				for j, row := range bp.Step(ids, last) {
+					last[j], _ = mathx.ArgMax(row)
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tok/s")
+		})
+		b.Run(fmt.Sprintf("serial%d", batch), func(b *testing.B) {
+			ps := make([]*transformer.Predictor, batch)
+			last := make([]int, batch)
+			arm := func() {
+				for i := range ps {
+					ps[i] = m.NewPredictor()
+					var logits []float64
+					for _, tok := range seed {
+						logits = ps[i].Append(tok)
+					}
+					last[i], _ = mathx.ArgMax(logits)
+				}
+			}
+			arm()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ps[0].Len() >= window {
+					b.StopTimer()
+					arm()
+					b.StartTimer()
+				}
+				for j, p := range ps {
+					last[j], _ = mathx.ArgMax(p.Append(last[j]))
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tok/s")
+		})
+	}
+}
+
 // BenchmarkGPT3ParameterFormula is E15: the §6 parameter arithmetic.
 func BenchmarkGPT3ParameterFormula(b *testing.B) {
 	var got int

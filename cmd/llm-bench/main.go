@@ -4,16 +4,19 @@
 // a fresh tiny model on the synthetic corpus.
 //
 // With -json it instead runs the inference performance benchmarks — the
-// chunked-prefill fast path against token-by-token prompt ingestion, and
-// steady-state decode — on the E18 serving shape, and writes the results as
-// machine-readable JSON (BENCH_prefill.json and BENCH_decode.json in -out),
-// so the performance trajectory across commits can be tracked by tooling
-// rather than read out of benchmark logs.
+// chunked-prefill fast path against token-by-token prompt ingestion,
+// steady-state decode, and the E21 batched-decode scaling sweep (tokens/s
+// of the cross-sequence GEMM step at each -decode-batch size) — on the E18
+// serving shape, and writes the results as machine-readable JSON
+// (BENCH_prefill.json, BENCH_decode.json, and BENCH_decode_batch.json in
+// -out), so the performance trajectory across commits can be tracked by
+// tooling rather than read out of benchmark logs.
 //
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
 //	llm-bench -json [-out .] [-prompt-tokens 256] [-reps 30]
+//	          [-decode-batch 1,2,4,8,16,32]
 package main
 
 import (
@@ -47,11 +50,16 @@ func main() {
 		outDir    = flag.String("out", ".", "directory for the -json result files")
 		promptLen = flag.Int("prompt-tokens", 256, "prompt length for the -json prefill benchmark")
 		reps      = flag.Int("reps", 30, "repetitions per -json measurement")
+		decBatch  = flag.String("decode-batch", "1,2,4,8,16,32", "comma-separated batch sizes for the -json batched-decode scaling sweep")
 	)
 	flag.Parse()
 
 	if *jsonMode {
-		if err := runPerfJSON(*outDir, *promptLen, *reps, *seed); err != nil {
+		batches, err := parseInts(*decBatch)
+		if err != nil {
+			log.Fatalf("bad -decode-batch: %v", err)
+		}
+		if err := runPerfJSON(*outDir, *promptLen, *reps, *seed, batches); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -87,13 +95,9 @@ func main() {
 		log.Println("trained a fresh tiny model on the synthetic corpus")
 	}
 
-	var shots []int
-	for _, s := range strings.Split(*shotsFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			log.Fatalf("bad -shots: %v", err)
-		}
-		shots = append(shots, v)
+	shots, err := parseInts(*shotsFlag)
+	if err != nil {
+		log.Fatalf("bad -shots: %v", err)
 	}
 
 	var lb eval.Leaderboard
@@ -117,16 +121,36 @@ type perfResult struct {
 	UnixTime     int64              `json:"unix_time"`
 }
 
-// runPerfJSON measures prefill (chunked Extend vs token-by-token Append)
-// and steady-state decode on the E18 serving shape with randomly
-// initialized weights (timing is weight-value independent), writing
-// BENCH_prefill.json and BENCH_decode.json into dir.
-func runPerfJSON(dir string, promptLen, reps int, seed uint64) error {
+// parseInts splits a comma-separated list of positive integers.
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("%d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runPerfJSON measures prefill (chunked Extend vs token-by-token Append),
+// steady-state decode, and batched-decode scaling (tokens/s per batch size,
+// E21) on the E18 serving shape with randomly initialized weights (timing
+// is weight-value independent), writing BENCH_prefill.json,
+// BENCH_decode.json, and BENCH_decode_batch.json into dir.
+func runPerfJSON(dir string, promptLen, reps int, seed uint64, batches []int) error {
 	if promptLen < 1 {
 		return fmt.Errorf("-prompt-tokens %d must be positive", promptLen)
 	}
 	if reps < 1 {
 		return fmt.Errorf("-reps %d must be positive", reps)
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("-decode-batch must name at least one batch size")
 	}
 	cfg := transformer.Config{
 		Vocab: 33, Dim: 32, Layers: 2, Heads: 2, Window: promptLen + 32,
@@ -206,10 +230,55 @@ func runPerfJSON(dir string, promptLen, reps int, seed uint64) error {
 		UnixTime: time.Now().Unix(),
 	}
 
+	// Batched-decode scaling (E21): tokens/s of the cross-sequence GEMM
+	// step at each requested batch size, same decode shape. Per-step weight
+	// traffic is constant in the batch size, so tokens/s growing with the
+	// batch (and step latency growing sublinearly) is the signature being
+	// tracked across commits.
+	batchMetrics := map[string]float64{}
+	for _, batch := range batches {
+		// One predictor per batch size, reused across reps, so the warm
+		// run really does grow the step arena the timed reps then reuse
+		// (sequences re-arm per rep outside the clock).
+		bp := dm.NewBatchedPredictor()
+		var ids []int
+		last := make([]int, batch)
+		runBatch := func() time.Duration {
+			for _, id := range ids {
+				bp.Drop(id)
+			}
+			ids = ids[:0]
+			for i := 0; i < batch; i++ {
+				id := bp.Add()
+				ids = append(ids, id)
+				next, _ := mathx.ArgMax(bp.Prefill(id, seedPrompt))
+				last[i] = next
+			}
+			start := time.Now()
+			for j := 0; j < decodeTokens; j++ {
+				for i, row := range bp.Step(ids, last) {
+					last[i], _ = mathx.ArgMax(row)
+				}
+			}
+			return time.Since(start)
+		}
+		runBatch() // warm the step arena outside the timers
+		d := minDuration(reps, runBatch)
+		batchMetrics[fmt.Sprintf("batch%d_tok_s", batch)] = tokPerSec(batch*decodeTokens, d)
+		batchMetrics[fmt.Sprintf("batch%d_step_ns", batch)] = float64(d.Nanoseconds()) / decodeTokens
+	}
+	batchRes := perfResult{
+		Bench: "decode_batch", Shape: dshape, Reps: reps,
+		Metrics: batchMetrics, UnixTime: time.Now().Unix(),
+	}
+
 	if err := writeBench(filepath.Join(dir, "BENCH_prefill.json"), prefill); err != nil {
 		return err
 	}
 	if err := writeBench(filepath.Join(dir, "BENCH_decode.json"), decodeRes); err != nil {
+		return err
+	}
+	if err := writeBench(filepath.Join(dir, "BENCH_decode_batch.json"), batchRes); err != nil {
 		return err
 	}
 	fmt.Printf("prefill %d tokens: extend %.2fms (%.0f tok/s), append %.2fms (%.0f tok/s), speedup %.2fx\n",
@@ -217,6 +286,11 @@ func runPerfJSON(dir string, promptLen, reps int, seed uint64) error {
 		ms(appendT), prefill.Metrics["append_tok_s"], prefill.Metrics["extend_speedup"])
 	fmt.Printf("decode %d tokens: %.2fms (%.0f tok/s)\n",
 		decodeTokens, ms(decode), decodeRes.Metrics["decode_tok_s"])
+	for _, batch := range batches {
+		fmt.Printf("decode batch %d: %.0f tok/s (%.1fµs/step)\n", batch,
+			batchMetrics[fmt.Sprintf("batch%d_tok_s", batch)],
+			batchMetrics[fmt.Sprintf("batch%d_step_ns", batch)]/1000)
+	}
 	return nil
 }
 

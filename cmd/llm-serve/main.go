@@ -18,7 +18,9 @@
 // batch's decode steps so a long prompt never stalls running streams by
 // more than one chunk (negative = whole prompts in one pass). /v1/stats
 // reports prompt_tokens and decode_tokens separately, plus the
-// prefill_chunk_hist histogram of chunk sizes.
+// prefill_chunk_hist histogram of chunk sizes and the batch_hist histogram
+// of per-step decode batch sizes (how well concurrent traffic amortizes
+// each step's one-pass weight streaming).
 //
 // Endpoints:
 //

@@ -38,6 +38,26 @@ func DotInterleaved16X2(dst0, dst1 *[16]float64, w, x0, x1 []float64) {
 	dotInterleaved16x2(dst0, dst1, w, x0, x1)
 }
 
+// DotInterleaved16X4 runs DotInterleaved16 for four right-hand vectors
+// against the same interleaved block in one pass: dstN receives the sixteen
+// row sums against xN. Per lane the arithmetic is exactly
+// DotInterleaved16's (ascending elements, separate multiply and add), so
+// all four results are bitwise identical to four independent calls.
+//
+// This is the batched-decode kernel: with four residual-stream rows sharing
+// each weight stream, a dense projection over a decode batch loads every
+// packed block from memory once per four sequences instead of once per
+// sequence, which is what keeps per-step weight traffic near-flat as the
+// batch grows. The amd64 implementation walks each block in two half-row
+// passes so the thirty-two independent accumulator chains fit the sixteen
+// vector registers; the block is still streamed exactly once per call.
+func DotInterleaved16X4(dst0, dst1, dst2, dst3 *[16]float64, w, x0, x1, x2, x3 []float64) {
+	if len(w) != 16*len(x0) || len(x0) != len(x1) || len(x0) != len(x2) || len(x0) != len(x3) {
+		panic("mathx: DotInterleaved16X4 length mismatch")
+	}
+	dotInterleaved16x4(dst0, dst1, dst2, dst3, w, x0, x1, x2, x3)
+}
+
 // dotInterleaved16Go is the portable implementation (and the reference the
 // assembly kernels are tested against bitwise): four passes of four
 // independent accumulators.

@@ -110,6 +110,284 @@ ssedone:
 	MOVUPD X7, 112(DI)
 	RET
 
+// func dotInterleaved16X4AVX(dst0, dst1, dst2, dst3 *[16]float64, w, x0, x1, x2, x3 []float64)
+//
+// Four right-hand vectors against one interleaved block, walked in two
+// half-row passes so the working set fits the sixteen vector registers:
+// pass one accumulates rows 0-7 for all four vectors (Y0-Y3 rows 0-3 of
+// x0..x3, Y4-Y7 rows 4-7), pass two rows 8-15. Each pass streams only its
+// half of every element's sixteen-row run, so the block as a whole is
+// loaded exactly once per call — a quarter of the per-vector traffic of
+// four independent calls and half of two X2 calls. Y8-Y11 hold the four
+// broadcast x values, Y12 the current half-run, Y13 the product. Lane
+// arithmetic (separate VMULPD and VADDPD, ascending elements) is exactly
+// dotInterleaved16AVX's, so all four results are bitwise identical to four
+// independent calls.
+TEXT ·dotInterleaved16X4AVX(SB), NOSPLIT, $0-152
+	MOVQ dst0+0(FP), DI
+	MOVQ dst1+8(FP), R9
+	MOVQ dst2+16(FP), R10
+	MOVQ dst3+24(FP), R11
+	MOVQ w_base+32(FP), SI
+	MOVQ x0_base+56(FP), DX
+	MOVQ x0_len+64(FP), CX
+	MOVQ x1_base+80(FP), R12
+	MOVQ x2_base+104(FP), R13
+	MOVQ x3_base+128(FP), R14
+
+	// Pass one: rows 0-7.
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ AX, AX
+x4lo:
+	CMPQ AX, CX
+	JGE  x4lodone
+	VBROADCASTSD (DX)(AX*8), Y8
+	VBROADCASTSD (R12)(AX*8), Y9
+	VBROADCASTSD (R13)(AX*8), Y10
+	VBROADCASTSD (R14)(AX*8), Y11
+	MOVQ AX, BX
+	SHLQ $7, BX            // byte offset of element i's 16-row run: i*16*8
+	VMOVUPD (SI)(BX*1), Y12
+	VMULPD  Y8, Y12, Y13
+	VADDPD  Y13, Y0, Y0
+	VMULPD  Y9, Y12, Y13
+	VADDPD  Y13, Y1, Y1
+	VMULPD  Y10, Y12, Y13
+	VADDPD  Y13, Y2, Y2
+	VMULPD  Y11, Y12, Y13
+	VADDPD  Y13, Y3, Y3
+	VMOVUPD 32(SI)(BX*1), Y12
+	VMULPD  Y8, Y12, Y13
+	VADDPD  Y13, Y4, Y4
+	VMULPD  Y9, Y12, Y13
+	VADDPD  Y13, Y5, Y5
+	VMULPD  Y10, Y12, Y13
+	VADDPD  Y13, Y6, Y6
+	VMULPD  Y11, Y12, Y13
+	VADDPD  Y13, Y7, Y7
+	INCQ AX
+	JMP  x4lo
+x4lodone:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, (R9)
+	VMOVUPD Y2, (R10)
+	VMOVUPD Y3, (R11)
+	VMOVUPD Y4, 32(DI)
+	VMOVUPD Y5, 32(R9)
+	VMOVUPD Y6, 32(R10)
+	VMOVUPD Y7, 32(R11)
+
+	// Pass two: rows 8-15.
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ AX, AX
+x4hi:
+	CMPQ AX, CX
+	JGE  x4hidone
+	VBROADCASTSD (DX)(AX*8), Y8
+	VBROADCASTSD (R12)(AX*8), Y9
+	VBROADCASTSD (R13)(AX*8), Y10
+	VBROADCASTSD (R14)(AX*8), Y11
+	MOVQ AX, BX
+	SHLQ $7, BX
+	VMOVUPD 64(SI)(BX*1), Y12
+	VMULPD  Y8, Y12, Y13
+	VADDPD  Y13, Y0, Y0
+	VMULPD  Y9, Y12, Y13
+	VADDPD  Y13, Y1, Y1
+	VMULPD  Y10, Y12, Y13
+	VADDPD  Y13, Y2, Y2
+	VMULPD  Y11, Y12, Y13
+	VADDPD  Y13, Y3, Y3
+	VMOVUPD 96(SI)(BX*1), Y12
+	VMULPD  Y8, Y12, Y13
+	VADDPD  Y13, Y4, Y4
+	VMULPD  Y9, Y12, Y13
+	VADDPD  Y13, Y5, Y5
+	VMULPD  Y10, Y12, Y13
+	VADDPD  Y13, Y6, Y6
+	VMULPD  Y11, Y12, Y13
+	VADDPD  Y13, Y7, Y7
+	INCQ AX
+	JMP  x4hi
+x4hidone:
+	VMOVUPD Y0, 64(DI)
+	VMOVUPD Y1, 64(R9)
+	VMOVUPD Y2, 64(R10)
+	VMOVUPD Y3, 64(R11)
+	VMOVUPD Y4, 96(DI)
+	VMOVUPD Y5, 96(R9)
+	VMOVUPD Y6, 96(R10)
+	VMOVUPD Y7, 96(R11)
+	VZEROUPPER
+	RET
+
+// func dotInterleaved16AVX512(dst *[16]float64, w, x []float64)
+//
+// The 512-bit form of dotInterleaved16AVX: two ZMM accumulators hold the
+// sixteen row sums (eight rows per register), so each element costs one
+// broadcast, two aligned-run loads, two VMULPD and two VADDPD — twice the
+// multiply-add lanes per cycle of the 256-bit path at the same pinned
+// per-lane arithmetic (separate multiply and add, ascending elements;
+// bitwise identical to the portable loop). Only AVX-512F instructions are
+// used (zeroing via VPXORQ).
+TEXT ·dotInterleaved16AVX512(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ w_base+8(FP), SI
+	MOVQ x_base+32(FP), DX
+	MOVQ x_len+40(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	XORQ AX, AX
+z1loop:
+	CMPQ AX, CX
+	JGE  z1done
+	VBROADCASTSD (DX)(AX*8), Z4
+	MOVQ AX, BX
+	SHLQ $7, BX            // byte offset of element i's 16-row run: i*16*8
+	VMOVUPD (SI)(BX*1), Z5
+	VMULPD  Z4, Z5, Z6
+	VADDPD  Z6, Z0, Z0
+	VMOVUPD 64(SI)(BX*1), Z5
+	VMULPD  Z4, Z5, Z6
+	VADDPD  Z6, Z1, Z1
+	INCQ AX
+	JMP  z1loop
+z1done:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VZEROUPPER
+	RET
+
+// func dotInterleaved16X2AVX512(dst0, dst1 *[16]float64, w, x0, x1 []float64)
+//
+// Two right-hand vectors, 512-bit: Z0-Z1 accumulate x0's sixteen sums,
+// Z2-Z3 x1's; each element's two half-runs are loaded once and feed both
+// vectors' multiply-add pairs. Lane arithmetic matches two independent
+// calls bitwise.
+TEXT ·dotInterleaved16X2AVX512(SB), NOSPLIT, $0-88
+	MOVQ dst0+0(FP), DI
+	MOVQ dst1+8(FP), R9
+	MOVQ w_base+16(FP), SI
+	MOVQ x0_base+40(FP), DX
+	MOVQ x0_len+48(FP), CX
+	MOVQ x1_base+64(FP), R10
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	XORQ AX, AX
+z2loop:
+	CMPQ AX, CX
+	JGE  z2done
+	VBROADCASTSD (DX)(AX*8), Z8
+	VBROADCASTSD (R10)(AX*8), Z9
+	MOVQ AX, BX
+	SHLQ $7, BX
+	VMOVUPD (SI)(BX*1), Z10
+	VMULPD  Z8, Z10, Z11
+	VADDPD  Z11, Z0, Z0
+	VMULPD  Z9, Z10, Z11
+	VADDPD  Z11, Z2, Z2
+	VMOVUPD 64(SI)(BX*1), Z10
+	VMULPD  Z8, Z10, Z11
+	VADDPD  Z11, Z1, Z1
+	VMULPD  Z9, Z10, Z11
+	VADDPD  Z11, Z3, Z3
+	INCQ AX
+	JMP  z2loop
+z2done:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, (R9)
+	VMOVUPD Z3, 64(R9)
+	VZEROUPPER
+	RET
+
+// func dotInterleaved16X4AVX512(dst0, dst1, dst2, dst3 *[16]float64, w, x0, x1, x2, x3 []float64)
+//
+// Four right-hand vectors, 512-bit, in a single pass (no half-row split:
+// the thirty-two ZMM registers hold all eight accumulators comfortably):
+// Z0-Z1 accumulate x0, Z2-Z3 x1, Z4-Z5 x2, Z6-Z7 x3; Z8-Z11 hold the four
+// broadcast x values, Z12 the current half-run, Z13 the product. Each
+// element streams its sixteen-row run once for all four vectors, and the
+// per-lane arithmetic (separate VMULPD and VADDPD, ascending elements) is
+// exactly the one-vector kernel's, so all four results are bitwise
+// identical to four independent calls.
+TEXT ·dotInterleaved16X4AVX512(SB), NOSPLIT, $0-152
+	MOVQ dst0+0(FP), DI
+	MOVQ dst1+8(FP), R9
+	MOVQ dst2+16(FP), R10
+	MOVQ dst3+24(FP), R11
+	MOVQ w_base+32(FP), SI
+	MOVQ x0_base+56(FP), DX
+	MOVQ x0_len+64(FP), CX
+	MOVQ x1_base+80(FP), R12
+	MOVQ x2_base+104(FP), R13
+	MOVQ x3_base+128(FP), R14
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	XORQ AX, AX
+z4loop:
+	CMPQ AX, CX
+	JGE  z4done
+	VBROADCASTSD (DX)(AX*8), Z8
+	VBROADCASTSD (R12)(AX*8), Z9
+	VBROADCASTSD (R13)(AX*8), Z10
+	VBROADCASTSD (R14)(AX*8), Z11
+	MOVQ AX, BX
+	SHLQ $7, BX            // byte offset of element i's 16-row run: i*16*8
+	VMOVUPD (SI)(BX*1), Z12
+	VMULPD  Z8, Z12, Z13
+	VADDPD  Z13, Z0, Z0
+	VMULPD  Z9, Z12, Z13
+	VADDPD  Z13, Z2, Z2
+	VMULPD  Z10, Z12, Z13
+	VADDPD  Z13, Z4, Z4
+	VMULPD  Z11, Z12, Z13
+	VADDPD  Z13, Z6, Z6
+	VMOVUPD 64(SI)(BX*1), Z12
+	VMULPD  Z8, Z12, Z13
+	VADDPD  Z13, Z1, Z1
+	VMULPD  Z9, Z12, Z13
+	VADDPD  Z13, Z3, Z3
+	VMULPD  Z10, Z12, Z13
+	VADDPD  Z13, Z5, Z5
+	VMULPD  Z11, Z12, Z13
+	VADDPD  Z13, Z7, Z7
+	INCQ AX
+	JMP  z4loop
+z4done:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, (R9)
+	VMOVUPD Z3, 64(R9)
+	VMOVUPD Z4, (R10)
+	VMOVUPD Z5, 64(R10)
+	VMOVUPD Z6, (R11)
+	VMOVUPD Z7, 64(R11)
+	VZEROUPPER
+	RET
+
 // func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL eaxIn+0(FP), AX

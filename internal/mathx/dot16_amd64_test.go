@@ -1,0 +1,60 @@
+//go:build amd64
+
+package mathx
+
+import "testing"
+
+// TestDotInterleavedImplsAgree exercises every implementation the runtime
+// dispatch can select — SSE2, AVX, and (hardware permitting) AVX-512, in
+// all fusion widths — bitwise against the portable reference, so the
+// variants that dispatch skips on this machine stay covered too.
+func TestDotInterleavedImplsAgree(t *testing.T) {
+	rng := NewRNG(9)
+	for _, n := range []int{0, 1, 3, 16, 33, 257} {
+		w := make([]float64, 16*n)
+		xs := make([][]float64, 4)
+		for i := range w {
+			w[i] = rng.Norm()
+		}
+		for v := range xs {
+			xs[v] = make([]float64, n)
+			for i := range xs[v] {
+				xs[v][i] = rng.Norm()
+			}
+		}
+		var want [4][16]float64
+		for v := range xs {
+			dotInterleaved16Go(&want[v], w, xs[v])
+		}
+		check := func(name string, got [4][16]float64, vectors int) {
+			t.Helper()
+			for v := 0; v < vectors; v++ {
+				for k := 0; k < 16; k++ {
+					if got[v][k] != want[v][k] {
+						t.Fatalf("n=%d %s vector %d lane %d: %v != portable %v",
+							n, name, v, k, got[v][k], want[v][k])
+					}
+				}
+			}
+		}
+		var got [4][16]float64
+		dotInterleaved16SSE(&got[0], w, xs[0])
+		check("sse", got, 1)
+		if useAVX {
+			dotInterleaved16AVX(&got[0], w, xs[0])
+			check("avx", got, 1)
+			dotInterleaved16X2AVX(&got[0], &got[1], w, xs[0], xs[1])
+			check("avx-x2", got, 2)
+			dotInterleaved16X4AVX(&got[0], &got[1], &got[2], &got[3], w, xs[0], xs[1], xs[2], xs[3])
+			check("avx-x4", got, 4)
+		}
+		if useAVX512 {
+			dotInterleaved16AVX512(&got[0], w, xs[0])
+			check("avx512", got, 1)
+			dotInterleaved16X2AVX512(&got[0], &got[1], w, xs[0], xs[1])
+			check("avx512-x2", got, 2)
+			dotInterleaved16X4AVX512(&got[0], &got[1], &got[2], &got[3], w, xs[0], xs[1], xs[2], xs[3])
+			check("avx512-x4", got, 4)
+		}
+	}
+}

@@ -10,3 +10,10 @@ func dotInterleaved16x2(dst0, dst1 *[16]float64, w, x0, x1 []float64) {
 	dotInterleaved16Go(dst0, w, x0)
 	dotInterleaved16Go(dst1, w, x1)
 }
+
+func dotInterleaved16x4(dst0, dst1, dst2, dst3 *[16]float64, w, x0, x1, x2, x3 []float64) {
+	dotInterleaved16Go(dst0, w, x0)
+	dotInterleaved16Go(dst1, w, x1)
+	dotInterleaved16Go(dst2, w, x2)
+	dotInterleaved16Go(dst3, w, x3)
+}

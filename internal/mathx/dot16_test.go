@@ -71,6 +71,54 @@ func TestDotInterleaved16X2MatchesSingle(t *testing.T) {
 	}
 }
 
+// TestDotInterleaved16X4MatchesSingle checks the fused four-vector kernel
+// (two half-row assembly passes on amd64) bitwise against four independent
+// DotInterleaved16 calls.
+func TestDotInterleaved16X4MatchesSingle(t *testing.T) {
+	rng := NewRNG(5)
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 32, 33, 128, 1000} {
+		w := make([]float64, 16*n)
+		xs := make([][]float64, 4)
+		for i := range w {
+			w[i] = rng.Norm()
+		}
+		for v := range xs {
+			xs[v] = make([]float64, n)
+			for i := range xs[v] {
+				xs[v][i] = rng.Norm()
+			}
+		}
+		if n > 3 {
+			xs[0][1], xs[1][2], xs[2][0], xs[3][3] = 0, 0, 0, 0
+		}
+		var want [4][16]float64
+		for v := range xs {
+			DotInterleaved16(&want[v], w, xs[v])
+		}
+		var got [4][16]float64
+		DotInterleaved16X4(&got[0], &got[1], &got[2], &got[3], w, xs[0], xs[1], xs[2], xs[3])
+		for v := 0; v < 4; v++ {
+			for k := 0; k < 16; k++ {
+				if got[v][k] != want[v][k] {
+					t.Fatalf("n=%d vector %d lane %d: X4 %v != single %v",
+						n, v, k, got[v][k], want[v][k])
+				}
+			}
+		}
+	}
+}
+
+func TestDotInterleaved16X4PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var d0, d1, d2, d3 [16]float64
+	DotInterleaved16X4(&d0, &d1, &d2, &d3, make([]float64, 32),
+		make([]float64, 2), make([]float64, 2), make([]float64, 1), make([]float64, 2))
+}
+
 func TestDotInterleaved16PanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {

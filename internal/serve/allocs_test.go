@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -33,6 +34,40 @@ func TestServerDecodeStepAllocsBounded(t *testing.T) {
 	perToken := allocs / tokens
 	if perToken > 8 {
 		t.Errorf("server decode allocates %.1f per token (%.0f per request), want <= 8",
+			perToken, allocs)
+	}
+}
+
+// TestServerConcurrentDecodeAllocsBounded is the wide-batch form of the
+// bound above: a full burst of concurrent requests decoding together (the
+// cross-sequence GEMM step at MaxBatch rows) must keep amortized per-token
+// allocations small — the shared step scratch grows once for the burst
+// width and is reused, so batching must not reintroduce per-row churn.
+func TestServerConcurrentDecodeAllocsBounded(t *testing.T) {
+	model := testLLM(t)
+	s := New(model, Config{MaxBatch: 8, CoalesceWait: 2 * time.Millisecond})
+	defer s.Close()
+	const load, tokens = 8, 10
+	burst := func() {
+		var wg sync.WaitGroup
+		for j := 0; j < load; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				req := Request{Prompt: "the king", MaxTokens: tokens,
+					Strategy: sample.Temperature{T: 0.9}, Seed: uint64(j)}
+				if _, err := s.Do(context.Background(), req); err != nil {
+					t.Error(err)
+				}
+			}(j)
+		}
+		wg.Wait()
+	}
+	burst() // warm the loop, all batch slots, and the step arena
+	allocs := testing.AllocsPerRun(10, burst)
+	perToken := allocs / (load * tokens)
+	if perToken > 12 {
+		t.Errorf("concurrent decode allocates %.1f per token (%.0f per burst), want <= 12",
 			perToken, allocs)
 	}
 }

@@ -108,6 +108,14 @@ func TestPrefillChunkScheduling(t *testing.T) {
 	if st.PrefillChunkHist[1] != 1 || st.PrefillChunkHist[2] != 3 {
 		t.Errorf("PrefillChunkHist = %v, want one size-2 and three size-4 chunks", st.PrefillChunkHist)
 	}
+	// The op sequence fixes the decode batch sizes exactly: five 1-row
+	// steps and two 2-row steps.
+	if st.BatchHist[0] != 5 || st.BatchHist[1] != 2 {
+		t.Errorf("BatchHist = %v, want five size-1 and two size-2 steps", st.BatchHist)
+	}
+	if st.Steps != 7 {
+		t.Errorf("Steps = %d, want 7", st.Steps)
+	}
 }
 
 // TestServeOverlongPromptMatchesDirect pins the keep-last window truncation

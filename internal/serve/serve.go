@@ -129,6 +129,27 @@ type Stats struct {
 	// bucket i counts chunks of size in (2^(i-1), 2^i] (bucket 0 is size
 	// 1, the last bucket collects everything larger than 2^7).
 	PrefillChunkHist [9]uint64 `json:"prefill_chunk_hist"`
+
+	// BatchHist is the same power-of-two histogram over per-step decode
+	// batch sizes. With the cross-sequence GEMM step, weight traffic per
+	// step is near-constant, so the histogram shows directly how well
+	// traffic amortizes that fixed cost: mass in the higher buckets means
+	// each weight stream served many sequences.
+	BatchHist [9]uint64 `json:"batch_hist"`
+}
+
+// histBucket maps a positive size to its power-of-two histogram bucket:
+// bucket i covers (2^(i-1), 2^i], bucket 0 is size 1, and the final bucket
+// collects everything beyond the range.
+func histBucket(n, buckets int) int {
+	b := bits.Len(uint(n - 1))
+	if n <= 1 {
+		b = 0
+	}
+	if b > buckets-1 {
+		b = buckets - 1
+	}
+	return b
 }
 
 // Server owns one model and one serving loop (batched for core.LLM,
@@ -687,10 +708,12 @@ func (s *Server) count(f func(*Stats)) {
 // decode row samples exactly one token, so the same call maintains
 // DecodeTokens.
 func (s *Server) countStep(rows int) {
+	bucket := histBucket(rows, len(s.stats.BatchHist))
 	s.mu.Lock()
 	s.stats.Steps++
 	s.stats.StepRows += uint64(rows)
 	s.stats.DecodeTokens += uint64(rows)
+	s.stats.BatchHist[bucket]++
 	if rows > s.stats.MaxBatch {
 		s.stats.MaxBatch = rows
 	}
@@ -702,13 +725,7 @@ func (s *Server) countStep(rows int) {
 // yield one sampled token (counted here so DecodeTokens spans every
 // sampled token without an extra lock in the sampling path).
 func (s *Server) countPrefill(chunk int, sampled bool) {
-	bucket := bits.Len(uint(chunk - 1))
-	if chunk <= 1 {
-		bucket = 0
-	}
-	if max := len(s.stats.PrefillChunkHist) - 1; bucket > max {
-		bucket = max
-	}
+	bucket := histBucket(chunk, len(s.stats.PrefillChunkHist))
 	s.mu.Lock()
 	s.stats.PromptTokens += uint64(chunk)
 	s.stats.PrefillChunkHist[bucket]++

@@ -292,6 +292,24 @@ func TestStatsUnderConcurrentLoad(t *testing.T) {
 	if chunks == 0 {
 		t.Errorf("PrefillChunkHist empty with %d prompt tokens ingested", st.PromptTokens)
 	}
+	// Every decode step lands in exactly one batch-size bucket, and the
+	// rows those buckets imply must bracket the exact StepRows total.
+	var steps, rowsLo, rowsHi uint64
+	for i, c := range st.BatchHist {
+		steps += c
+		lo, hi := uint64(1), uint64(1)<<i
+		if i > 0 {
+			lo = 1<<(i-1) + 1
+		}
+		rowsLo += c * lo
+		rowsHi += c * hi
+	}
+	if steps != st.Steps {
+		t.Errorf("BatchHist sums to %d steps, want %d", steps, st.Steps)
+	}
+	if st.StepRows < rowsLo || st.StepRows > rowsHi {
+		t.Errorf("StepRows = %d outside BatchHist bounds [%d, %d]", st.StepRows, rowsLo, rowsHi)
+	}
 }
 
 // ---- single-sequence backend mode ----

@@ -32,6 +32,21 @@ func New(shape ...int) *Tensor {
 	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
 }
 
+// Ensure resizes *t to a rows×cols matrix view, reusing the backing array
+// when its capacity allows and allocating a fresh tensor otherwise (also
+// when *t is nil). Reused storage keeps its stale contents — callers
+// overwrite every element — so steady-state scratch arenas that Ensure the
+// same shapes every call never touch the heap. It returns *t for chaining.
+func Ensure(t **Tensor, rows, cols int) *Tensor {
+	if *t == nil || cap((*t).Data) < rows*cols {
+		*t = New(rows, cols)
+		return *t
+	}
+	(*t).Shape[0], (*t).Shape[1] = rows, cols
+	(*t).Data = (*t).Data[:rows*cols]
+	return *t
+}
+
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (no copy). It panics if len(data) does not match the shape.
 func FromSlice(data []float64, shape ...int) *Tensor {

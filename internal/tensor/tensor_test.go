@@ -312,3 +312,32 @@ func TestMatMulBatchLargeParallelPath(t *testing.T) {
 		}
 	}
 }
+
+func TestEnsureReusesAndGrows(t *testing.T) {
+	var s *Tensor
+	a := Ensure(&s, 4, 8)
+	if a != s || a.Shape[0] != 4 || a.Shape[1] != 8 || len(a.Data) != 32 {
+		t.Fatalf("Ensure from nil: %v (len %d)", a.Shape, len(a.Data))
+	}
+	backing := &a.Data[0]
+	// Shrinking the view reuses the backing array.
+	b := Ensure(&s, 2, 8)
+	if b.Shape[0] != 2 || len(b.Data) != 16 || &b.Data[0] != backing {
+		t.Fatalf("Ensure shrink reallocated or misshaped: %v", b.Shape)
+	}
+	// Growing back within capacity also reuses it.
+	c := Ensure(&s, 4, 8)
+	if &c.Data[0] != backing {
+		t.Fatal("Ensure regrow within capacity reallocated")
+	}
+	// Beyond capacity allocates fresh zeroed storage.
+	d := Ensure(&s, 5, 8)
+	if &d.Data[0] == backing || len(d.Data) != 40 {
+		t.Fatalf("Ensure growth beyond capacity kept old storage (len %d)", len(d.Data))
+	}
+	for i, v := range d.Data {
+		if v != 0 {
+			t.Fatalf("fresh Ensure storage not zeroed at %d", i)
+		}
+	}
+}

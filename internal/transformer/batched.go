@@ -18,20 +18,23 @@ import (
 // Sequences join (Add) and leave (Drop) the batch at any step, which is what
 // the serving front end's continuous batching relies on.
 //
-// Every step reproduces Predictor.Append's arithmetic operation-for-
-// operation, so the logits for a sequence are bitwise identical to running
-// it alone through a Predictor: NewBatchedPredictor runs the same inference
-// compile step, and every dense projection goes through the same packed
-// kernels row by row; per-sequence attention over the KV cache stays
-// sequential per row.
+// The step is cross-sequence GEMM work: every dense projection runs as one
+// packedMat.matMat sweep with the batch's residual rows as the right-hand
+// matrix, so each sixteen-row weight block is streamed from memory exactly
+// once per step regardless of batch size (four rows per stream through the
+// fused mathx.DotInterleaved16X4 kernel). Per-sequence attention reads the
+// same incrementally maintained interleaved key packs the chunked prefill
+// uses, sixteen keys per kernel call. Per-row arithmetic is
+// Predictor.Append's operation for operation — same kernels, same
+// accumulation orders — so the logits for a sequence are bitwise identical
+// to running it alone through a Predictor.
 //
 // Like Predictor, the batched path avoids per-step churn: each sequence's
 // KV cache is preallocated to the window at Add, and all step intermediates
 // (projections, residuals, logits) live in a scratch arena reused across
-// Step calls. Rows are independent through every dense projection, so the
-// per-row packed sweeps fan out across GOMAXPROCS when the step is large
-// enough to amortize scheduling — output order per row is untouched, so
-// results stay bitwise identical at any worker count.
+// Step calls. The arena grows to the largest live batch and is released
+// again when the batch stays well below that high-water mark (see
+// trimScratch), so a burst does not pin its peak footprint forever.
 //
 // A BatchedPredictor reads model weights and is not safe for concurrent use;
 // the serving loop owns one and is the sole caller.
@@ -41,9 +44,11 @@ type BatchedPredictor struct {
 	seqs map[int]*batchSeq
 	next int
 
-	// Step scratch, grown to the largest batch seen and reused.
+	// Step scratch, grown to the largest batch seen and reused; overCap
+	// counts consecutive steps far below capacity (the shrink hysteresis).
 	rows    []*batchSeq
 	seen    map[int]bool
+	overCap int
 	x       *tensor.Tensor // embeddings / residual stream (batch×Dim)
 	norm    *tensor.Tensor // layer-norm output (batch×Dim)
 	q       *tensor.Tensor // all heads' queries, head-major (batch×Dim)
@@ -55,6 +60,7 @@ type BatchedPredictor struct {
 	logits  *tensor.Tensor // unembedding output (batch×Vocab)
 	out     [][]float64    // per-sequence logit views handed to the caller
 	scores  []float64      // per-head attention scores (Window)
+	smax    []float64      // softmax scratch (Window)
 
 	// Prefill logits buffer, created on first Prefill and reused (the
 	// chunk scratch itself is pooled on the model).
@@ -63,11 +69,13 @@ type BatchedPredictor struct {
 
 // batchSeq is one sequence's decoding state: positions processed so far and
 // the per-layer, per-head KV cache, preallocated to the model window (rows
-// [0, n) are valid).
+// [0, n) are valid), plus the interleaved key packs maintained alongside
+// the key rows (see packKeyRow).
 type batchSeq struct {
-	n    int
-	keys [][]*tensor.Tensor
-	vals [][]*tensor.Tensor
+	n      int
+	keys   [][]*tensor.Tensor
+	vals   [][]*tensor.Tensor
+	kpacks [][][]float64
 }
 
 // NewBatchedPredictor compiles m's weights (the same packed layouts
@@ -80,6 +88,7 @@ func (m *Model) NewBatchedPredictor() *BatchedPredictor {
 		seqs:   map[int]*batchSeq{},
 		seen:   map[int]bool{},
 		scores: make([]float64, m.Cfg.Window),
+		smax:   make([]float64, m.Cfg.Window),
 	}
 }
 
@@ -88,15 +97,18 @@ func (bp *BatchedPredictor) Add() int {
 	m := bp.m
 	hd := m.Cfg.Dim / m.Cfg.Heads
 	s := &batchSeq{
-		keys: make([][]*tensor.Tensor, len(m.Blocks)),
-		vals: make([][]*tensor.Tensor, len(m.Blocks)),
+		keys:   make([][]*tensor.Tensor, len(m.Blocks)),
+		vals:   make([][]*tensor.Tensor, len(m.Blocks)),
+		kpacks: make([][][]float64, len(m.Blocks)),
 	}
 	for i, b := range m.Blocks {
 		s.keys[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
 		s.vals[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
+		s.kpacks[i] = make([][]float64, b.Attn.NumHeads())
 		for h := range s.keys[i] {
 			s.keys[i][h] = tensor.New(m.Cfg.Window, hd)
 			s.vals[i][h] = tensor.New(m.Cfg.Window, hd)
+			s.kpacks[i][h] = make([]float64, m.Cfg.keyPackLen(hd))
 		}
 	}
 	id := bp.next
@@ -120,16 +132,33 @@ func (bp *BatchedPredictor) Len(id int) int {
 	return s.n
 }
 
-// ensure resizes a scratch tensor view to rows×cols, reusing its backing
-// array when capacity allows.
-func ensure(t **tensor.Tensor, rows, cols int) *tensor.Tensor {
-	if *t == nil || cap((*t).Data) < rows*cols {
-		*t = tensor.New(rows, cols)
-		return *t
+// Scratch-retention policy: the step arena tracks the largest batch seen,
+// which after a traffic burst can dwarf the steady batch. When the live
+// batch has stayed at or below capacity/scratchShrinkFactor for
+// scratchShrinkAfter consecutive steps, the arena is released and regrown
+// at the live size; tiny arenas (≤ scratchMinRows rows) are never worth
+// reclaiming. The hysteresis keeps an oscillating load from thrashing
+// between shrink and regrowth.
+const (
+	scratchShrinkFactor = 4
+	scratchShrinkAfter  = 64
+	scratchMinRows      = 8
+)
+
+// trimScratch applies the retention policy above before a step of the given
+// batch size; the following ensure calls regrow at the live size.
+func (bp *BatchedPredictor) trimScratch(batch int) {
+	if cap(bp.rows) <= scratchMinRows || batch*scratchShrinkFactor > cap(bp.rows) {
+		bp.overCap = 0
+		return
 	}
-	(*t).Shape[0], (*t).Shape[1] = rows, cols
-	(*t).Data = (*t).Data[:rows*cols]
-	return *t
+	if bp.overCap++; bp.overCap < scratchShrinkAfter {
+		return
+	}
+	bp.overCap = 0
+	bp.rows, bp.out = nil, nil
+	bp.x, bp.norm, bp.q, bp.k, bp.v = nil, nil, nil, nil, nil
+	bp.concat, bp.attnOut, bp.hidden, bp.logits = nil, nil, nil, nil
 }
 
 // rowParallelWork is the per-call flop count above which a per-row sweep
@@ -191,6 +220,7 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 		return nil
 	}
 	batch := len(ids)
+	bp.trimScratch(batch)
 	if cap(bp.rows) < batch {
 		bp.rows = make([]*batchSeq, batch)
 		bp.out = make([][]float64, batch)
@@ -213,7 +243,7 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 	}
 	// Embed the step's tokens: one row per sequence, at that sequence's
 	// own position.
-	x := ensure(&bp.x, batch, m.Cfg.Dim)
+	x := tensor.Ensure(&bp.x, batch, m.Cfg.Dim)
 	for i, s := range seqs {
 		row := x.Row(i)
 		copy(row, m.TokEmb.W.Value.Row(tokens[i]))
@@ -232,29 +262,17 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 		bp.blockStepBatch(li, b, x, seqs)
 	}
 	layerNormRowsInto(x, x, m.FinalNorm)
-	logits := ensure(&bp.logits, batch, m.Cfg.Vocab)
+	// Unembedding as one blocked sweep: the vocab projection — the largest
+	// matrix in the model — streams once for the whole batch.
+	logits := tensor.Ensure(&bp.logits, batch, m.Cfg.Vocab)
+	bp.c.out.matMat(logits, x)
 	out := bp.out[:batch]
-	// The serial branches below inline the row bodies rather than calling a
-	// shared closure: a closure that is ever passed to rowParallel escapes
-	// and would cost one heap allocation per step even on the serial path.
-	if parallelRows(batch, batch*m.Cfg.Vocab*m.Cfg.Dim) {
-		rowParallel(batch, func(i int) {
-			row := logits.Row(i)
-			bp.c.out.matVec(row, x.Row(i))
-			for o, bv := range bp.c.outB {
-				row[o] += bv
-			}
-			out[i] = row
-		})
-	} else {
-		for i := 0; i < batch; i++ {
-			row := logits.Row(i)
-			bp.c.out.matVec(row, x.Row(i))
-			for o, bv := range bp.c.outB {
-				row[o] += bv
-			}
-			out[i] = row
+	for i := 0; i < batch; i++ {
+		row := logits.Row(i)
+		for o, bv := range bp.c.outB {
+			row[o] += bv
 		}
+		out[i] = row
 	}
 	for _, s := range seqs {
 		s.n++
@@ -263,6 +281,11 @@ func (bp *BatchedPredictor) Step(ids []int, tokens []int) [][]float64 {
 }
 
 // blockStepBatch advances one block over the residual stream in x, in place.
+// It is the cross-sequence form of Predictor.blockStep: the five dense
+// projections run as blocked matrix-matrix sweeps over all batch rows
+// (weights streamed once per step), and per-sequence attention scores
+// sixteen keys per kernel call against each sequence's interleaved key
+// pack. Row for row the arithmetic matches blockStep's bitwise.
 func (bp *BatchedPredictor) blockStepBatch(li int, b *Block, x *tensor.Tensor, seqs []*batchSeq) {
 	m := bp.m
 	cl := &bp.c.layers[li]
@@ -270,37 +293,26 @@ func (bp *BatchedPredictor) blockStepBatch(li int, b *Block, x *tensor.Tensor, s
 	batch := x.Shape[0]
 	attnIn := x
 	if !b.postNorm {
-		attnIn = layerNormRowsInto(ensure(&bp.norm, batch, m.Cfg.Dim), x, b.LN1)
+		attnIn = layerNormRowsInto(tensor.Ensure(&bp.norm, batch, m.Cfg.Dim), x, b.LN1)
 	}
-	// All heads' Q/K/V projections, one packed sweep per sequence row.
-	q := ensure(&bp.q, batch, m.Cfg.Dim)
-	k := ensure(&bp.k, batch, m.Cfg.Dim)
-	v := ensure(&bp.v, batch, m.Cfg.Dim)
-	// Serial branches inline the row bodies: a closure passed to
-	// rowParallel escapes and would allocate per step (see Step).
-	if parallelRows(batch, batch*3*m.Cfg.Dim*m.Cfg.Dim) {
-		rowParallel(batch, func(i int) {
-			in := attnIn.Row(i)
-			cl.wq.matVec(q.Row(i), in)
-			cl.wk.matVec(k.Row(i), in)
-			cl.wv.matVec(v.Row(i), in)
-		})
-	} else {
-		for i := 0; i < batch; i++ {
-			in := attnIn.Row(i)
-			cl.wq.matVec(q.Row(i), in)
-			cl.wk.matVec(k.Row(i), in)
-			cl.wv.matVec(v.Row(i), in)
-		}
-	}
-	concat := ensure(&bp.concat, batch, m.Cfg.Dim)
+	// All heads' Q/K/V projections: three blocked sweeps shared by every
+	// sequence row.
+	q := tensor.Ensure(&bp.q, batch, m.Cfg.Dim)
+	k := tensor.Ensure(&bp.k, batch, m.Cfg.Dim)
+	v := tensor.Ensure(&bp.v, batch, m.Cfg.Dim)
+	cl.wq.matMat(q, attnIn)
+	cl.wk.matMat(k, attnIn)
+	cl.wv.matMat(v, attnIn)
+	concat := tensor.Ensure(&bp.concat, batch, m.Cfg.Dim)
 	scale := 1 / math.Sqrt(float64(hd))
 	stride := m.Cfg.SparseStride
 	for hi := range b.Attn.heads {
 		for i, s := range seqs {
 			kc, vc := s.keys[li][hi], s.vals[li][hi]
 			pos := s.n
-			copy(kc.Row(pos), k.Row(i)[hi*hd:(hi+1)*hd])
+			krow := k.Row(i)[hi*hd : (hi+1)*hd]
+			copy(kc.Row(pos), krow)
+			packKeyRow(s.kpacks[li][hi], krow, pos)
 			copy(vc.Row(pos), v.Row(i)[hi*hd:(hi+1)*hd])
 			qh := q.Row(i)[hi*hd : (hi+1)*hd]
 			scores := bp.scores[:pos+1]
@@ -313,84 +325,43 @@ func (bp *BatchedPredictor) blockStepBatch(li int, b *Block, x *tensor.Tensor, s
 					scores[j] = mathx.Dot(qh, kc.Row(j)) * scale
 				}
 			} else {
-				attnScores(scores, qh, kc, pos, scale)
+				packedAttnScores(bp.scores, qh, s.kpacks[li][hi], kc, pos, scale)
 			}
-			w := mathx.SoftmaxInto(scores, scores, 1)
+			w := mathx.SoftmaxFastInto(scores, scores, bp.smax, 1)
 			out := concat.Row(i)[hi*hd : (hi+1)*hd]
 			weightedValueSum(out, vc, w, pos, hd)
 		}
 	}
-	attnOut := ensure(&bp.attnOut, batch, m.Cfg.Dim)
-	if parallelRows(batch, batch*m.Cfg.Dim*m.Cfg.Dim) {
-		rowParallel(batch, func(i int) { cl.wo.matVec(attnOut.Row(i), concat.Row(i)) })
-	} else {
-		for i := 0; i < batch; i++ {
-			cl.wo.matVec(attnOut.Row(i), concat.Row(i))
-		}
-	}
-	for i := 0; i < batch; i++ {
-		xr, ar := x.Row(i), attnOut.Row(i)
-		for d := range xr {
-			xr[d] += ar[d]
-		}
-	}
+	attnOut := tensor.Ensure(&bp.attnOut, batch, m.Cfg.Dim)
+	cl.wo.matMat(attnOut, concat)
+	addRows(x, attnOut, batch)
 	if b.postNorm {
 		layerNormRowsInto(x, x, b.LN1)
 	}
 	ffnIn := x
 	if !b.postNorm {
-		ffnIn = layerNormRowsInto(ensure(&bp.norm, batch, m.Cfg.Dim), x, b.LN2)
+		ffnIn = layerNormRowsInto(tensor.Ensure(&bp.norm, batch, m.Cfg.Dim), x, b.LN2)
 	}
-	h := ensure(&bp.hidden, batch, m.Cfg.Hidden)
-	if parallelRows(batch, batch*m.Cfg.Dim*m.Cfg.Hidden) {
-		rowParallel(batch, func(i int) {
-			row := h.Row(i)
-			cl.ffnIn.matVec(row, ffnIn.Row(i))
-			for j, bv := range cl.ffnInB {
-				row[j] += bv
-			}
-			for j, hv := range row {
-				row[j] = actScalar(b.FFN.Act, hv)
-			}
-		})
-	} else {
-		for i := 0; i < batch; i++ {
-			row := h.Row(i)
-			cl.ffnIn.matVec(row, ffnIn.Row(i))
-			for j, bv := range cl.ffnInB {
-				row[j] += bv
-			}
-			for j, hv := range row {
-				row[j] = actScalar(b.FFN.Act, hv)
-			}
+	h := tensor.Ensure(&bp.hidden, batch, m.Cfg.Hidden)
+	cl.ffnIn.matMat(h, ffnIn)
+	for i := 0; i < batch; i++ {
+		row := h.Row(i)
+		for j, bv := range cl.ffnInB {
+			row[j] += bv
 		}
 	}
-	ffnOut := ensure(&bp.attnOut, batch, m.Cfg.Dim)
-	if parallelRows(batch, batch*m.Cfg.Dim*m.Cfg.Hidden) {
-		rowParallel(batch, func(i int) {
-			fr := ffnOut.Row(i)
-			cl.ffnOut.matVec(fr, h.Row(i))
-			xr := x.Row(i)
-			for j, bv := range cl.ffnOutB {
-				fr[j] += bv
-			}
-			for d := range xr {
-				xr[d] += fr[d]
-			}
-		})
-	} else {
-		for i := 0; i < batch; i++ {
-			fr := ffnOut.Row(i)
-			cl.ffnOut.matVec(fr, h.Row(i))
-			xr := x.Row(i)
-			for j, bv := range cl.ffnOutB {
-				fr[j] += bv
-			}
-			for d := range xr {
-				xr[d] += fr[d]
-			}
+	// One vectorized activation sweep over the whole batch's hidden rows
+	// (contiguous storage), elementwise bitwise-identical to actScalar.
+	actInto(b.FFN.Act, h.Data[:batch*m.Cfg.Hidden])
+	ffnOut := tensor.Ensure(&bp.attnOut, batch, m.Cfg.Dim)
+	cl.ffnOut.matMat(ffnOut, h)
+	for i := 0; i < batch; i++ {
+		row := ffnOut.Row(i)
+		for j, bv := range cl.ffnOutB {
+			row[j] += bv
 		}
 	}
+	addRows(x, ffnOut, batch)
 	if b.postNorm {
 		layerNormRowsInto(x, x, b.LN2)
 	}

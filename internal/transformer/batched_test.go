@@ -78,6 +78,131 @@ func TestBatchedPredictorMatchesPredictor(t *testing.T) {
 	}
 }
 
+// TestBatchedStepParityAcrossWidths pins the cross-sequence GEMM step at
+// the batch sizes the E21 scaling claim is made for (1, 2, 7, 16, 33): the
+// X4/X2/X1 row grouping inside matMat and the per-sequence key-pack
+// scoring must leave every row bitwise identical to a solo
+// Predictor.Append, at every width and every position.
+func TestBatchedStepParityAcrossWidths(t *testing.T) {
+	for _, cfg := range []Config{
+		{Vocab: 29, Dim: 32, Layers: 2, Heads: 2, Window: 24, Pos: PosLearned, Act: nn.GELU},
+		{Vocab: 29, Dim: 24, Layers: 1, Heads: 2, Window: 21, Pos: PosSinusoidal, Act: nn.Tanh, PostNorm: true}, // head dim 12, window not /16
+	} {
+		m := MustNew(cfg, mathx.NewRNG(91))
+		rng := mathx.NewRNG(92)
+		for _, batch := range []int{1, 2, 7, 16, 33} {
+			steps := cfg.Window
+			toks := make([][]int, batch)
+			for s := range toks {
+				toks[s] = make([]int, steps)
+				for j := range toks[s] {
+					toks[s][j] = rng.Intn(cfg.Vocab)
+				}
+			}
+			// Reference: each sequence alone through Append.
+			want := make([][][]float64, batch)
+			for s := range toks {
+				p := m.NewPredictor()
+				for _, id := range toks[s] {
+					want[s] = append(want[s], append([]float64(nil), p.Append(id)...))
+				}
+			}
+			bp := m.NewBatchedPredictor()
+			ids := make([]int, batch)
+			step := make([]int, batch)
+			for i := range ids {
+				ids[i] = bp.Add()
+			}
+			for j := 0; j < steps; j++ {
+				for i := range step {
+					step[i] = toks[i][j]
+				}
+				got := bp.Step(ids, step)
+				for i := range got {
+					bitsEqual(t, "step-width", got[i], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedStepProperty fuzzes the batched step against shadow solo
+// predictors: random configurations (head widths incl. non-16, windows not
+// divisible by 16, both norm orders, sparse masks), random batch
+// compositions per step (any subset of the live sequences), and random
+// interleaved Prefill chunks. Every returned row must match the shadow's
+// Append bitwise.
+func TestBatchedStepProperty(t *testing.T) {
+	rng := mathx.NewRNG(441)
+	for trial := 0; trial < 25; trial++ {
+		heads := 1 + rng.Intn(3)
+		hd := []int{4, 8, 12, 16, 20}[rng.Intn(5)]
+		cfg := Config{
+			Vocab:  11 + rng.Intn(40),
+			Dim:    heads * hd,
+			Hidden: 8 + rng.Intn(64),
+			Layers: 1 + rng.Intn(2),
+			Heads:  heads,
+			Window: 18 + rng.Intn(46),
+			Pos:    []PosKind{PosSinusoidal, PosLearned, PosNone}[rng.Intn(3)],
+			Act:    []nn.Activation{nn.ReLU, nn.Tanh, nn.GELU}[rng.Intn(3)],
+		}
+		if rng.Intn(4) == 0 {
+			cfg.PostNorm = true
+		}
+		if rng.Intn(5) == 0 {
+			cfg.SparseStride = 2 + rng.Intn(3)
+		}
+		m := MustNew(cfg, mathx.NewRNG(uint64(trial)*17+3))
+		bp := m.NewBatchedPredictor()
+		n := 1 + rng.Intn(6)
+		ids := make([]int, n)
+		shadow := make([]*Predictor, n)
+		for i := range ids {
+			ids[i] = bp.Add()
+			shadow[i] = m.NewPredictor()
+		}
+		for round := 0; round < 30; round++ {
+			// Pick a random non-empty subset with window room left.
+			var stepIDs, stepToks []int
+			var stepShadow []*Predictor
+			for i := range ids {
+				if shadow[i].Len() < cfg.Window && rng.Intn(2) == 0 {
+					tok := rng.Intn(cfg.Vocab)
+					stepIDs = append(stepIDs, ids[i])
+					stepToks = append(stepToks, tok)
+					stepShadow = append(stepShadow, shadow[i])
+				}
+			}
+			if len(stepIDs) == 0 {
+				continue
+			}
+			// Occasionally prefill one member a short chunk instead.
+			if rng.Intn(5) == 0 {
+				i := rng.Intn(len(stepIDs))
+				chunk := make([]int, 1+rng.Intn(4))
+				for j := range chunk {
+					chunk[j] = rng.Intn(cfg.Vocab)
+				}
+				room := cfg.Window - bp.Len(stepIDs[i])
+				got := bp.Prefill(stepIDs[i], chunk)
+				var want []float64
+				for _, id := range truncTail(chunk, room) {
+					want = stepShadow[i].Append(id)
+				}
+				if want != nil {
+					bitsEqual(t, "property-prefill", got, want)
+				}
+				continue
+			}
+			got := bp.Step(stepIDs, stepToks)
+			for i := range got {
+				bitsEqual(t, "property-step", got[i], stepShadow[i].Append(stepToks[i]))
+			}
+		}
+	}
+}
+
 func TestBatchedPredictorDropAndReuse(t *testing.T) {
 	cfg := Config{Vocab: 7, Dim: 8, Layers: 1, Heads: 2, Window: 6, Pos: PosLearned, Act: nn.GELU}
 	m := MustNew(cfg, mathx.NewRNG(3))

@@ -59,33 +59,42 @@ func (pm *packedMat) matVec(dst, x []float64) {
 	}
 }
 
-// matMat is the chunk (matrix-matrix) form of matVec: it writes wT·x_r into
+// matMat is the batch (matrix-matrix) form of matVec: it writes wT·x_r into
 // row r of dst for every row of xs (dst is rows×pm.rows, xs is rows×pm.cols).
-// The serial loop walks weight blocks in the outer loop and chunk rows in
-// the inner loop, so each packed block is streamed from memory once per
-// chunk instead of once per token — the locality shift that makes prefill a
-// matrix-matrix operation. Per row the arithmetic is exactly matVec's (same
-// kernel, same ascending accumulation), so results are bitwise identical to
-// row-by-row matVec calls at any chunk size. Large chunks fan the
-// independent rows out across GOMAXPROCS.
+// Weight blocks form the outer loop and batch rows the inner loop, so each
+// packed block is streamed from memory once per four-row group instead of
+// once per row — the locality shift that makes both chunked prefill and
+// the cross-sequence decode step matrix-matrix operations. Rows are
+// processed four per weight stream through the fused X4 kernel (then two,
+// then one for the remainder). Per row the arithmetic is exactly matVec's
+// (same lanes, same ascending accumulation), so results are bitwise
+// identical to row-by-row matVec calls at any row count and any grouping.
+//
+// Large products fan out across GOMAXPROCS along whichever axis offers
+// more parallelism while preserving the fused streaming: four-row groups
+// (each worker streams every block once for its group — wide prefill
+// chunks) when there are at least as many groups as blocks, weight blocks
+// (each owns a disjoint sixteen-column stripe of dst, streamed exactly
+// once — tall projections over small batches) otherwise. Workers never
+// share outputs either way.
 func (pm *packedMat) matMat(dst, xs *tensor.Tensor) {
 	rows := xs.Shape[0]
-	if parallelRows(rows, rows*pm.rows*pm.cols) {
-		rowParallel(rows, func(r int) { pm.matVec(dst.Row(r), xs.Row(r)) })
-		return
-	}
 	nb := pm.rows / 16
-	for b := 0; b < nb; b++ {
-		blk := pm.blocks[b*pm.cols*16 : (b+1)*pm.cols*16]
-		r := 0
-		for ; r+2 <= rows; r += 2 {
-			mathx.DotInterleaved16X2(
-				(*[16]float64)(dst.Row(r)[b*16:b*16+16]),
-				(*[16]float64)(dst.Row(r + 1)[b*16:b*16+16]),
-				blk, xs.Row(r), xs.Row(r+1))
-		}
-		for ; r < rows; r++ {
-			mathx.DotInterleaved16((*[16]float64)(dst.Row(r)[b*16:b*16+16]), blk, xs.Row(r))
+	quads := (rows + 3) / 4
+	work := rows * pm.rows * pm.cols
+	switch {
+	case quads >= nb && parallelRows(quads, work):
+		rowParallel(quads, func(g int) {
+			lo := g * 4
+			for b := 0; b < nb; b++ {
+				pm.matMatBlock(b, dst, xs, lo, min(lo+4, rows))
+			}
+		})
+	case parallelRows(nb, work):
+		rowParallel(nb, func(b int) { pm.matMatBlock(b, dst, xs, 0, rows) })
+	default:
+		for b := 0; b < nb; b++ {
+			pm.matMatBlock(b, dst, xs, 0, rows)
 		}
 	}
 	if pm.tail != nil {
@@ -96,6 +105,30 @@ func (pm *packedMat) matMat(dst, xs *tensor.Tensor) {
 				dst.Row(r)[base+tr] = mathx.Dot(trow, xs.Row(r))
 			}
 		}
+	}
+}
+
+// matMatBlock runs one packed weight block over rows [lo, hi) of xs, four
+// rows per weight stream, then two, then one.
+func (pm *packedMat) matMatBlock(b int, dst, xs *tensor.Tensor, lo, hi int) {
+	blk := pm.blocks[b*pm.cols*16 : (b+1)*pm.cols*16]
+	r := lo
+	for ; r+4 <= hi; r += 4 {
+		mathx.DotInterleaved16X4(
+			(*[16]float64)(dst.Row(r)[b*16:b*16+16]),
+			(*[16]float64)(dst.Row(r + 1)[b*16:b*16+16]),
+			(*[16]float64)(dst.Row(r + 2)[b*16:b*16+16]),
+			(*[16]float64)(dst.Row(r + 3)[b*16:b*16+16]),
+			blk, xs.Row(r), xs.Row(r+1), xs.Row(r+2), xs.Row(r+3))
+	}
+	for ; r+2 <= hi; r += 2 {
+		mathx.DotInterleaved16X2(
+			(*[16]float64)(dst.Row(r)[b*16:b*16+16]),
+			(*[16]float64)(dst.Row(r + 1)[b*16:b*16+16]),
+			blk, xs.Row(r), xs.Row(r+1))
+	}
+	for ; r < hi; r++ {
+		mathx.DotInterleaved16((*[16]float64)(dst.Row(r)[b*16:b*16+16]), blk, xs.Row(r))
 	}
 }
 

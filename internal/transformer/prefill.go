@@ -47,27 +47,22 @@ type prefillScratch struct {
 	scores  []float64      // one position's attention scores (Window)
 	scores2 []float64      // second score row for the paired-query kernel
 	smax    []float64      // softmax scratch (Window)
-	kpack   []float64      // KV-prefix keys packed 16-rows-interleaved
 	norm1   []float64      // final-norm output for the last position (Dim)
 }
 
 func (sc *prefillScratch) ensure(cfg Config, rows int) {
-	hd := cfg.Dim / cfg.Heads
-	ensure(&sc.x, rows, cfg.Dim)
-	ensure(&sc.norm, rows, cfg.Dim)
-	ensure(&sc.q, rows, cfg.Dim)
-	ensure(&sc.k, rows, cfg.Dim)
-	ensure(&sc.v, rows, cfg.Dim)
-	ensure(&sc.concat, rows, cfg.Dim)
-	ensure(&sc.att, rows, cfg.Dim)
-	ensure(&sc.hidden, rows, cfg.Hidden)
+	tensor.Ensure(&sc.x, rows, cfg.Dim)
+	tensor.Ensure(&sc.norm, rows, cfg.Dim)
+	tensor.Ensure(&sc.q, rows, cfg.Dim)
+	tensor.Ensure(&sc.k, rows, cfg.Dim)
+	tensor.Ensure(&sc.v, rows, cfg.Dim)
+	tensor.Ensure(&sc.concat, rows, cfg.Dim)
+	tensor.Ensure(&sc.att, rows, cfg.Dim)
+	tensor.Ensure(&sc.hidden, rows, cfg.Hidden)
 	if len(sc.scores) < cfg.Window {
 		sc.scores = make([]float64, cfg.Window)
 		sc.scores2 = make([]float64, cfg.Window)
 		sc.smax = make([]float64, cfg.Window)
-	}
-	if n := (cfg.Window / 16) * 16 * hd; len(sc.kpack) < n {
-		sc.kpack = make([]float64, n)
 	}
 	if len(sc.norm1) < cfg.Dim {
 		sc.norm1 = make([]float64, cfg.Dim)
@@ -89,10 +84,11 @@ func truncTail(ids []int, room int) []int {
 }
 
 // prefillRun advances the model over a whole chunk of token ids starting at
-// cache position start, writing the per-layer keys/values for every chunk
-// position and the last position's logits into logits (len Vocab). Chunk
-// rows beyond the window must have been truncated by the caller.
-func prefillRun(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, start int, ids []int, logits []float64) {
+// cache position start, writing the per-layer keys/values (and their
+// incremental interleaved key packs) for every chunk position and the last
+// position's logits into logits (len Vocab). Chunk rows beyond the window
+// must have been truncated by the caller.
+func prefillRun(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, kpacks [][][]float64, start int, ids []int, logits []float64) {
 	sc, _ := m.pfPool.Get().(*prefillScratch)
 	if sc == nil {
 		sc = &prefillScratch{}
@@ -117,7 +113,7 @@ func prefillRun(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, start
 		}
 	}
 	for li, b := range m.Blocks {
-		prefillBlock(m, c, sc, li, b, keys[li], vals[li], start, rows)
+		prefillBlock(m, c, sc, li, b, keys[li], vals[li], kpacks[li], start, rows)
 	}
 	// Final norm + unembedding for the last position only: prefill needs
 	// one set of next-token logits, not one per prompt position.
@@ -130,7 +126,7 @@ func prefillRun(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, start
 
 // prefillBlock advances one transformer block over the chunk rows in sc.x,
 // in place — the chunk form of Predictor.blockStep.
-func prefillBlock(m *Model, c *compiledModel, sc *prefillScratch, li int, b *Block, keys, vals []*tensor.Tensor, start, rows int) {
+func prefillBlock(m *Model, c *compiledModel, sc *prefillScratch, li int, b *Block, keys, vals []*tensor.Tensor, kpacks [][]float64, start, rows int) {
 	cl := &c.layers[li]
 	hd := m.Cfg.Dim / m.Cfg.Heads
 	x := sc.x
@@ -146,10 +142,14 @@ func prefillBlock(m *Model, c *compiledModel, sc *prefillScratch, li int, b *Blo
 	stride := m.Cfg.SparseStride
 	for hi := 0; hi < m.Cfg.Heads; hi++ {
 		kc, vc := keys[hi], vals[hi]
-		// Write the whole chunk's keys and values into the cache first;
-		// causal attention below reads only rows ≤ its own position.
+		kp := kpacks[hi]
+		// Write the whole chunk's keys and values into the cache (and the
+		// keys into the sequence's interleaved pack) first; causal
+		// attention below reads only rows ≤ its own position.
 		for r := 0; r < rows; r++ {
-			copy(kc.Row(start+r), sc.k.Row(r)[hi*hd:(hi+1)*hd])
+			krow := sc.k.Row(r)[hi*hd : (hi+1)*hd]
+			copy(kc.Row(start+r), krow)
+			packKeyRow(kp, krow, start+r)
 			copy(vc.Row(start+r), sc.v.Row(r)[hi*hd:(hi+1)*hd])
 		}
 		if stride > 0 {
@@ -169,16 +169,15 @@ func prefillBlock(m *Model, c *compiledModel, sc *prefillScratch, li int, b *Blo
 			}
 			continue
 		}
-		// Dense attention. Pack the cached key prefix sixteen rows at a
-		// time into the interleaved layout, so score rows are computed
-		// sixteen keys per kernel call against packed blocks that stay
-		// cache-resident across the whole chunk; neighboring query rows
-		// share each block through the fused two-vector kernel. A query
-		// whose causal frontier ends inside a fully packed block lets the
-		// kernel compute the whole block — the out-of-frontier lanes land
-		// beyond scores[:pos+1] and are never read.
+		// Dense attention over the sequence's incrementally maintained key
+		// pack: score rows are computed sixteen keys per kernel call
+		// against interleaved blocks that stay cache-resident across the
+		// whole chunk; neighboring query rows share each block through the
+		// fused two-vector kernel. A query whose causal frontier ends
+		// inside a fully packed block lets the kernel compute the whole
+		// block — the out-of-frontier lanes land beyond scores[:pos+1] and
+		// are never read.
 		nFull := (start + rows) / 16
-		packRows16(sc.kpack, kc, start+rows, hd)
 		blocksFor := func(pos int) int {
 			nb := (pos + 1 + 15) / 16
 			if nb > nFull {
@@ -209,11 +208,11 @@ func prefillBlock(m *Model, c *compiledModel, sc *prefillScratch, li int, b *Blo
 				mathx.DotInterleaved16X2(
 					(*[16]float64)(s0[bk*16:bk*16+16]),
 					(*[16]float64)(s1[bk*16:bk*16+16]),
-					sc.kpack[bk*16*hd:(bk+1)*16*hd], qh0, qh1)
+					kp[bk*16*hd:(bk+1)*16*hd], qh0, qh1)
 			}
 			for bk := nb0; bk < nb1; bk++ {
 				mathx.DotInterleaved16((*[16]float64)(s1[bk*16:bk*16+16]),
-					sc.kpack[bk*16*hd:(bk+1)*16*hd], qh1)
+					kp[bk*16*hd:(bk+1)*16*hd], qh1)
 			}
 			finishRow(r, s0, nb0)
 			finishRow(r+1, s1, nb1)
@@ -223,7 +222,7 @@ func prefillBlock(m *Model, c *compiledModel, sc *prefillScratch, li int, b *Blo
 			qh := sc.q.Row(r)[hi*hd : (hi+1)*hd]
 			for bk := 0; bk < nb; bk++ {
 				mathx.DotInterleaved16((*[16]float64)(sc.scores[bk*16:bk*16+16]),
-					sc.kpack[bk*16*hd:(bk+1)*16*hd], qh)
+					kp[bk*16*hd:(bk+1)*16*hd], qh)
 			}
 			finishRow(r, sc.scores, nb)
 		}
@@ -291,24 +290,6 @@ func actInto(a nn.Activation, xs []float64) {
 	}
 }
 
-// packRows16 interleaves the full sixteen-row groups of the first n rows of
-// src (an n×hd position-major cache) into dst: block b holds rows
-// 16b..16b+15 with element i of all sixteen rows contiguous — the layout
-// mathx.DotInterleaved16 consumes. Rows beyond the last full group are left
-// to the caller's scalar tail.
-func packRows16(dst []float64, src *tensor.Tensor, n, hd int) {
-	nb := n / 16
-	for b := 0; b < nb; b++ {
-		seg := dst[b*16*hd : (b+1)*16*hd]
-		for k := 0; k < 16; k++ {
-			row := src.Row(b*16 + k)
-			for i, v := range row {
-				seg[i*16+k] = v
-			}
-		}
-	}
-}
-
 // Extend feeds a whole chunk of tokens and returns the logits for the
 // position after the last one — bitwise identical to calling Append on each
 // id in order and keeping the final result, at a fraction of the cost (the
@@ -327,7 +308,7 @@ func (p *Predictor) Extend(ids []int) []float64 {
 	if len(ids) == 0 {
 		return nil
 	}
-	prefillRun(p.m, p.c, p.keys, p.vals, p.n, ids, p.logits)
+	prefillRun(p.m, p.c, p.keys, p.vals, p.kpacks, p.n, ids, p.logits)
 	p.n += len(ids)
 	return p.logits
 }
@@ -356,7 +337,7 @@ func (bp *BatchedPredictor) Prefill(id int, ids []int) []float64 {
 	if len(bp.pfLogits) < bp.m.Cfg.Vocab {
 		bp.pfLogits = make([]float64, bp.m.Cfg.Vocab)
 	}
-	prefillRun(bp.m, bp.c, s.keys, s.vals, s.n, ids, bp.pfLogits)
+	prefillRun(bp.m, bp.c, s.keys, s.vals, s.kpacks, s.n, ids, bp.pfLogits)
 	s.n += len(ids)
 	return bp.pfLogits
 }

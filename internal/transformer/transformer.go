@@ -499,10 +499,15 @@ type Predictor struct {
 	m *Model
 	c *compiledModel
 	// Per layer, per head: cached keys and values, preallocated to Window
-	// rows; rows [0, n) are valid.
-	keys [][]*tensor.Tensor
-	vals [][]*tensor.Tensor
-	n    int
+	// rows; rows [0, n) are valid. kpacks mirrors the key cache in the
+	// sixteen-row interleaved layout (see packKeyRow), maintained
+	// incrementally as each key row is written, so both decode scoring and
+	// chunked prefill read ready-packed blocks instead of re-packing the
+	// prefix.
+	keys   [][]*tensor.Tensor
+	vals   [][]*tensor.Tensor
+	kpacks [][][]float64
+	n      int
 
 	// Scratch arena, sized once in NewPredictor and reused every Append.
 	x      []float64 // residual stream (Dim)
@@ -514,6 +519,7 @@ type Predictor struct {
 	att    []float64 // attention output / FFN output (Dim)
 	hidden []float64 // FFN hidden (Hidden)
 	scores []float64 // attention scores/weights (Window)
+	smax   []float64 // softmax scratch (Window)
 	logits []float64 // next-token logits (Vocab)
 }
 
@@ -535,20 +541,36 @@ func (m *Model) NewPredictor() *Predictor {
 		att:    make([]float64, cfg.Dim),
 		hidden: make([]float64, cfg.Hidden),
 		scores: make([]float64, cfg.Window),
+		smax:   make([]float64, cfg.Window),
 		logits: make([]float64, cfg.Vocab),
 	}
 	hd := cfg.Dim / cfg.Heads
 	p.keys = make([][]*tensor.Tensor, len(m.Blocks))
 	p.vals = make([][]*tensor.Tensor, len(m.Blocks))
+	p.kpacks = make([][][]float64, len(m.Blocks))
 	for i, b := range m.Blocks {
 		p.keys[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
 		p.vals[i] = make([]*tensor.Tensor, b.Attn.NumHeads())
+		p.kpacks[i] = make([][]float64, b.Attn.NumHeads())
 		for h := range p.keys[i] {
 			p.keys[i][h] = tensor.New(cfg.Window, hd)
 			p.vals[i][h] = tensor.New(cfg.Window, hd)
+			p.kpacks[i][h] = make([]float64, cfg.keyPackLen(hd))
 		}
 	}
 	return p
+}
+
+// keyPackLen is the per-head interleaved key-pack size: the window's full
+// sixteen-row blocks. Sparse-stride attention always scores through the
+// masked per-row path and never reads a pack, so those configs keep the
+// packs empty (packKeyRow on an empty pack is a no-op) rather than
+// doubling key-cache memory for nothing.
+func (c Config) keyPackLen(hd int) int {
+	if c.SparseStride > 0 {
+		return 0
+	}
+	return (c.Window / 16) * 16 * hd
 }
 
 // Len returns the number of cached positions.
@@ -611,7 +633,9 @@ func (p *Predictor) blockStep(li int, b *Block, pos int) {
 	for hi := 0; hi < m.Cfg.Heads; hi++ {
 		kc, vc := p.keys[li][hi], p.vals[li][hi]
 		qh := p.q[hi*hd : (hi+1)*hd]
-		copy(kc.Row(pos), p.k[hi*hd:(hi+1)*hd])
+		krow := p.k[hi*hd : (hi+1)*hd]
+		copy(kc.Row(pos), krow)
+		packKeyRow(p.kpacks[li][hi], krow, pos)
 		copy(vc.Row(pos), p.v[hi*hd:(hi+1)*hd])
 		scores := p.scores[:pos+1]
 		if stride > 0 {
@@ -623,9 +647,9 @@ func (p *Predictor) blockStep(li int, b *Block, pos int) {
 				scores[j] = mathx.Dot(qh, kc.Row(j)) * scale
 			}
 		} else {
-			attnScores(scores, qh, kc, pos, scale)
+			packedAttnScores(p.scores, qh, p.kpacks[li][hi], kc, pos, scale)
 		}
-		w := mathx.SoftmaxInto(scores, scores, 1)
+		w := mathx.SoftmaxFastInto(scores, scores, p.smax, 1)
 		out := p.concat[hi*hd : (hi+1)*hd]
 		weightedValueSum(out, vc, w, pos, hd)
 	}
@@ -683,36 +707,52 @@ func weightedValueSum(out []float64, vc *tensor.Tensor, w []float64, pos, hd int
 	}
 }
 
-// attnScores fills scores[j] = (q · key row j)·scale for j in [0, pos],
-// four cached rows per pass (same independent-accumulator trick as
-// matVecRows; each score's accumulation order is unchanged). The caller
-// handles the sparse-stride mask, which disables this dense kernel.
-func attnScores(scores []float64, q []float64, keys *tensor.Tensor, pos int, scale float64) {
+// packKeyRow scatters one head's new key row into its interleaved prefix
+// pack: lane pos%16 of block pos/16 (element i of all sixteen positions in
+// a block is contiguous, the layout mathx.DotInterleaved16 consumes). The
+// pack holds only the window's full sixteen-row blocks; a position in the
+// final partial block has no pack slot and is scored straight from the
+// position-major cache. Maintaining the pack incrementally as each key is
+// written — by Append, the batched Step, and the chunked prefill alike —
+// means every scoring path reads ready-packed blocks and nothing ever
+// re-packs the prefix.
+func packKeyRow(kp, row []float64, pos int) {
+	hd := len(row)
+	blk := pos >> 4
+	if (blk+1)*16*hd > len(kp) {
+		return
+	}
+	seg := kp[blk*16*hd:]
+	lane := pos & 15
+	for i, v := range row {
+		seg[i*16+lane] = v
+	}
+}
+
+// packedAttnScores fills scores[j] = (q · key row j)·scale for j in
+// [0, pos]: sixteen keys per interleaved kernel call over the key pack's
+// full blocks, then a scalar tail over the position-major cache rows past
+// the last full block. Each score accumulates its products in the same
+// ascending element order as a plain mathx.Dot, and the scale multiply is
+// one multiplication per score either way, so results are bitwise
+// identical to the per-row loop this replaces. The caller handles the
+// sparse-stride mask, which disables this dense kernel.
+func packedAttnScores(scores, q, kp []float64, keys *tensor.Tensor, pos int, scale float64) {
 	hd := keys.Shape[1]
-	data := keys.Data
 	if len(q) != hd {
-		panic("transformer: attnScores length mismatch")
+		panic("transformer: packedAttnScores length mismatch")
 	}
-	j := 0
-	for ; j+4 <= pos+1; j += 4 {
-		r0 := data[(j+0)*hd : (j+1)*hd][:len(q)]
-		r1 := data[(j+1)*hd : (j+2)*hd][:len(q)]
-		r2 := data[(j+2)*hd : (j+3)*hd][:len(q)]
-		r3 := data[(j+3)*hd : (j+4)*hd][:len(q)]
-		var s0, s1, s2, s3 float64
-		for i, qv := range q {
-			s0 += r0[i] * qv
-			s1 += r1[i] * qv
-			s2 += r2[i] * qv
-			s3 += r3[i] * qv
-		}
-		scores[j+0] = s0 * scale
-		scores[j+1] = s1 * scale
-		scores[j+2] = s2 * scale
-		scores[j+3] = s3 * scale
+	nb := (pos + 1) / 16
+	for bk := 0; bk < nb; bk++ {
+		mathx.DotInterleaved16((*[16]float64)(scores[bk*16:bk*16+16]),
+			kp[bk*16*hd:(bk+1)*16*hd], q)
 	}
-	for ; j <= pos; j++ {
-		scores[j] = mathx.Dot(data[j*hd:(j+1)*hd], q) * scale
+	for j := nb * 16; j <= pos; j++ {
+		scores[j] = mathx.Dot(keys.Row(j), q)
+	}
+	s := scores[:pos+1]
+	for j := range s {
+		s[j] *= scale
 	}
 }
 

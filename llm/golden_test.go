@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/nn"
@@ -48,6 +49,37 @@ func TestGenerationBitwiseGolden(t *testing.T) {
 		{"topp", llm.TopP(0.9, 0.8), "young princess the a royal the royal sees the man",
 			[]int{11, 23, 2, 4, 2, 7, 28, 4, 28, 22, 4, 8}},
 	}
+	// The batched serving path must reproduce the same pinned streams at
+	// every decode width the E21 scaling sweep makes claims for: the
+	// cross-sequence GEMM step regroups the arithmetic (X4/X2/X1 row
+	// fusion, shared weight streams) but may not change one bit of any
+	// sequence's logits. Each width fires `width` concurrent requests
+	// cycling through the pinned strategies at a server whose batch admits
+	// them all.
+	for _, width := range []int{1, 2, 7, 16, 33} {
+		srv := llm.NewServer(model, llm.ServerConfig{MaxBatch: width})
+		var wg sync.WaitGroup
+		for j := 0; j < width; j++ {
+			g := golden[j%len(golden)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := srv.Do(context.Background(), llm.NewGenRequest("the king",
+					llm.WithMaxTokens(12), llm.WithStrategy(g.strat), llm.WithSeed(3)))
+				if err != nil {
+					t.Errorf("width %d %s: %v", width, g.name, err)
+					return
+				}
+				if res.Text != g.text || !reflect.DeepEqual(res.Tokens, g.tokens) {
+					t.Errorf("width %d %s: batched serving drifted:\n got %q %v\nwant %q %v",
+						width, g.name, res.Text, res.Tokens, g.text, g.tokens)
+				}
+			}()
+		}
+		wg.Wait()
+		srv.Close()
+	}
+
 	for _, g := range golden {
 		opts := []llm.GenOption{
 			llm.WithMaxTokens(12), llm.WithStrategy(g.strat), llm.WithSeed(3),
