@@ -12,11 +12,19 @@
 // -out), so the performance trajectory across commits can be tracked by
 // tooling rather than read out of benchmark logs.
 //
+// With -speculate it runs the end-to-end speculative-decoding sweep (E22):
+// a model trained on PCFG text at the E17 serving shape, an n-gram draft
+// model distilled from it, greedy tokens/s of plain decoding versus
+// speculative decoding at each -speculate-k draft depth (checking bitwise
+// parity on every run), with per-depth acceptance-length histograms —
+// written to BENCH_speculate.json in -out.
+//
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
 //	llm-bench -json [-out .] [-prompt-tokens 256] [-reps 30]
 //	          [-decode-batch 1,2,4,8,16,32]
+//	llm-bench -speculate [-out .] [-reps 30] [-speculate-k 2,4,8]
 package main
 
 import (
@@ -34,8 +42,10 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/grammar"
+	"repro/internal/lm"
 	"repro/internal/mathx"
 	"repro/internal/nn"
+	"repro/internal/sample"
 	"repro/internal/transformer"
 )
 
@@ -51,9 +61,21 @@ func main() {
 		promptLen = flag.Int("prompt-tokens", 256, "prompt length for the -json prefill benchmark")
 		reps      = flag.Int("reps", 30, "repetitions per -json measurement")
 		decBatch  = flag.String("decode-batch", "1,2,4,8,16,32", "comma-separated batch sizes for the -json batched-decode scaling sweep")
+		speculate = flag.Bool("speculate", false, "run the speculative-decoding sweep and write BENCH_speculate.json")
+		specK     = flag.String("speculate-k", "2,4,8", "comma-separated draft depths for the -speculate sweep")
 	)
 	flag.Parse()
 
+	if *speculate {
+		ks, err := parseInts(*specK)
+		if err != nil {
+			log.Fatalf("bad -speculate-k: %v", err)
+		}
+		if err := runSpeculateJSON(*outDir, *reps, *seed, ks); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *jsonMode {
 		batches, err := parseInts(*decBatch)
 		if err != nil {
@@ -111,14 +133,17 @@ func main() {
 }
 
 // perfResult is one benchmark's machine-readable record. Fields are stable:
-// downstream tooling diffs them across commits.
+// downstream tooling diffs them across commits. Hists carries acceptance-
+// length histograms for the -speculate sweep (bucket i = rounds accepting
+// exactly i draft tokens).
 type perfResult struct {
-	Bench        string             `json:"bench"`
-	Shape        map[string]int     `json:"shape"`
-	PromptTokens int                `json:"prompt_tokens,omitempty"`
-	Reps         int                `json:"reps"`
-	Metrics      map[string]float64 `json:"metrics"`
-	UnixTime     int64              `json:"unix_time"`
+	Bench        string              `json:"bench"`
+	Shape        map[string]int      `json:"shape"`
+	PromptTokens int                 `json:"prompt_tokens,omitempty"`
+	Reps         int                 `json:"reps"`
+	Metrics      map[string]float64  `json:"metrics"`
+	Hists        map[string][]uint64 `json:"hists,omitempty"`
+	UnixTime     int64               `json:"unix_time"`
 }
 
 // parseInts splits a comma-separated list of positive integers.
@@ -294,6 +319,119 @@ func runPerfJSON(dir string, promptLen, reps int, seed uint64, batches []int) er
 	return nil
 }
 
+// runSpeculateJSON measures end-to-end greedy generation throughput with
+// and without speculative decoding (E22): a transformer trained on
+// low-entropy chronicle PCFG text at the E17 serving shape (Dim 64,
+// 2 layers, 4 heads, window 64), an order-3 n-gram draft model distilled
+// from the trained model itself, and one sweep entry per draft depth in
+// ks. The formulaic corpus puts decoding in the regime speculation is for:
+// mostly-deterministic spans the drafter predicts, so whole blocks verify
+// in one pass. Every speculative run is checked
+// bitwise against the plain greedy output — the sweep measures a fast path,
+// never a different decode. Results (tokens/s, speedup, acceptance rates,
+// and per-depth acceptance-length histograms) go to BENCH_speculate.json.
+func runSpeculateJSON(dir string, reps int, seed uint64, ks []int) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps %d must be positive", reps)
+	}
+	if len(ks) == 0 {
+		return fmt.Errorf("-speculate-k must name at least one draft depth")
+	}
+	lines := corpus.PCFGText(grammar.Chronicle(), 400, 12, mathx.NewRNG(seed))
+	log.Printf("training the E17-shape model on %d PCFG sentences", len(lines))
+	model, _, err := core.Train(lines, core.Config{
+		Tokenizer: core.WordTok,
+		Model: transformer.Config{
+			Dim: 64, Layers: 2, Heads: 4, Window: 64,
+			Pos: transformer.PosLearned, Act: nn.GELU,
+		},
+		Steps: 200, BatchSize: 4, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	log.Print("distilling the n-gram draft model")
+	drafter := lm.DistillDrafter(model, 3, 4096, seed)
+
+	const prompt = "the royal king"
+	const genTokens = 56 // prompt + budget fills most of the 64-token window
+	shape := map[string]int{
+		"vocab": model.Tok.VocabSize(), "dim": 64, "layers": 2,
+		"heads": 4, "window": 64, "gen_tokens": genTokens,
+	}
+	opts := []sample.Option{sample.WithMaxTokens(genTokens), sample.WithSeed(1)}
+
+	gen := func(extra ...sample.Option) (lm.Result, error) {
+		return lm.Gen(model, prompt, append(append([]sample.Option(nil), opts...), extra...)...)
+	}
+	plainRes, err := gen()
+	if err != nil {
+		return err
+	}
+	plain := minDuration(reps, func() time.Duration {
+		start := time.Now()
+		if _, err := gen(); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(start)
+	})
+
+	metrics := map[string]float64{
+		"plain_tok_s": tokPerSec(genTokens, plain),
+		"plain_ns":    float64(plain.Nanoseconds()),
+	}
+	hists := map[string][]uint64{}
+	type row struct {
+		k       int
+		tokS    float64
+		speedup float64
+		accept  float64
+	}
+	var rows []row
+	for _, k := range ks {
+		sp := &sample.Speculative{K: k, Drafter: drafter}
+		spOpt := sample.WithSpeculative(sp)
+		d := minDuration(reps, func() time.Duration {
+			start := time.Now()
+			res, err := gen(spOpt)
+			elapsed := time.Since(start)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Text != plainRes.Text {
+				log.Fatalf("k=%d: speculative output %q != plain %q", k, res.Text, plainRes.Text)
+			}
+			return elapsed
+		})
+		accept := 0.0
+		if sp.Stats.Drafted > 0 {
+			accept = float64(sp.Stats.Accepted) / float64(sp.Stats.Drafted)
+		}
+		pre := fmt.Sprintf("k%d_", k)
+		metrics[pre+"tok_s"] = tokPerSec(genTokens, d)
+		metrics[pre+"ns"] = float64(d.Nanoseconds())
+		metrics[pre+"speedup"] = float64(plain) / float64(d)
+		metrics[pre+"accept_rate"] = accept
+		metrics[pre+"rounds"] = float64(sp.Stats.Rounds)
+		hists[pre+"accept_hist"] = append([]uint64(nil), sp.Stats.AcceptHist[:]...)
+		rows = append(rows, row{k, metrics[pre+"tok_s"], metrics[pre+"speedup"], accept})
+	}
+
+	res := perfResult{
+		Bench: "speculate", Shape: shape, Reps: reps,
+		Metrics: metrics, Hists: hists, UnixTime: time.Now().Unix(),
+	}
+	if err := writeBench(filepath.Join(dir, "BENCH_speculate.json"), res); err != nil {
+		return err
+	}
+	fmt.Printf("plain greedy: %.2fms (%.0f tok/s)\n", ms(plain), metrics["plain_tok_s"])
+	for _, r := range rows {
+		fmt.Printf("speculate k=%d: %.0f tok/s, %.2fx, %.0f%% drafts accepted\n",
+			r.k, r.tokS, r.speedup, 100*r.accept)
+	}
+	return nil
+}
+
 // minDuration reports the fastest of reps runs — the standard noise-robust
 // point estimate for micro-measurements. f times its own measured section
 // and returns the duration, so per-rep setup (predictor construction, seed
@@ -314,10 +452,29 @@ func tokPerSec(tokens int, d time.Duration) float64 {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
+// writeBench writes the result atomically: marshal to a temp file in the
+// target directory, then rename over the destination. A crash or a
+// concurrent reader (CI artifact collection, result-diffing tooling) never
+// observes a truncated or half-written BENCH_*.json.
 func writeBench(path string, v perfResult) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -11,7 +11,7 @@
 //
 //	llm-serve [-model model.json] [-backend transformer|ngram|ffn|rnn]
 //	          [-addr :8372] [-max-batch 8] [-coalesce 2ms] [-queue 64]
-//	          [-prefill-chunk 32] [-synthetic 500]
+//	          [-prefill-chunk 32] [-synthetic 500] [-speculate 4]
 //
 // Prompts are ingested through the chunked prefill fast path: whole chunks
 // of -prefill-chunk tokens per matrix pass, interleaved with the in-flight
@@ -21,6 +21,14 @@
 // prefill_chunk_hist histogram of chunk sizes and the batch_hist histogram
 // of per-step decode batch sizes (how well concurrent traffic amortizes
 // each step's one-pass weight streaming).
+//
+// -speculate k enables speculative decoding (transformer backend only): an
+// n-gram draft model distilled from the served model at startup proposes
+// blocks of k tokens and each block is verified in one pass, scheduled like
+// prefill chunks so draft work never starves in-flight decodes. Greedy
+// requests keep bitwise-identical output; stochastic requests keep their
+// exact token distribution. /v1/stats gains spec_rounds, spec_drafted,
+// spec_accepted, and the spec_accept_hist acceptance-length histogram.
 //
 // Endpoints:
 //
@@ -70,6 +78,7 @@ func main() {
 		coalesce  = flag.Duration("coalesce", 2*time.Millisecond, "linger for more requests before decoding a fresh batch")
 		queue     = flag.Int("queue", 64, "pending-request buffer depth")
 		prefill   = flag.Int("prefill-chunk", 32, "max prompt tokens ingested per prefill pass between decode steps (negative = whole prompt)")
+		speculate = flag.Int("speculate", 0, "speculative draft depth; distills an n-gram drafter at startup (0 disables)")
 	)
 	flag.Parse()
 
@@ -78,9 +87,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var drafter llm.Drafter
+	if *speculate > 0 {
+		log.Printf("distilling n-gram draft model (depth %d)", *speculate)
+		drafter = llm.DistillDrafter(model, 3, 4096, 42)
+	}
 	srv := llm.NewBackendServer(model, llm.ServerConfig{
 		MaxBatch: *maxBatch, CoalesceWait: *coalesce, QueueDepth: *queue,
-		PrefillChunk: *prefill,
+		PrefillChunk: *prefill, Speculate: *speculate, Drafter: drafter,
 	})
 	defer srv.Close()
 

@@ -111,6 +111,11 @@ func StreamOptions(ctx context.Context, m LanguageModel, prompt string, onToken 
 	}
 	dec := sample.NewDecoder(o.Strategy, stop, o.MaxTokens, mathx.NewRNG(o.Seed+977))
 	pd := NewPieceDecoder(m.Decode)
+	if o.Speculative != nil {
+		if tgt, ok := st.(sample.SpecTarget); ok {
+			return streamSpeculative(ctx, m, tgt, dec, pd, ids, logits, onToken, o)
+		}
+	}
 	for !dec.Done() {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err

@@ -1,0 +1,136 @@
+package lm
+
+import (
+	"context"
+
+	"repro/internal/mathx"
+	"repro/internal/ngram"
+	"repro/internal/sample"
+	"repro/internal/tokenizer"
+)
+
+// This file is the speculative-decoding arm of the unified generation
+// driver: the round loop over sample.Speculative for steppers that implement
+// block verification (lm.go dispatches here), plus the draft-model side —
+// Drafter adapters over the cheap §5 substrates and self-distillation, which
+// trains an n-gram proposal on text sampled from the target model itself, so
+// speculation needs nothing beyond the checkpoint being served.
+
+// streamSpeculative continues StreamOptions after prefill: the first token
+// samples from the prefill logits exactly as the plain loop does, then each
+// Round drafts, verifies one chunk, and emits its accepted prefix plus one
+// target-sampled token. With a greedy (or ExactMatch) driver the emitted
+// stream is bitwise identical to the plain loop's.
+func streamSpeculative(ctx context.Context, m LanguageModel, tgt sample.SpecTarget, dec *sample.Decoder, pd *PieceDecoder, ids []int, logits []float64, onToken func(sample.Token) error, o sample.Options) (Result, error) {
+	sp := o.Speculative
+	deliver := func(tok int) error {
+		if onToken == nil {
+			return nil
+		}
+		return onToken(pd.Next(tok))
+	}
+	tok, done := dec.Next(logits)
+	if err := deliver(tok); err != nil {
+		return Result{}, err
+	}
+	// cctx is the full decoded context, ending with the pending token the
+	// target has not ingested yet — the shape Round expects.
+	cctx := append(append(make([]int, 0, len(ids)+o.MaxTokens), ids...), tok)
+	w := m.ContextWindow()
+	for !done {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		room := 1 << 30
+		if w > 0 {
+			room = w - tgt.Len()
+		}
+		rr := sp.Round(tgt, dec, cctx, room)
+		for _, tk := range rr.Emitted {
+			if err := deliver(tk); err != nil {
+				return Result{}, err
+			}
+		}
+		cctx = append(cctx, rr.Emitted...)
+		done = rr.Done
+	}
+	return Finish(m, dec.Tokens(), o), nil
+}
+
+// NGramDrafter adapts a count-based n-gram model to the speculative draft
+// contract through the model's bulk DistInto path: longest-observed-order
+// backoff with add-k smoothing inside that order, one map probe per order
+// rather than per token — the proposal must be much cheaper than one
+// verification row to be worth drafting. The returned slice is reused
+// across calls.
+type NGramDrafter struct {
+	Model *ngram.Model
+	dist  []float64
+}
+
+// NextDist implements sample.Drafter.
+func (d *NGramDrafter) NextDist(ctx []int) []float64 {
+	if cap(d.dist) < d.Model.Vocab {
+		d.dist = make([]float64, d.Model.Vocab)
+	}
+	d.dist = d.dist[:d.Model.Vocab]
+	return d.Model.DistInto(d.dist, ctx)
+}
+
+// DistillNGram distills an order-N n-gram draft model from m itself: no
+// corpus required beyond the checkpoint (self-speculation). The distillation
+// walks a temperature-1 sample stream of the given length — temp-1 sampling
+// visits the high-probability contexts decoding will actually reach — and at
+// every position records (context → argmax of the teacher's logits) into the
+// n-gram counts. Training on the teacher's argmax rather than the sampled
+// stream is what makes the drafter useful for exact-match verification: for
+// any context the walk covered, the drafter's top token IS the teacher's
+// greedy pick, so greedy speculation accepts it. Windowed targets are
+// re-armed on a short overlapping tail whenever the context fills. The
+// returned model is add-k smoothed so its proposals are everywhere positive.
+func DistillNGram(m LanguageModel, order, tokens int, seed uint64) *ngram.Model {
+	st := m.NewStepper()
+	w := m.ContextWindow()
+	rng := mathx.NewRNG(seed)
+	strat := sample.Temperature{T: 1}
+	stream := make([]int, 0, tokens)
+	stream = append(stream, tokenizer.EOS)
+	logits := st.Append(tokenizer.EOS)
+	vocab := len(logits)
+	g := ngram.New(order, vocab)
+	g.AddK = 0.05
+	n := 1
+	for len(stream) < tokens {
+		top, _ := mathx.ArgMax(logits)
+		g.Observe(stream, top)
+		tok := strat.Pick(logits, rng)
+		stream = append(stream, tok)
+		if len(stream) >= tokens {
+			break
+		}
+		if w > 0 && n+1 >= w {
+			// Window nearly full: restart on the last order tokens so the
+			// highest-order contexts stay continuous across the seam.
+			st = m.NewStepper()
+			n = 0
+			lo := len(stream) - 1 - order
+			if lo < 0 {
+				lo = 0
+			}
+			tail := stream[lo : len(stream)-1]
+			for _, id := range tail {
+				st.Append(id)
+				n++
+			}
+		}
+		logits = st.Append(tok)
+		n++
+	}
+	return g
+}
+
+// DistillDrafter is DistillNGram packaged as a ready-to-use Drafter — the
+// one-call constructor the CLIs and the serving front end use.
+func DistillDrafter(m LanguageModel, order, tokens int, seed uint64) sample.Drafter {
+	return &NGramDrafter{Model: DistillNGram(m, order, tokens, seed)}
+}

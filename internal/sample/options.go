@@ -16,6 +16,12 @@ type Options struct {
 	Strategy  Strategy // nil = Greedy
 	Seed      uint64   // per-request sampling seed
 	StopAtEOS bool     // stop at the sequence separator and trim it
+
+	// Speculative enables speculative decoding on drivers whose stepper
+	// implements SpecTarget (the transformer); other backends ignore it.
+	// The caller owns the driver and can read its accumulated Stats after
+	// the generation. nil decodes plainly.
+	Speculative *Speculative
 }
 
 // Option mutates Options; the With* constructors are the public vocabulary.
@@ -34,6 +40,13 @@ func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
 // WithStop makes decoding stop at the end-of-sequence separator (answer-
 // style decoding); the separator is trimmed from the result.
 func WithStop() Option { return func(o *Options) { o.StopAtEOS = true } }
+
+// WithSpeculative runs the generation through the given speculative-decoding
+// driver (draft depth, draft model, and accumulated acceptance stats) when
+// the model supports block verification; see Options.Speculative.
+func WithSpeculative(sp *Speculative) Option {
+	return func(o *Options) { o.Speculative = sp }
+}
 
 // BuildOptions folds opts over the defaults.
 func BuildOptions(opts ...Option) Options {

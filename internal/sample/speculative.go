@@ -1,0 +1,338 @@
+package sample
+
+import "repro/internal/mathx"
+
+// This file is the speculative-decoding driver: a cheap draft model proposes
+// a block of k tokens, the target model scores the whole block in one
+// chunked verification pass (SpecTarget.ExtendAll), and the longest
+// acceptable prefix is kept while the rejected suffix is rewound out of the
+// target's cache. Every accepted round replaces k+1 sequential target steps
+// with one matrix-matrix pass, which is where the tokens/s comes from.
+//
+// Two acceptance rules, chosen by the decoder's strategy:
+//
+//   - Exact match (greedy, and the fallback for strategies that expose no
+//     distribution): the decoder samples each verification row exactly as
+//     plain decoding would — same logits, same order, same RNG draws — and a
+//     draft token survives only if it equals the decoder's own pick. The
+//     emitted stream is therefore bitwise identical to plain decode for any
+//     strategy; drafting consumes no randomness.
+//   - Rejection sampling (Temperature/TopK/TopP): draft token d with
+//     proposal probability q(d) is accepted with probability min(1, p(d)/q(d))
+//     against the target distribution p; on rejection the correction token
+//     is sampled from the residual max(p−q, 0)/Σ, and when the whole block
+//     survives a bonus token is sampled from the target's next-position
+//     distribution. Token marginals equal plain decoding's exactly (the
+//     standard speculative-sampling identity); the chi-square test in
+//     speculative_test.go checks this empirically.
+type Speculative struct {
+	// K is the draft depth: tokens proposed per round. Each round's actual
+	// depth is clamped to the decoder's remaining budget and the target's
+	// window room.
+	K int
+	// Drafter proposes draft tokens. nil degrades every round to a plain
+	// single-token verification step (correct, never faster).
+	Drafter Drafter
+	// ExactMatch forces exact-match acceptance for stochastic strategies
+	// too: lower acceptance than rejection sampling, but the emitted stream
+	// stays bitwise identical to plain decode — the lever the parity tests
+	// pull to check stochastic strategies end to end.
+	ExactMatch bool
+
+	// Stats accumulates across rounds; callers read it between rounds (the
+	// driver is single-threaded).
+	Stats SpecStats
+
+	// Round scratch, grown once and reused.
+	dctx    []int
+	chunk   []int
+	emitted []int
+	qd      [][]float64
+	pbuf    []float64
+	resid   []float64
+	sc      pickScratch
+}
+
+// Drafter is the draft-model contract: NextDist returns the normalized
+// next-token distribution given the full decoded context so far. The
+// returned slice may be the drafter's reusable scratch, valid until the next
+// NextDist call (Speculative copies what it must keep).
+type Drafter interface {
+	NextDist(ctx []int) []float64
+}
+
+// SpecTarget is the target-model surface speculative decoding needs beyond
+// plain stepping: block verification with per-position logits, cache
+// truncation, and the current cached length. transformer.Predictor
+// implements it; the serving loop adapts BatchedPredictor sequences to it.
+type SpecTarget interface {
+	// ExtendAll ingests ids and returns next-token logits for every
+	// position, bitwise identical to feeding them one at a time.
+	ExtendAll(ids []int) [][]float64
+	// Rewind discards the last n ingested positions.
+	Rewind(n int)
+	// Len returns the number of ingested positions.
+	Len() int
+}
+
+// SpecStats counts speculative-decoding outcomes. AcceptHist[i] counts
+// drafting rounds whose accepted prefix was exactly i draft tokens (the last
+// bucket collects deeper rounds); rounds that drafted nothing (budget or
+// window exhausted the depth) count in Rounds only.
+type SpecStats struct {
+	Rounds     uint64     `json:"rounds"`
+	Drafted    uint64     `json:"drafted"`
+	Accepted   uint64     `json:"accepted"`
+	AcceptHist [17]uint64 `json:"accept_hist"`
+}
+
+// RoundResult reports one verification round. Emitted aliases the driver's
+// scratch and is valid until the next Round call.
+type RoundResult struct {
+	Emitted  []int // tokens emitted this round, in order (at least one)
+	Drafted  int   // draft tokens proposed
+	Accepted int   // draft tokens accepted
+	Done     bool  // decoding finished (budget or stop token)
+}
+
+// distStrategy is implemented by strategies that can expose their full
+// normalized sampling distribution — what rejection sampling needs. dst must
+// have vocabulary length; the result is written there and returned.
+type distStrategy interface {
+	dist(dst, logits []float64, sc *pickScratch) []float64
+}
+
+// dist implements distStrategy: softmax(logits/T) over the full vocabulary.
+func (s Temperature) dist(dst, logits []float64, _ *pickScratch) []float64 {
+	if s.T <= 0 {
+		panic("sample: temperature must be positive (use Greedy for T→0)")
+	}
+	return mathx.SoftmaxInto(dst, logits, 1/s.T)
+}
+
+// dist implements distStrategy: the temperature softmax over the selected k,
+// zero elsewhere — exactly the per-token probabilities Pick samples from.
+func (s TopK) dist(dst, logits []float64, sc *pickScratch) []float64 {
+	k := s.K
+	if k <= 0 || k > len(logits) {
+		k = len(logits)
+	}
+	idx := selectTopK(logits, k, sc)
+	sub := sc.floats(&sc.sub, k)
+	for i, j := range idx {
+		sub[i] = logits[j]
+	}
+	t := s.T
+	if t <= 0 {
+		t = 1
+	}
+	mathx.SoftmaxInto(sub, sub, 1/t)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, j := range idx {
+		dst[j] = sub[i]
+	}
+	return dst
+}
+
+// dist implements distStrategy: the nucleus probabilities renormalized over
+// the selected set, zero elsewhere.
+func (s TopP) dist(dst, logits []float64, sc *pickScratch) []float64 {
+	t := s.T
+	if t <= 0 {
+		t = 1
+	}
+	probs := mathx.SoftmaxInto(sc.floats(&sc.probs, len(logits)), logits, 1/t)
+	idx := selectNucleus(probs, s.P, sc)
+	mass := 0.0
+	for _, j := range idx {
+		mass += probs[j]
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, j := range idx {
+		dst[j] = probs[j] / mass
+	}
+	return dst
+}
+
+// accept records an externally sampled token on the decoder — the
+// rejection-sampling path, where the token came from the draft/residual
+// machinery rather than strat.Pick — and reports completion, applying the
+// same budget and stop-token bookkeeping as Next.
+func (d *Decoder) accept(tok int) bool {
+	if d.done {
+		panic("sample: Decoder accept after completion")
+	}
+	d.out = append(d.out, tok)
+	d.remaining--
+	if d.remaining <= 0 || (d.stop >= 0 && tok == d.stop) {
+		d.done = true
+	}
+	return d.done
+}
+
+// Round runs one draft/verify/rewind cycle. ctx is the full decoded context
+// so far — prompt plus every emitted token — whose final element is the
+// pending token the target has not ingested yet; room is the target's
+// remaining window capacity (use a large value for unbounded targets). Round
+// ingests the pending token plus up to K draft tokens through one
+// ExtendAll pass, emits the accepted prefix plus one token sampled from the
+// target (the correction on a rejection, the bonus when the whole draft
+// survives) through dec, and rewinds the target past whatever was rejected.
+// On return the target has ingested exactly the old context plus the
+// accepted tokens; the new pending token is the last element of
+// RoundResult.Emitted.
+func (sp *Speculative) Round(t SpecTarget, dec *Decoder, ctx []int, room int) RoundResult {
+	if dec.done {
+		panic("sample: Speculative.Round after completion")
+	}
+	if len(ctx) == 0 {
+		panic("sample: Speculative.Round needs the pending token in ctx")
+	}
+	if room < 1 {
+		panic("sample: Speculative.Round without window room")
+	}
+	_, greedy := dec.strat.(Greedy)
+	ds, hasDist := dec.strat.(distStrategy)
+	exact := greedy || sp.ExactMatch || !hasDist
+
+	// Clamp the draft depth: the round emits accepted+1 ≤ m+1 tokens against
+	// a budget of dec.remaining, and ingests m+1 positions against room.
+	m := sp.K
+	if r := dec.remaining - 1; m > r {
+		m = r
+	}
+	if m > room-1 {
+		m = room - 1
+	}
+	if m < 0 || sp.Drafter == nil {
+		m = 0
+	}
+
+	// Draft m tokens from the proposal model. Exact-match mode drafts by
+	// argmax so no RNG draws are consumed — the decoder's stream must stay
+	// aligned with plain decoding. Rejection mode samples the proposal and
+	// keeps a copy of each position's q (the drafter reuses its buffer).
+	sp.chunk = append(sp.chunk[:0], ctx[len(ctx)-1])
+	sp.dctx = append(sp.dctx[:0], ctx...)
+	for i := 0; i < m; i++ {
+		q := sp.Drafter.NextDist(sp.dctx)
+		var d int
+		if exact {
+			d, _ = mathx.ArgMax(q)
+		} else {
+			d = dec.rng.Categorical(q)
+			copy(sp.qrow(i, len(q)), q)
+		}
+		sp.chunk = append(sp.chunk, d)
+		sp.dctx = append(sp.dctx, d)
+	}
+
+	// One chunked verification pass: logits after every drafted position.
+	L := t.ExtendAll(sp.chunk)
+	sp.emitted = sp.emitted[:0]
+	accepted, done := 0, false
+	if exact {
+		// The decoder samples each row exactly as plain decoding would; a
+		// draft token survives only if it equals the decoder's own pick, so
+		// the emitted stream is bitwise identical to plain decode. The first
+		// disagreement already emitted the correction; all-agree emits the
+		// bonus from the last row.
+		for i := 0; i <= m && !done; i++ {
+			tok, dd := dec.Next(L[i])
+			sp.emitted = append(sp.emitted, tok)
+			done = dd
+			if i < m && tok == sp.chunk[i+1] {
+				accepted++
+				continue
+			}
+			break
+		}
+	} else {
+		rejected := false
+		for i := 0; i < m && !done && !rejected; i++ {
+			p := ds.dist(sp.floats(&sp.pbuf, len(L[i])), L[i], &sp.sc)
+			d := sp.chunk[i+1]
+			// Accept with probability min(1, p/q): u·q < p, u ∈ [0,1).
+			if dec.rng.Float64()*sp.qd[i][d] < p[d] {
+				accepted++
+				sp.emitted = append(sp.emitted, d)
+				done = dec.accept(d)
+				continue
+			}
+			// Rejected: the correction comes from the residual max(p−q, 0),
+			// which together with the acceptance rule reproduces p exactly.
+			resid := sp.floats(&sp.resid, len(p))
+			total := 0.0
+			for j := range p {
+				r := p[j] - sp.qd[i][j]
+				if r > 0 {
+					resid[j] = r
+					total += r
+				} else {
+					resid[j] = 0
+				}
+			}
+			var tok int
+			if total > 0 {
+				tok = dec.rng.Categorical(resid)
+			} else {
+				// p ≤ q pointwise means p == q; the residual rule degenerates
+				// and any p-draw is correct.
+				tok = dec.rng.Categorical(p)
+			}
+			sp.emitted = append(sp.emitted, tok)
+			done = dec.accept(tok)
+			rejected = true
+		}
+		if !done && !rejected && accepted == m {
+			// Whole draft survived: the bonus token is a plain strategy draw
+			// from the next position's target logits.
+			tok, dd := dec.Next(L[m])
+			sp.emitted = append(sp.emitted, tok)
+			done = dd
+		}
+	}
+
+	// Rewind the rejected suffix: the target ingested m+1 positions, the
+	// context advanced by accepted+1 of them (pending + accepted drafts —
+	// this round's emitted correction/bonus is the next pending token).
+	if rw := m - accepted; rw > 0 {
+		t.Rewind(rw)
+	}
+
+	sp.Stats.Rounds++
+	if m > 0 {
+		sp.Stats.Drafted += uint64(m)
+		sp.Stats.Accepted += uint64(accepted)
+		b := accepted
+		if b >= len(sp.Stats.AcceptHist) {
+			b = len(sp.Stats.AcceptHist) - 1
+		}
+		sp.Stats.AcceptHist[b]++
+	}
+	return RoundResult{Emitted: sp.emitted, Drafted: m, Accepted: accepted, Done: done}
+}
+
+// qrow returns row i of the proposal-distribution scratch, sized to n.
+func (sp *Speculative) qrow(i, n int) []float64 {
+	for len(sp.qd) <= i {
+		sp.qd = append(sp.qd, nil)
+	}
+	if cap(sp.qd[i]) < n {
+		sp.qd[i] = make([]float64, n)
+	}
+	sp.qd[i] = sp.qd[i][:n]
+	return sp.qd[i]
+}
+
+func (sp *Speculative) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

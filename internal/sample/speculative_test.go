@@ -1,0 +1,325 @@
+package sample
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// fakeTarget is a deterministic SpecTarget/Stepper over an arbitrary
+// history→logits function, so the acceptance machinery can be tested without
+// a transformer: ExtendAll really ingests, Rewind really truncates, and the
+// same function drives the plain reference decode.
+type fakeTarget struct {
+	logits func(hist []int) []float64
+	hist   []int
+}
+
+func (f *fakeTarget) Append(id int) []float64 {
+	f.hist = append(f.hist, id)
+	return f.logits(f.hist)
+}
+
+func (f *fakeTarget) ExtendAll(ids []int) [][]float64 {
+	rows := make([][]float64, len(ids))
+	for i, id := range ids {
+		f.hist = append(f.hist, id)
+		rows[i] = f.logits(f.hist)
+	}
+	return rows
+}
+
+func (f *fakeTarget) Rewind(n int) { f.hist = f.hist[:len(f.hist)-n] }
+func (f *fakeTarget) Len() int     { return len(f.hist) }
+
+// hashLogits is a pseudo-random but deterministic history→logits function:
+// structured enough that drafts sometimes agree and sometimes do not.
+func hashLogits(vocab int) func(hist []int) []float64 {
+	return func(hist []int) []float64 {
+		h := uint64(2166136261)
+		for _, id := range hist {
+			h = (h ^ uint64(id+1)) * 16777619
+		}
+		out := make([]float64, vocab)
+		for i := range out {
+			h = h*6364136223846793005 + 1442695040888963407
+			out[i] = float64(h>>40) / float64(1<<24) * 4
+		}
+		return out
+	}
+}
+
+// uniformDrafter proposes the uniform distribution — a rejection-heavy
+// proposal that exercises the correction path constantly.
+type uniformDrafter struct{ vocab int }
+
+func (d uniformDrafter) NextDist([]int) []float64 {
+	out := make([]float64, d.vocab)
+	for i := range out {
+		out[i] = 1 / float64(d.vocab)
+	}
+	return out
+}
+
+// peakedDrafter concentrates mass on a fixed token — an adversarial proposal
+// whose argmax is almost always wrong.
+type peakedDrafter struct{ vocab, tok int }
+
+func (d peakedDrafter) NextDist([]int) []float64 {
+	out := make([]float64, d.vocab)
+	eps := 0.01 / float64(d.vocab)
+	for i := range out {
+		out[i] = eps
+	}
+	out[d.tok] = 1 - 0.01 + eps
+	return out
+}
+
+// oracleDrafter proposes a softmax of the target's own logits — high
+// acceptance, the self-distilled regime.
+type oracleDrafter struct {
+	logits func(hist []int) []float64
+	buf    []float64
+}
+
+func (d *oracleDrafter) NextDist(ctx []int) []float64 {
+	l := d.logits(ctx)
+	if cap(d.buf) < len(l) {
+		d.buf = make([]float64, len(l))
+	}
+	d.buf = d.buf[:len(l)]
+	return mathx.SoftmaxInto(d.buf, l, 1)
+}
+
+// specDecode runs a full speculative generation over a fakeTarget: prompt
+// prefill, first token from the prefill logits, then Rounds until done —
+// the same shape as the lm driver's loop.
+func specDecode(t *testing.T, logits func([]int) []float64, prompt []int, sp *Speculative, strat Strategy, stop, maxTokens int, seed uint64) []int {
+	t.Helper()
+	tgt := &fakeTarget{logits: logits}
+	var last []float64
+	for _, id := range prompt {
+		last = tgt.Append(id)
+	}
+	dec := NewDecoder(strat, stop, maxTokens, mathx.NewRNG(seed))
+	tok, done := dec.Next(last)
+	ctx := append(append([]int(nil), prompt...), tok)
+	for !done {
+		rr := sp.Round(tgt, dec, ctx, 1<<30)
+		ctx = append(ctx, rr.Emitted...)
+		done = rr.Done
+		if len(rr.Emitted) == 0 {
+			t.Fatal("Round emitted nothing")
+		}
+	}
+	// The target must hold the context minus the pending token (or all of it
+	// when decoding finished on an accepted draft): every rejected draft
+	// rewound, nothing else lost.
+	if d := len(ctx) - tgt.Len(); d != 0 && d != 1 {
+		t.Fatalf("target ingested %d positions, context holds %d", tgt.Len(), len(ctx))
+	}
+	return append([]int(nil), dec.Tokens()...)
+}
+
+// plainDecode is the reference loop (Generate's semantics over the same
+// fake model).
+func plainDecode(logits func([]int) []float64, prompt []int, strat Strategy, stop, maxTokens int, seed uint64) []int {
+	tgt := &fakeTarget{logits: logits}
+	var last []float64
+	for _, id := range prompt {
+		last = tgt.Append(id)
+	}
+	dec := NewDecoder(strat, stop, maxTokens, mathx.NewRNG(seed))
+	for !dec.Done() {
+		tok, done := dec.Next(last)
+		if !done {
+			last = tgt.Append(tok)
+		}
+	}
+	return append([]int(nil), dec.Tokens()...)
+}
+
+// TestSpeculativeGreedyParity: greedy speculative output must be identical
+// to plain greedy decode for every draft depth and drafter quality — the
+// exact-match rule makes correctness independent of what the drafter
+// proposes.
+func TestSpeculativeGreedyParity(t *testing.T) {
+	const vocab = 9
+	lf := hashLogits(vocab)
+	drafters := map[string]Drafter{
+		"uniform": uniformDrafter{vocab: vocab},
+		"peaked":  peakedDrafter{vocab: vocab, tok: 3},
+		"oracle":  &oracleDrafter{logits: lf},
+		"nil":     nil,
+	}
+	want := plainDecode(lf, []int{1, 2}, Greedy{}, -1, 30, 5)
+	for name, d := range drafters {
+		for _, k := range []int{1, 2, 4, 8} {
+			sp := &Speculative{K: k, Drafter: d}
+			got := specDecode(t, lf, []int{1, 2}, sp, Greedy{}, -1, 30, 5)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("drafter %s k=%d: speculative %v != plain %v", name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestSpeculativeExactMatchParity: with ExactMatch forced, stochastic
+// strategies must also reproduce plain decoding bit for bit — verification
+// consumes the RNG exactly as the plain loop does and drafting consumes
+// none.
+func TestSpeculativeExactMatchParity(t *testing.T) {
+	const vocab = 9
+	lf := hashLogits(vocab)
+	strats := map[string]Strategy{
+		"temp": Temperature{T: 0.8},
+		"topk": TopK{K: 4, T: 0.9},
+		"topp": TopP{P: 0.9, T: 0.7},
+	}
+	for name, strat := range strats {
+		want := plainDecode(lf, []int{3}, strat, -1, 25, 11)
+		for _, k := range []int{2, 5} {
+			sp := &Speculative{K: k, Drafter: &oracleDrafter{logits: lf}, ExactMatch: true}
+			got := specDecode(t, lf, []int{3}, sp, strat, -1, 25, 11)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s k=%d exact-match: speculative %v != plain %v", name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestSpeculativeStopToken: speculation must respect the stop token exactly
+// where plain decoding stops, in both acceptance modes.
+func TestSpeculativeStopToken(t *testing.T) {
+	const vocab = 6
+	lf := hashLogits(vocab)
+	for _, strat := range []Strategy{Greedy{}, Temperature{T: 1}} {
+		want := plainDecode(lf, []int{1}, strat, 2, 40, 9)
+		sp := &Speculative{K: 4, Drafter: uniformDrafter{vocab: vocab}}
+		got := specDecode(t, lf, []int{1}, sp, strat, 2, 40, 9)
+		if _, greedy := strat.(Greedy); greedy {
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("greedy stop: %v != %v", got, want)
+			}
+		}
+		// Stochastic streams differ draw-by-draw, but both must stop at the
+		// stop token or the budget.
+		if len(got) > 40 {
+			t.Errorf("budget overrun: %d tokens", len(got))
+		}
+		for i, tok := range got[:len(got)-1] {
+			if tok == 2 {
+				t.Errorf("stop token emitted mid-stream at %d: %v", i, got)
+			}
+		}
+	}
+}
+
+// TestSpeculativeStatsAccounting pins the bookkeeping: drafted totals match
+// K·rounds (full-depth rounds), accepted ≤ drafted, the histogram rows sum
+// to the drafting rounds, and emitted counts line up with accepted+1.
+func TestSpeculativeStatsAccounting(t *testing.T) {
+	const vocab = 9
+	lf := hashLogits(vocab)
+	sp := &Speculative{K: 3, Drafter: &oracleDrafter{logits: lf}}
+	got := specDecode(t, lf, []int{1, 2}, sp, Greedy{}, -1, 40, 5)
+	if len(got) != 40 {
+		t.Fatalf("decoded %d tokens, want 40", len(got))
+	}
+	st := sp.Stats
+	if st.Rounds == 0 || st.Drafted == 0 {
+		t.Fatalf("no drafting recorded: %+v", st)
+	}
+	if st.Accepted > st.Drafted {
+		t.Fatalf("accepted %d > drafted %d", st.Accepted, st.Drafted)
+	}
+	var histSum, histTok uint64
+	for i, c := range st.AcceptHist {
+		histSum += c
+		histTok += uint64(i) * c
+	}
+	if histSum == 0 || histSum > st.Rounds {
+		t.Fatalf("histogram mass %d vs rounds %d", histSum, st.Rounds)
+	}
+	if histTok != st.Accepted {
+		t.Fatalf("histogram-weighted accepted %d != %d", histTok, st.Accepted)
+	}
+}
+
+// chiSquare computes Σ (obs−exp)²/exp over the vocabulary.
+func chiSquare(obs []int, exp []float64, trials int) float64 {
+	x := 0.0
+	for i, p := range exp {
+		e := p * float64(trials)
+		if e == 0 {
+			continue
+		}
+		d := float64(obs[i]) - e
+		x += d * d / e
+	}
+	return x
+}
+
+// TestSpeculativeRejectionMarginals is the statistical acceptance test for
+// rejection sampling: over many independent single-round trials, the first
+// token emitted by the speculative path must follow the plain strategy's
+// distribution, for proposals both close to and far from the target. The
+// chi-square statistic is compared against a pinned threshold (df = vocab−1
+// = 7; 24.3 is the 0.999 quantile — the seeds are fixed, so the test is
+// deterministic) and, as a calibration control, against the statistic of
+// plain Decoder draws at the same trial count.
+func TestSpeculativeRejectionMarginals(t *testing.T) {
+	const vocab, trials = 8, 20000
+	const threshold = 24.3
+	lf := hashLogits(vocab)
+	base := lf([]int{7, 1}) // logits after the fixed context [7, 1]
+
+	strats := map[string]Strategy{
+		"temp": Temperature{T: 0.9},
+		"topk": TopK{K: 5, T: 0.8},
+		"topp": TopP{P: 0.85, T: 1.1},
+	}
+	drafters := map[string]Drafter{
+		"uniform": uniformDrafter{vocab: vocab},
+		"peaked":  peakedDrafter{vocab: vocab, tok: 2},
+		"oracle":  &oracleDrafter{logits: lf},
+	}
+	for sname, strat := range strats {
+		// Expected marginal: the strategy's own distribution on base.
+		exp := make([]float64, vocab)
+		strat.(distStrategy).dist(exp, base, &pickScratch{})
+
+		// Calibration control: plain Decoder draws from the same logits.
+		plainObs := make([]int, vocab)
+		for trial := 0; trial < trials; trial++ {
+			dec := NewDecoder(strat, -1, 4, mathx.NewRNG(uint64(trial)*7+13))
+			tok, _ := dec.Next(base)
+			plainObs[tok]++
+		}
+		if x := chiSquare(plainObs, exp, trials); x > threshold {
+			t.Fatalf("%s control drifted: chi-square %.2f > %.2f", sname, x, threshold)
+		}
+
+		for dname, d := range drafters {
+			obs := make([]int, vocab)
+			for trial := 0; trial < trials; trial++ {
+				tgt := &fakeTarget{logits: lf}
+				tgt.Append(7)
+				dec := NewDecoder(strat, -1, 4, mathx.NewRNG(uint64(trial)*7+13))
+				sp := &Speculative{K: 3, Drafter: d}
+				rr := sp.Round(tgt, dec, []int{7, 1}, 1<<30)
+				obs[rr.Emitted[0]]++
+			}
+			x := chiSquare(obs, exp, trials)
+			if x > threshold {
+				t.Errorf("%s/%s: speculative marginal drifted: chi-square %.2f > %.2f (obs %v)",
+					sname, dname, x, threshold, obs)
+			}
+			if math.IsNaN(x) {
+				t.Errorf("%s/%s: NaN chi-square", sname, dname)
+			}
+		}
+	}
+}

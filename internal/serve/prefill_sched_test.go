@@ -11,22 +11,36 @@ import (
 )
 
 // fakeBatch records the loop's exact predictor call sequence, so the
-// scheduling tests can assert the chunked-prefill policy (bounded chunks,
-// at most one chunk between decode steps) independent of model arithmetic.
-// Zero logits make Greedy sample token 0 deterministically.
+// scheduling tests can assert the chunked-prefill and speculative-round
+// policies (bounded chunks, at most one chunk or round between decode
+// steps) independent of model arithmetic. Zero logits make Greedy sample
+// token 0 deterministically. Per-slot lengths track Prefill/PrefillAll/
+// Step/Rewind so the speculative scheduling test can assert window
+// accounting too.
 type fakeBatch struct {
 	vocab int
 	next  int
-	ops   []string // "P<len>" per Prefill call, "S<rows>" per Step call
+	ops   []string    // "P<len>" per Prefill, "S<rows>" per Step, "V<len>" per PrefillAll, "R<n>" per Rewind
+	lens  map[int]int // ingested positions per live slot
 }
 
-func (f *fakeBatch) Add() int { id := f.next; f.next++; return id }
-func (f *fakeBatch) Drop(int) {}
+func (f *fakeBatch) Add() int {
+	if f.lens == nil {
+		f.lens = make(map[int]int)
+	}
+	id := f.next
+	f.next++
+	f.lens[id] = 0
+	return id
+}
+
+func (f *fakeBatch) Drop(id int) { delete(f.lens, id) }
 
 func (f *fakeBatch) Step(ids, toks []int) [][]float64 {
 	f.ops = append(f.ops, fmt.Sprintf("S%d", len(ids)))
 	out := make([][]float64, len(ids))
-	for i := range out {
+	for i, id := range ids {
+		f.lens[id]++
 		out[i] = make([]float64, f.vocab)
 	}
 	return out
@@ -34,8 +48,29 @@ func (f *fakeBatch) Step(ids, toks []int) [][]float64 {
 
 func (f *fakeBatch) Prefill(id int, ids []int) []float64 {
 	f.ops = append(f.ops, fmt.Sprintf("P%d", len(ids)))
+	f.lens[id] += len(ids)
 	return make([]float64, f.vocab)
 }
+
+func (f *fakeBatch) PrefillAll(id int, ids []int) [][]float64 {
+	f.ops = append(f.ops, fmt.Sprintf("V%d", len(ids)))
+	f.lens[id] += len(ids)
+	out := make([][]float64, len(ids))
+	for i := range out {
+		out[i] = make([]float64, f.vocab)
+	}
+	return out
+}
+
+func (f *fakeBatch) Rewind(id, n int) {
+	f.ops = append(f.ops, fmt.Sprintf("R%d", n))
+	if n < 0 || n > f.lens[id] {
+		panic("fakeBatch: rewind out of range")
+	}
+	f.lens[id] -= n
+}
+
+func (f *fakeBatch) Len(id int) int { return f.lens[id] }
 
 // TestPrefillChunkScheduling pins the serving loop's interleaving policy:
 // prompts are ingested in chunks of at most PrefillChunk tokens, at most

@@ -58,6 +58,18 @@ type Config struct {
 	// smaller chunks keep in-flight streams smoother. 0 keeps the
 	// default; negative removes the cap (whole prompts in one pass).
 	PrefillChunk int
+	// Speculate enables speculative decoding in the batched loop: each
+	// iteration runs one verification round of this draft depth for one
+	// decode-phase request (round-robin, mirroring the prefill-chunk
+	// policy, so draft work never starves the other in-flight decodes)
+	// while the rest take the normal batched step. Requires Drafter;
+	// 0 disables. Greedy requests keep bitwise-identical output; stochastic
+	// requests keep their exact token distribution via rejection sampling.
+	Speculate int
+	// Drafter is the shared proposal model for Speculate (e.g.
+	// lm.DistillDrafter over the served checkpoint). The loop is its only
+	// caller, so it needs no internal locking.
+	Drafter sample.Drafter
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +148,18 @@ type Stats struct {
 	// traffic amortizes that fixed cost: mass in the higher buckets means
 	// each weight stream served many sequences.
 	BatchHist [9]uint64 `json:"batch_hist"`
+
+	// Speculative-decoding counters (Config.Speculate). SpecAcceptHist is
+	// the acceptance-length histogram: bucket i counts verification rounds
+	// that accepted exactly i draft tokens (the last bucket collects deeper
+	// rounds), so mean accepted length and its spread are read directly off
+	// /v1/stats. SpecRounds counts every verification round; only rounds
+	// that actually drafted contribute to SpecDrafted/SpecAccepted and the
+	// histogram.
+	SpecRounds     uint64     `json:"spec_rounds"`
+	SpecDrafted    uint64     `json:"spec_drafted"`
+	SpecAccepted   uint64     `json:"spec_accepted"`
+	SpecAcceptHist [17]uint64 `json:"spec_accept_hist"`
 }
 
 // histBucket maps a positive size to its power-of-two histogram bucket:
@@ -164,6 +188,10 @@ type Server struct {
 	// replace to observe the exact prefill/decode call sequence.
 	newBatch func() batchPredictor
 
+	// spec is the speculative-decoding driver (batched mode with
+	// Config.Speculate set); only the loop goroutine touches it.
+	spec *sample.Speculative
+
 	queue chan *pending
 	quit  chan struct{}
 	once  sync.Once
@@ -191,6 +219,7 @@ type liveReq struct {
 	slot   int   // BatchedPredictor sequence handle
 	forced []int // prompt tokens not yet fed (prefill)
 	last   int   // most recently sampled token (decode phase)
+	ctx    []int // full decoded context incl. last (speculative mode only)
 	dec    *sample.Decoder
 	pd     *lm.PieceDecoder // non-nil when streaming
 }
@@ -228,6 +257,9 @@ func newServer(backend lm.LanguageModel, model *core.LLM, cfg Config) *Server {
 	}
 	if model != nil {
 		s.newBatch = func() batchPredictor { return model.Model.NewBatchedPredictor() }
+	}
+	if s.cfg.Speculate > 0 && s.cfg.Drafter != nil {
+		s.spec = &sample.Speculative{K: s.cfg.Speculate, Drafter: s.cfg.Drafter}
 	}
 	s.queue = make(chan *pending, s.cfg.QueueDepth)
 	return s
@@ -421,12 +453,18 @@ func (s *Server) Stream(ctx context.Context, req Request, onToken func(sample.To
 //     ingesting their prompt, at most PrefillChunk tokens), so a prompt of
 //     any length delays in-flight decodes by one bounded chunk rather than
 //     monopolizing the loop;
-//   - one batched decode step over every request past its prompt.
+//   - in speculative mode, at most ONE verification round (round-robin over
+//     the decode-phase requests) — the same bounded-intrusion policy, so
+//     draft blocks never starve the other in-flight decodes;
+//   - one batched decode step over every other request past its prompt.
 //
 // A request whose prompt finishes mid-iteration samples its first token
 // from the prefill logits immediately (the exact logits the old
 // one-forced-token-per-step loop sampled, so outputs are unchanged) and
-// joins the decode batch the same iteration.
+// joins the decode batch the same iteration. Every decode-phase request
+// advances at least one token per iteration — via its speculative round or
+// via the batched step — so speculation changes scheduling only by letting
+// one request advance several tokens.
 func (s *Server) loop() {
 	defer s.wg.Done()
 	bp := s.newBatch()
@@ -436,6 +474,7 @@ func (s *Server) loop() {
 	var ids, toks []int
 	var decs []*liveReq
 	rr := 0 // round-robin cursor over prefilling requests
+	sr := 0 // round-robin cursor over speculating requests
 	for {
 		// Admission: block when idle, otherwise top up without waiting.
 		if len(active) == 0 {
@@ -510,10 +549,31 @@ func (s *Server) loop() {
 				}
 			}
 		}
-		// One batched decode step over every request past its prompt.
+		// One speculative verification round for the next decode-phase
+		// request; it advances several tokens at once and sits out the
+		// batched step below.
+		var sped *liveReq
+		if s.spec != nil {
+			for i := 0; i < len(active); i++ {
+				lr := active[(sr+i)%len(active)]
+				if len(lr.forced) == 0 {
+					sped = lr
+					sr = (sr + i + 1) % len(active)
+					break
+				}
+			}
+		}
+		if sped != nil {
+			if s.specRound(bp, sped) {
+				bp.Drop(sped.slot)
+				s.finish(sped)
+				active = remove(active, sped)
+			}
+		}
+		// One batched decode step over every other request past its prompt.
 		ids, toks, decs = ids[:0], toks[:0], decs[:0]
 		for _, lr := range active {
-			if len(lr.forced) == 0 {
+			if len(lr.forced) == 0 && lr != sped {
 				ids = append(ids, lr.slot)
 				toks = append(toks, lr.last)
 				decs = append(decs, lr)
@@ -539,12 +599,49 @@ func (s *Server) loop() {
 func (s *Server) sampleTok(lr *liveReq, logits []float64) bool {
 	tok, done := lr.dec.Next(logits)
 	lr.last = tok
+	if lr.ctx != nil {
+		lr.ctx = append(lr.ctx, tok)
+	}
 	if lr.p.events != nil {
 		// Delivered as soon as this step completes; capacity is pre-sized,
 		// so the loop never blocks.
 		lr.p.events <- lr.pd.Next(tok)
 	}
 	return done
+}
+
+// slotTarget adapts one BatchedPredictor sequence to the single-sequence
+// verification surface sample.Speculative drives.
+type slotTarget struct {
+	bp   batchPredictor
+	slot int
+}
+
+func (t slotTarget) ExtendAll(ids []int) [][]float64 { return t.bp.PrefillAll(t.slot, ids) }
+func (t slotTarget) Rewind(n int)                    { t.bp.Rewind(t.slot, n) }
+func (t slotTarget) Len() int                        { return t.bp.Len(t.slot) }
+
+// specRound runs one speculative verification round for lr and reports
+// whether the request finished. The emitted tokens are delivered and counted
+// exactly as the batched step's sampled tokens are, so greedy requests keep
+// bitwise-identical output and the stats stay coherent.
+func (s *Server) specRound(bp batchPredictor, lr *liveReq) bool {
+	room := 1 << 30
+	if s.window > 0 {
+		// Admission guarantees prompt+budget fit the window, so room covers
+		// the pending token and at least one draft whenever a round runs.
+		room = s.window - bp.Len(lr.slot)
+	}
+	rr := s.spec.Round(slotTarget{bp, lr.slot}, lr.dec, lr.ctx, room)
+	for _, tok := range rr.Emitted {
+		lr.last = tok
+		if lr.p.events != nil {
+			lr.p.events <- lr.pd.Next(tok)
+		}
+	}
+	lr.ctx = append(lr.ctx, rr.Emitted...)
+	s.countSpec(rr.Drafted, rr.Accepted, len(rr.Emitted))
+	return rr.Done
 }
 
 // remove deletes lr from the batch, preserving order (the round-robin
@@ -587,6 +684,12 @@ func (s *Server) admit(bp batchPredictor, active *[]*liveReq, p *pending) {
 	}
 	if p.events != nil {
 		lr.pd = lm.NewPieceDecoder(s.backend.Decode)
+	}
+	if s.spec != nil {
+		// Speculative rounds need the full decoded context (the drafter
+		// conditions on it); cloned so prefill's reslicing of forced cannot
+		// alias it.
+		lr.ctx = append([]int(nil), ids...)
 	}
 	*active = append(*active, lr)
 }
@@ -720,6 +823,26 @@ func (s *Server) countStep(rows int) {
 	s.mu.Unlock()
 }
 
+// countSpec records one speculative verification round: the round itself,
+// the draft/accept split and acceptance-length histogram (drafting rounds
+// only, matching sample.SpecStats), and the emitted tokens under
+// DecodeTokens so token throughput spans both decode paths.
+func (s *Server) countSpec(drafted, accepted, emitted int) {
+	s.mu.Lock()
+	s.stats.SpecRounds++
+	if drafted > 0 {
+		s.stats.SpecDrafted += uint64(drafted)
+		s.stats.SpecAccepted += uint64(accepted)
+		b := accepted
+		if b >= len(s.stats.SpecAcceptHist) {
+			b = len(s.stats.SpecAcceptHist) - 1
+		}
+		s.stats.SpecAcceptHist[b]++
+	}
+	s.stats.DecodeTokens += uint64(emitted)
+	s.mu.Unlock()
+}
+
 // countPrefill records one chunked-prefill pass of the given token count;
 // sampled marks a pass that completed its prompt, whose logits immediately
 // yield one sampled token (counted here so DecodeTokens spans every
@@ -743,4 +866,7 @@ type batchPredictor interface {
 	Drop(id int)
 	Step(ids []int, tokens []int) [][]float64
 	Prefill(id int, ids []int) []float64
+	PrefillAll(id int, ids []int) [][]float64
+	Rewind(id int, n int)
+	Len(id int) int
 }

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lm"
+	"repro/internal/sample"
+)
+
+// uniformDrafter proposes the uniform distribution; its argmax is token 0,
+// which matches Greedy over fakeBatch's zero logits, so every draft is
+// accepted — the deterministic regime the scheduling test pins.
+type uniformDrafter struct{ vocab int }
+
+func (u uniformDrafter) NextDist([]int) []float64 {
+	d := make([]float64, u.vocab)
+	for i := range d {
+		d[i] = 1 / float64(u.vocab)
+	}
+	return d
+}
+
+// TestSpeculativeScheduling pins the speculative serving policy on the fake
+// predictor: at most one verification round per loop iteration, rounds
+// interleave with (never block) another request's chunked prefill, every
+// round's depth respects the remaining budget, and the stats counters match
+// the pinned op sequence exactly.
+func TestSpeculativeScheduling(t *testing.T) {
+	m := testLLM(t)
+	s := newServer(m, m, Config{
+		MaxBatch: 4, CoalesceWait: -1, PrefillChunk: 4,
+		Speculate: 3, Drafter: uniformDrafter{m.Tok.VocabSize()},
+	})
+	fake := &fakeBatch{vocab: m.Tok.VocabSize()}
+	s.newBatch = func() batchPredictor { return fake }
+
+	// A: short prompt, 9 decode tokens — enters decode immediately and takes
+	// speculative rounds. B, queued behind it: a 12-token prompt (3 chunks)
+	// whose ingestion must interleave with A's rounds.
+	pa := &pending{ctx: context.Background(),
+		req: Request{Prompt: "the king", MaxTokens: 9}, done: make(chan outcome, 1)}
+	pb := &pending{ctx: context.Background(),
+		req:  Request{Prompt: strings.TrimSpace(strings.Repeat("the king ", 6)), MaxTokens: 3},
+		done: make(chan outcome, 1)}
+	s.queue <- pa
+	s.queue <- pb
+	s.wg.Add(1)
+	go s.loop()
+	if o := <-pa.done; o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o := <-pb.done; o.err != nil {
+		t.Fatal(o.err)
+	}
+	s.Close()
+
+	// Iteration by iteration: A prefills and takes a depth-3 round (V4 =
+	// pending + 3 drafts, all accepted, no rewind); B's prompt chunks land
+	// between A's rounds; B's own round is budget-clamped to depth 1 (V2).
+	want := []string{"P2", "V4", "P4", "V4", "P4", "P4", "V2"}
+	if got := fmt.Sprint(fake.ops); got != fmt.Sprint(want) {
+		t.Fatalf("op sequence %v, want %v", fake.ops, want)
+	}
+
+	st := s.Stats()
+	if st.SpecRounds != 3 || st.SpecDrafted != 7 || st.SpecAccepted != 7 {
+		t.Errorf("spec counters rounds=%d drafted=%d accepted=%d, want 3/7/7",
+			st.SpecRounds, st.SpecDrafted, st.SpecAccepted)
+	}
+	if st.SpecAcceptHist[3] != 2 || st.SpecAcceptHist[1] != 1 {
+		t.Errorf("SpecAcceptHist = %v, want two depth-3 rounds and one depth-1", st.SpecAcceptHist)
+	}
+	if st.DecodeTokens != 12 {
+		t.Errorf("DecodeTokens = %d, want 12 (9+3 sampled tokens)", st.DecodeTokens)
+	}
+	if st.PromptTokens != 14 {
+		t.Errorf("PromptTokens = %d, want 14", st.PromptTokens)
+	}
+}
+
+// TestServeSpeculativeParity checks the end-to-end contract on the real
+// model: greedy requests served with speculative decoding produce bitwise
+// the same text and tokens as the plain single-sequence driver, including
+// under concurrency and streaming.
+func TestServeSpeculativeParity(t *testing.T) {
+	m := testLLM(t)
+	drafter := lm.DistillDrafter(m, 3, 300, 1)
+	s := New(m, Config{Speculate: 4, Drafter: drafter})
+	defer s.Close()
+
+	prompts := []string{"the king", "a dragon sees the castle", "the old wizard"}
+	type out struct {
+		got Result
+		err error
+	}
+	ch := make(chan out, len(prompts))
+	for _, p := range prompts {
+		go func(p string) {
+			var pieces strings.Builder
+			res, err := s.Stream(context.Background(), NewRequest(p, sample.WithMaxTokens(8)),
+				func(ev sample.Token) error { pieces.WriteString(ev.Text); return nil })
+			if err == nil && pieces.String() != res.Text {
+				err = fmt.Errorf("stream pieces %q != result %q", pieces.String(), res.Text)
+			}
+			ch <- out{res, err}
+		}(p)
+	}
+	got := map[string]bool{}
+	for range prompts {
+		o := <-ch
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		got[o.got.Text] = true
+	}
+	for _, p := range prompts {
+		want, err := lm.Gen(m, p, sample.WithMaxTokens(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[want.Text] {
+			t.Errorf("plain result %q for prompt %q missing from speculative outputs %v",
+				want.Text, p, got)
+		}
+	}
+
+	st := s.Stats()
+	if st.SpecRounds == 0 || st.SpecDrafted == 0 {
+		t.Fatalf("speculative server ran no drafting rounds: %+v", st)
+	}
+	if st.SpecAccepted > st.SpecDrafted {
+		t.Fatalf("accepted %d > drafted %d", st.SpecAccepted, st.SpecDrafted)
+	}
+	var histRounds, histWeighted uint64
+	for i, c := range st.SpecAcceptHist {
+		histRounds += c
+		histWeighted += uint64(i) * c
+	}
+	if histRounds > st.SpecRounds {
+		t.Errorf("histogram rounds %d > SpecRounds %d", histRounds, st.SpecRounds)
+	}
+	if histWeighted != st.SpecAccepted {
+		t.Errorf("histogram-weighted accepted %d != SpecAccepted %d", histWeighted, st.SpecAccepted)
+	}
+}
+
+// TestServeSpeculativeStochastic checks that stochastic strategies under the
+// speculative server are deterministic per (request, seed) — rejection
+// sampling redraws from the same seeded stream — and stop/budget contracts
+// hold. (Distribution correctness is pinned by the chi-square test at the
+// sample layer.)
+func TestServeSpeculativeStochastic(t *testing.T) {
+	m := testLLM(t)
+	drafter := lm.DistillDrafter(m, 3, 300, 1)
+	req := NewRequest("the king",
+		sample.WithMaxTokens(8), sample.WithStrategy(sample.Temperature{T: 0.9}), sample.WithSeed(11))
+
+	run := func() Result {
+		s := New(m, Config{Speculate: 4, Drafter: lm.DistillDrafter(m, 3, 300, 1)})
+		defer s.Close()
+		res, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Text != b.Text || fmt.Sprint(a.Tokens) != fmt.Sprint(b.Tokens) {
+		t.Fatalf("stochastic speculative serving not deterministic: %q vs %q", a.Text, b.Text)
+	}
+	if len(a.Tokens) == 0 || len(a.Tokens) > 8 {
+		t.Fatalf("token budget violated: %d tokens", len(a.Tokens))
+	}
+
+	// Stop-at-EOS under speculation: the emitted stream must end at (and
+	// trim) the stop token without overshooting the budget.
+	s := New(m, Config{Speculate: 4, Drafter: drafter})
+	defer s.Close()
+	res, err := s.Do(context.Background(), NewRequest("the king",
+		sample.WithMaxTokens(10), sample.WithStop(), sample.WithSeed(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tokens) > 10 {
+		t.Fatalf("stop-mode budget violated: %d tokens", len(res.Tokens))
+	}
+}

@@ -65,6 +65,11 @@ type BatchedPredictor struct {
 	// Prefill logits buffer, created on first Prefill and reused (the
 	// chunk scratch itself is pooled on the model).
 	pfLogits []float64
+
+	// Verification scratch for PrefillAll, created on first use and reused:
+	// per-position logits and the row views handed to the caller.
+	pfAll    *tensor.Tensor
+	pfAllOut [][]float64
 }
 
 // batchSeq is one sequence's decoding state: positions processed so far and

@@ -95,6 +95,47 @@ func prefillRun(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, kpack
 	}
 	defer m.pfPool.Put(sc)
 	rows := len(ids)
+	prefillBody(m, c, sc, keys, vals, kpacks, start, ids)
+	// Final norm + unembedding for the last position only: prefill needs
+	// one set of next-token logits, not one per prompt position.
+	layerNormInto(sc.norm1[:m.Cfg.Dim], sc.x.Row(rows-1), m.FinalNorm)
+	c.out.matVec(logits, sc.norm1[:m.Cfg.Dim])
+	for o, bv := range c.outB {
+		logits[o] += bv
+	}
+}
+
+// prefillRunAll is prefillRun with per-position outputs: every chunk row is
+// final-normed and unembedded, filling logits (rows×Vocab) with the
+// next-token logits after each position — the verification pass of
+// speculative decoding, which must judge every drafted token, not just the
+// last. Row r equals bitwise what Append would have returned for ids[r]: the
+// final norm reuses Append's per-vector kernel and the unembedding sweep is
+// the blocked matrix-matrix form proven bitwise-identical to matVec per row.
+func prefillRunAll(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, kpacks [][][]float64, start int, ids []int, logits *tensor.Tensor) {
+	sc, _ := m.pfPool.Get().(*prefillScratch)
+	if sc == nil {
+		sc = &prefillScratch{}
+	}
+	defer m.pfPool.Put(sc)
+	rows := len(ids)
+	prefillBody(m, c, sc, keys, vals, kpacks, start, ids)
+	// sc.norm is free after the last block, so the all-rows final norm can
+	// land there.
+	norm := layerNormRowsInto(sc.norm, sc.x, m.FinalNorm)
+	c.out.matMat(logits, norm)
+	for r := 0; r < rows; r++ {
+		row := logits.Row(r)
+		for o, bv := range c.outB {
+			row[o] += bv
+		}
+	}
+}
+
+// prefillBody runs the shared part of a chunk pass — embedding and every
+// transformer block — leaving the chunk's residual stream in sc.x.
+func prefillBody(m *Model, c *compiledModel, sc *prefillScratch, keys, vals [][]*tensor.Tensor, kpacks [][][]float64, start int, ids []int) {
+	rows := len(ids)
 	sc.ensure(m.Cfg, rows)
 	x := sc.x
 	// Embed every chunk token at its own position.
@@ -114,13 +155,6 @@ func prefillRun(m *Model, c *compiledModel, keys, vals [][]*tensor.Tensor, kpack
 	}
 	for li, b := range m.Blocks {
 		prefillBlock(m, c, sc, li, b, keys[li], vals[li], kpacks[li], start, rows)
-	}
-	// Final norm + unembedding for the last position only: prefill needs
-	// one set of next-token logits, not one per prompt position.
-	layerNormInto(sc.norm1[:m.Cfg.Dim], x.Row(rows-1), m.FinalNorm)
-	c.out.matVec(logits, sc.norm1[:m.Cfg.Dim])
-	for o, bv := range c.outB {
-		logits[o] += bv
 	}
 }
 

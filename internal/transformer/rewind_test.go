@@ -1,0 +1,237 @@
+package transformer
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+// This file fuzzes the speculative-decoding cache surface: Rewind must be
+// indistinguishable from never having fed the discarded tokens, and
+// ExtendAll's per-position logits must match token-by-token Append bitwise.
+// The shadow in every test is a predictor rebuilt by Append-only replay of
+// the surviving history — the reference semantics Rewind claims to preserve
+// without clearing any KV rows or key-pack lanes.
+
+// randRewindConfig draws a model shape for the rewind property tests,
+// covering the same axes as TestExtendProperty: head widths at and off the
+// sixteen-lane pack size, pre/post-norm, dense and sparse attention, all
+// positional schemes, windows that cross several sixteen-row pack blocks.
+func randRewindConfig(rng *mathx.RNG) Config {
+	heads := 1 + rng.Intn(3)
+	hd := []int{4, 8, 12, 16, 20}[rng.Intn(5)]
+	cfg := Config{
+		Vocab:  11 + rng.Intn(40),
+		Dim:    heads * hd,
+		Hidden: 8 + rng.Intn(64),
+		Layers: 1 + rng.Intn(2),
+		Heads:  heads,
+		Window: 18 + rng.Intn(46),
+		Pos:    []PosKind{PosSinusoidal, PosLearned, PosNone}[rng.Intn(3)],
+		Act:    []nn.Activation{nn.ReLU, nn.Tanh, nn.GELU}[rng.Intn(3)],
+	}
+	if rng.Intn(4) == 0 {
+		cfg.PostNorm = true
+	}
+	if rng.Intn(5) == 0 {
+		cfg.SparseStride = 2 + rng.Intn(3)
+	}
+	return cfg
+}
+
+// TestRewindProperty drives one predictor through random interleavings of
+// Append, Extend, ExtendAll, and Rewind — crossing sixteen-row pack-block
+// boundaries in both directions — and checks every produced logit row
+// bitwise against a shadow predictor that replays the surviving token
+// history through Append alone. A Rewind that left readable stale state in
+// the KV cache or the interleaved key packs would surface as a bit
+// difference on the next op.
+func TestRewindProperty(t *testing.T) {
+	rng := mathx.NewRNG(1735)
+	for trial := 0; trial < 30; trial++ {
+		cfg := randRewindConfig(rng)
+		m := MustNew(cfg, mathx.NewRNG(uint64(trial)*17+3))
+		p := m.NewPredictor()
+		var hist []int
+		// rebuilt replays hist into a fresh predictor and returns the last
+		// logits row, the Append-only reference for the current state.
+		rebuilt := func() []float64 {
+			sh := m.NewPredictor()
+			var last []float64
+			for _, id := range hist {
+				last = sh.Append(id)
+			}
+			return last
+		}
+		for op := 0; op < 24; op++ {
+			room := cfg.Window - p.Len()
+			switch {
+			case rng.Intn(3) == 0 && p.Len() > 0:
+				n := 1 + rng.Intn(p.Len())
+				p.Rewind(n)
+				hist = hist[:len(hist)-n]
+				if p.Len() != len(hist) {
+					t.Fatalf("trial %d: Len %d after rewind, want %d", trial, p.Len(), len(hist))
+				}
+			case room == 0:
+				// Window full and this op did not rewind: truncate a lot so
+				// later ops cross the pack boundary downward.
+				n := 1 + rng.Intn(p.Len())
+				p.Rewind(n)
+				hist = hist[:len(hist)-n]
+			default:
+				n := 1 + rng.Intn(room)
+				ids := make([]int, n)
+				for i := range ids {
+					ids[i] = rng.Intn(cfg.Vocab)
+				}
+				switch rng.Intn(3) {
+				case 0:
+					for _, id := range ids {
+						got := p.Append(id)
+						hist = append(hist, id)
+						bitsEqual(t, "rewind/append", got, rebuilt())
+					}
+				case 1:
+					got := p.Extend(ids)
+					hist = append(hist, ids...)
+					bitsEqual(t, "rewind/extend", got, rebuilt())
+				default:
+					rows := p.ExtendAll(ids)
+					// Every verification row must match the Append-only
+					// shadow at its own prefix length.
+					sh := m.NewPredictor()
+					for _, id := range hist {
+						sh.Append(id)
+					}
+					for r, id := range ids {
+						bitsEqual(t, "rewind/extendall", rows[r], sh.Append(id))
+					}
+					hist = append(hist, ids...)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedRewindProperty is the BatchedPredictor form: two sequences
+// advance through random Step/Prefill/PrefillAll/Rewind interleavings while
+// each is shadowed by a solo Predictor given the same net history. Rewinding
+// one sequence must leave the other bit-identical, and every logits row must
+// match the solo path.
+func TestBatchedRewindProperty(t *testing.T) {
+	rng := mathx.NewRNG(2470)
+	for trial := 0; trial < 12; trial++ {
+		cfg := randRewindConfig(rng)
+		m := MustNew(cfg, mathx.NewRNG(uint64(trial)*29+5))
+		bp := m.NewBatchedPredictor()
+		ids := []int{bp.Add(), bp.Add()}
+		hists := make([][]int, 2)
+		rebuilt := func(si int) []float64 {
+			sh := m.NewPredictor()
+			var last []float64
+			for _, id := range hists[si] {
+				last = sh.Append(id)
+			}
+			return last
+		}
+		// Seed both sequences so Step (which feeds every listed sequence) has
+		// room to compare rows.
+		for si := range ids {
+			tok := rng.Intn(cfg.Vocab)
+			hists[si] = append(hists[si], tok)
+			rows := bp.PrefillAll(ids[si], []int{tok})
+			bitsEqual(t, "batched/seed", rows[0], rebuilt(si))
+		}
+		for op := 0; op < 20; op++ {
+			si := rng.Intn(2)
+			room := cfg.Window - bp.Len(ids[si])
+			switch {
+			case rng.Intn(3) == 0 && bp.Len(ids[si]) > 1:
+				n := 1 + rng.Intn(bp.Len(ids[si])-1)
+				bp.Rewind(ids[si], n)
+				hists[si] = hists[si][:len(hists[si])-n]
+				// The untouched sequence must still match its shadow.
+				other := 1 - si
+				if bp.Len(ids[other]) < cfg.Window {
+					tok := rng.Intn(cfg.Vocab)
+					hists[other] = append(hists[other], tok)
+					got := bp.Step([]int{ids[other]}, []int{tok})
+					bitsEqual(t, "batched/other-after-rewind", got[0], rebuilt(other))
+				}
+			case room == 0:
+				n := 1 + rng.Intn(bp.Len(ids[si])-1)
+				bp.Rewind(ids[si], n)
+				hists[si] = hists[si][:len(hists[si])-n]
+			case rng.Intn(2) == 0 && bp.Len(ids[1-si]) < cfg.Window:
+				// Full-batch step: both sequences advance one token.
+				toks := []int{rng.Intn(cfg.Vocab), rng.Intn(cfg.Vocab)}
+				hists[0] = append(hists[0], toks[0])
+				hists[1] = append(hists[1], toks[1])
+				rows := bp.Step(ids, toks)
+				bitsEqual(t, "batched/step0", rows[0], rebuilt(0))
+				bitsEqual(t, "batched/step1", rows[1], rebuilt(1))
+			default:
+				n := 1 + rng.Intn(room)
+				chunk := make([]int, n)
+				for i := range chunk {
+					chunk[i] = rng.Intn(cfg.Vocab)
+				}
+				if rng.Intn(2) == 0 {
+					got := bp.Prefill(ids[si], chunk)
+					hists[si] = append(hists[si], chunk...)
+					bitsEqual(t, "batched/prefill", got, rebuilt(si))
+				} else {
+					rows := bp.PrefillAll(ids[si], chunk)
+					sh := m.NewPredictor()
+					for _, id := range hists[si] {
+						sh.Append(id)
+					}
+					for r, id := range chunk {
+						bitsEqual(t, "batched/prefillall", rows[r], sh.Append(id))
+					}
+					hists[si] = append(hists[si], chunk...)
+				}
+			}
+		}
+	}
+}
+
+// TestRewindBounds pins the panic contract: negative counts and counts past
+// the cached length must refuse rather than corrupt.
+func TestRewindBounds(t *testing.T) {
+	cfg := Config{Vocab: 7, Dim: 8, Layers: 1, Heads: 2, Window: 18, Act: nn.GELU}
+	m := MustNew(cfg, mathx.NewRNG(1))
+	p := m.NewPredictor()
+	p.Extend([]int{1, 2, 3})
+	for _, n := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Rewind(%d) with 3 cached: no panic", n)
+				}
+			}()
+			p.Rewind(n)
+		}()
+	}
+	p.Rewind(3)
+	if p.Len() != 0 {
+		t.Fatalf("Len after full rewind = %d", p.Len())
+	}
+	bp := m.NewBatchedPredictor()
+	id := bp.Add()
+	bp.Prefill(id, []int{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BatchedPredictor.Rewind past length: no panic")
+			}
+		}()
+		bp.Rewind(id, 3)
+	}()
+	bp.Rewind(id, 2)
+	if bp.Len(id) != 0 {
+		t.Fatalf("batched Len after full rewind = %d", bp.Len(id))
+	}
+}

@@ -521,6 +521,11 @@ type Predictor struct {
 	scores []float64 // attention scores/weights (Window)
 	smax   []float64 // softmax scratch (Window)
 	logits []float64 // next-token logits (Vocab)
+
+	// Verification scratch, created on first ExtendAll and reused: the
+	// per-position logits matrix and the row views handed to the caller.
+	allLogits *tensor.Tensor
+	allOut    [][]float64
 }
 
 // NewPredictor compiles m's weights into the packed inference layout and
