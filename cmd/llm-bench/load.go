@@ -1,0 +1,348 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+	"repro/internal/httpapi"
+	"repro/internal/lm"
+	"repro/internal/mathx"
+	"repro/internal/router"
+	"repro/internal/serve"
+)
+
+// loadOpts carries the -load flags.
+type loadOpts struct {
+	target   string  // base URL to drive; empty = self-host an in-process tier
+	workers  int     // self-hosted worker count behind the router scenario
+	conns    int     // closed-loop concurrency
+	requests int     // requests per closed-loop scenario / arrivals per open-loop run
+	rate     float64 // open-loop arrival rate in req/s (0 disables the open-loop phase)
+	tokens   int     // tokens generated per request
+	seed     uint64
+}
+
+// runLoadJSON is the end-to-end HTTP load benchmark behind llm-bench -load
+// (E23). With no -target it self-hosts the whole replicated tier in one
+// process — real TCP listeners, real llm-serve HTTP stacks, a real
+// llm-router — and measures two scenarios: one worker driven directly, and
+// a router fronting -load-workers workers. With -target it drives an
+// already-running router or worker instead. Each scenario runs a
+// closed-loop phase (-conns concurrent clients, -requests streams) and,
+// when -rate > 0, an open-loop phase (-requests arrivals at a fixed rate,
+// regardless of completions — the phase that exposes shedding). Results go
+// to BENCH_serve_load.json: aggregate tokens/s, TTFT p50/p99, and
+// error/shed counts per phase.
+func runLoadJSON(dir string, o loadOpts) error {
+	if o.workers < 1 || o.conns < 1 || o.requests < 1 || o.tokens < 1 {
+		return fmt.Errorf("-load-workers, -conns, -requests and -load-tokens must be positive")
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.conns + 4}}
+	metrics := map[string]float64{}
+	var summaries []string
+
+	runScenario := func(name, base string) error {
+		closed := driveClosed(client, base, o)
+		closed.record(metrics, name+"_closed")
+		summaries = append(summaries, fmt.Sprintf("%s closed-loop: %s", name, closed))
+		if closed.ok == 0 {
+			return fmt.Errorf("%s: no request succeeded (%d errors, %d shed)", name, closed.errors, closed.shed)
+		}
+		if o.rate > 0 {
+			open := driveOpen(client, base, o)
+			open.record(metrics, name+"_open")
+			metrics[name+"_open_rate_rps"] = o.rate
+			summaries = append(summaries, fmt.Sprintf("%s open-loop @%.0f req/s: %s", name, o.rate, open))
+		}
+		return nil
+	}
+
+	if o.target != "" {
+		if err := runScenario("target", strings.TrimSuffix(o.target, "/")); err != nil {
+			return err
+		}
+	} else {
+		// Self-hosted tier on the n-gram backend: trains in milliseconds and
+		// keeps per-token model cost tiny, so the measurement stresses the
+		// serving and routing layers (HTTP, SSE, batching queues, placement)
+		// rather than matrix arithmetic.
+		log.Print("training the n-gram backend for the self-hosted tier")
+		model, err := lm.TrainBackend("ngram", corpus.PCFGText(grammar.TinyEnglish(), 400, 10, mathx.NewRNG(o.seed)), o.seed)
+		if err != nil {
+			return err
+		}
+
+		worker, stopWorker, err := startWorker(model)
+		if err != nil {
+			return err
+		}
+		err = runScenario("worker1", worker)
+		stopWorker()
+		if err != nil {
+			return err
+		}
+
+		fleet := make([]string, o.workers)
+		stops := make([]func(), 0, o.workers+1)
+		for i := range fleet {
+			base, stop, err := startWorker(model)
+			if err != nil {
+				for _, s := range stops {
+					s()
+				}
+				return err
+			}
+			fleet[i] = base
+			stops = append(stops, stop)
+		}
+		rt, err := router.New(router.Config{Backends: fleet}, nil)
+		if err != nil {
+			for _, s := range stops {
+				s()
+			}
+			return err
+		}
+		front, stopFront, err := listenAndServe(rt)
+		if err == nil {
+			stops = append(stops, stopFront)
+			err = runScenario(fmt.Sprintf("router%d", o.workers), front)
+		}
+		rt.Close()
+		for _, s := range stops {
+			s()
+		}
+		if err != nil {
+			return err
+		}
+		if w1, rN := metrics["worker1_closed_tok_s"], metrics[fmt.Sprintf("router%d_closed_tok_s", o.workers)]; w1 > 0 {
+			metrics["router_vs_worker1_speedup"] = rN / w1
+		}
+	}
+
+	res := perfResult{
+		Bench: "serve_load",
+		Shape: map[string]int{
+			"workers": o.workers, "conns": o.conns,
+			"requests": o.requests, "tokens": o.tokens,
+		},
+		Reps:     o.requests,
+		Metrics:  metrics,
+		UnixTime: time.Now().Unix(),
+	}
+	if err := writeBench(filepath.Join(dir, "BENCH_serve_load.json"), res); err != nil {
+		return err
+	}
+	for _, s := range summaries {
+		fmt.Println(s)
+	}
+	if sp, ok := metrics["router_vs_worker1_speedup"]; ok {
+		fmt.Printf("router%d vs worker1 aggregate throughput: %.2fx\n", o.workers, sp)
+	}
+	return nil
+}
+
+// startWorker boots one full llm-serve stack (batching server + HTTP
+// surface) on a loopback listener and returns its base URL.
+func startWorker(model lm.LanguageModel) (base string, stop func(), err error) {
+	srv := serve.NewBackend(model, serve.Config{})
+	base, stopHTTP, err := listenAndServe(httpapi.New(srv, nil))
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	return base, func() { stopHTTP(); srv.Close() }, nil
+}
+
+// listenAndServe serves h on an OS-assigned loopback port.
+func listenAndServe(h http.Handler) (base string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// loadResult aggregates one phase's outcomes.
+type loadResult struct {
+	ok, shed, errors int
+	tokens           int64
+	ttfts            []time.Duration // successful requests only
+	wall             time.Duration
+}
+
+func (r loadResult) String() string {
+	return fmt.Sprintf("%d ok, %d shed, %d errors, %.0f tok/s, TTFT p50 %.2fms p99 %.2fms",
+		r.ok, r.shed, r.errors, float64(r.tokens)/r.wall.Seconds(),
+		ms(percentile(r.ttfts, 50)), ms(percentile(r.ttfts, 99)))
+}
+
+// record flattens the phase into prefixed metrics.
+func (r loadResult) record(metrics map[string]float64, prefix string) {
+	metrics[prefix+"_ok"] = float64(r.ok)
+	metrics[prefix+"_shed"] = float64(r.shed)
+	metrics[prefix+"_errors"] = float64(r.errors)
+	metrics[prefix+"_tok_s"] = float64(r.tokens) / r.wall.Seconds()
+	metrics[prefix+"_ttft_p50_ms"] = ms(percentile(r.ttfts, 50))
+	metrics[prefix+"_ttft_p99_ms"] = ms(percentile(r.ttfts, 99))
+	metrics[prefix+"_wall_ms"] = ms(r.wall)
+}
+
+// driveClosed runs the closed-loop phase: conns clients issue streams
+// back-to-back until o.requests have been sent. Concurrency, not arrival
+// rate, is the controlled variable — the classic saturation measurement.
+func driveClosed(client *http.Client, base string, o loadOpts) loadResult {
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		res     loadResult
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	for c := 0; c < o.conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.requests {
+					return
+				}
+				out := streamOnce(client, base, o, i)
+				mu.Lock()
+				res.add(out)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(started)
+	return res
+}
+
+// driveOpen runs the open-loop phase: o.requests arrivals at a fixed
+// o.rate, launched on schedule whether or not earlier requests finished —
+// so queue growth, shedding, and tail latency show up instead of the
+// generator politely slowing down.
+func driveOpen(client *http.Client, base string, o loadOpts) loadResult {
+	var (
+		mu      sync.Mutex
+		res     loadResult
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	interval := time.Duration(float64(time.Second) / o.rate)
+	for i := 0; i < o.requests; i++ {
+		time.Sleep(time.Until(started.Add(time.Duration(i) * interval)))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := streamOnce(client, base, o, i)
+			mu.Lock()
+			res.add(out)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	res.wall = time.Since(started)
+	return res
+}
+
+func (r *loadResult) add(out reqOutcome) {
+	switch out.status {
+	case statusOK:
+		r.ok++
+		r.tokens += int64(out.tokens)
+		r.ttfts = append(r.ttfts, out.ttft)
+	case statusShed:
+		r.shed++
+	default:
+		r.errors++
+	}
+}
+
+type reqStatus int
+
+const (
+	statusOK reqStatus = iota
+	statusShed
+	statusError
+)
+
+type reqOutcome struct {
+	status reqStatus
+	tokens int
+	ttft   time.Duration
+}
+
+// streamOnce issues one /v1/stream request and consumes it. Half the
+// requests carry a session key (exercising consistent-hash placement), half
+// are unkeyed (least-loaded placement). TTFT is the time to the first SSE
+// data frame.
+func streamOnce(client *http.Client, base string, o loadOpts, i int) reqOutcome {
+	body := fmt.Sprintf(`{"prompt":"the king","tokens":%d,"seed":%d`, o.tokens, i+1)
+	if i%2 == 0 {
+		body += fmt.Sprintf(`,"session":"sess-%d"`, i%16)
+	}
+	body += "}"
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		return reqOutcome{status: statusError}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return reqOutcome{status: statusShed}
+	default:
+		return reqOutcome{status: statusError}
+	}
+	out := reqOutcome{status: statusError} // until the done frame arrives
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		payload, okPrefix := strings.CutPrefix(strings.TrimSpace(sc.Text()), "data: ")
+		if !okPrefix {
+			continue
+		}
+		if out.ttft == 0 {
+			out.ttft = time.Since(start)
+		}
+		switch {
+		case strings.Contains(payload, `"done":true`):
+			out.status = statusOK
+			return out
+		case strings.Contains(payload, `"error"`):
+			return out
+		default:
+			out.tokens++
+		}
+	}
+	return out
+}
+
+// percentile returns the p-th percentile of ds (nearest-rank); 0 when empty.
+func percentile(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	idx := (len(sorted)*p+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}

@@ -19,12 +19,22 @@
 // parity on every run), with per-depth acceptance-length histograms —
 // written to BENCH_speculate.json in -out.
 //
+// With -load it runs the end-to-end HTTP serving-tier load benchmark (E23):
+// either self-hosting a complete in-process tier — llm-serve worker stacks
+// on real loopback listeners, with and without an llm-router in front — or
+// driving an already-running deployment via -target. Closed-loop (fixed
+// concurrency) and open-loop (fixed arrival rate) phases measure aggregate
+// tokens/s, time-to-first-token p50/p99, and error/shed counts, written to
+// BENCH_serve_load.json.
+//
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
 //	llm-bench -json [-out .] [-prompt-tokens 256] [-reps 30]
 //	          [-decode-batch 1,2,4,8,16,32]
 //	llm-bench -speculate [-out .] [-reps 30] [-speculate-k 2,4,8]
+//	llm-bench -load [-out .] [-target http://host:8371] [-load-workers 2]
+//	          [-conns 8] [-requests 60] [-rate 100] [-load-tokens 16]
 package main
 
 import (
@@ -63,9 +73,26 @@ func main() {
 		decBatch  = flag.String("decode-batch", "1,2,4,8,16,32", "comma-separated batch sizes for the -json batched-decode scaling sweep")
 		speculate = flag.Bool("speculate", false, "run the speculative-decoding sweep and write BENCH_speculate.json")
 		specK     = flag.String("speculate-k", "2,4,8", "comma-separated draft depths for the -speculate sweep")
+		loadMode  = flag.Bool("load", false, "run the HTTP serving-tier load benchmark and write BENCH_serve_load.json")
+		target    = flag.String("target", "", "-load: base URL of a running router or worker; empty = self-host an in-process tier")
+		workers   = flag.Int("load-workers", 2, "-load: worker count behind the self-hosted router scenario")
+		conns     = flag.Int("conns", 8, "-load: closed-loop client concurrency")
+		requests  = flag.Int("requests", 60, "-load: requests per closed-loop scenario / arrivals per open-loop run")
+		rate      = flag.Float64("rate", 100, "-load: open-loop arrival rate in req/s (0 disables the open-loop phase)")
+		loadTok   = flag.Int("load-tokens", 16, "-load: tokens generated per request")
 	)
 	flag.Parse()
 
+	if *loadMode {
+		err := runLoadJSON(*outDir, loadOpts{
+			target: *target, workers: *workers, conns: *conns,
+			requests: *requests, rate: *rate, tokens: *loadTok, seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *speculate {
 		ks, err := parseInts(*specK)
 		if err != nil {

@@ -1,0 +1,121 @@
+// Command llm-router fronts a fleet of llm-serve workers as one serving
+// endpoint — the replicated tier's load balancer. A single worker process
+// is pinned near its memory-bandwidth floor (EXPERIMENTS.md E19-E22);
+// scaling past one core means N worker processes, and the router makes
+// them look like one server with the exact same API surface.
+//
+// Usage:
+//
+//	llm-router -backends http://127.0.0.1:8372,http://127.0.0.1:8373
+//	           [-addr :8371] [-max-inflight 256] [-backend-queue 32]
+//	           [-attempts 3] [-retry-backoff 10ms]
+//	           [-health-interval 250ms] [-fail-threshold 3]
+//	           [-drain-timeout 30s]
+//
+// Placement: requests carrying a session key (the body's "session" field,
+// or the X-Session-Key header) are routed by consistent hashing, so one
+// session's requests keep hitting the same worker and reuse its warm
+// KV/prefix state. Unkeyed requests go to the least-loaded healthy worker,
+// scored from the router's own in-flight counts plus each worker's polled
+// in_flight+queued gauges.
+//
+// Health: every -health-interval the router probes each worker's /healthz
+// and refreshes its load gauges from /v1/stats; failed proxy attempts count
+// against the same per-worker failure streak (passive detection). A worker
+// at -fail-threshold consecutive failures is ejected and routed around
+// until a probe succeeds again. Failed idempotent requests — generate
+// always, streams before the first byte — retry against the session's next
+// ring replica with exponential backoff, up to -attempts placements.
+//
+// Admission control: more than -max-inflight concurrent requests, or a
+// preferred worker already -backend-queue deep, sheds with 429 +
+// Retry-After instead of queueing without bound.
+//
+// Endpoints mirror a worker: POST /v1/generate, POST /v1/stream (SSE
+// passthrough), GET /v1/stats (router + per-backend counters), GET
+// /healthz, POST /v1/drain. SIGTERM or /v1/drain drains gracefully:
+// admission stops (503, /healthz not-ready) while in-flight streams finish,
+// bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("llm-router: ")
+	var (
+		backends     = flag.String("backends", "", "comma-separated llm-serve base URLs (required)")
+		addr         = flag.String("addr", ":8371", "listen address")
+		maxInflight  = flag.Int("max-inflight", 0, "global in-flight admission cap (0 = default 256, negative = unlimited)")
+		backendQueue = flag.Int("backend-queue", 0, "per-backend queue-depth shed limit (0 = default 32, negative = unlimited)")
+		attempts     = flag.Int("attempts", 0, "max placement attempts per request (0 = default 3)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "sleep before the first retry, doubling per attempt (0 = default 10ms)")
+		healthEvery  = flag.Duration("health-interval", 0, "active health-probe and gauge-poll period (0 = default 250ms)")
+		failThresh   = flag.Int("fail-threshold", 0, "consecutive failures that eject a worker (0 = default 3)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM or /v1/drain")
+	)
+	flag.Parse()
+
+	var fleet []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			fleet = append(fleet, b)
+		}
+	}
+	if len(fleet) == 0 {
+		log.Fatal("-backends is required (comma-separated worker URLs)")
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	rt, err := router.New(router.Config{
+		Backends:       fleet,
+		MaxInFlight:    *maxInflight,
+		BackendQueue:   *backendQueue,
+		MaxAttempts:    *attempts,
+		RetryBackoff:   *retryBackoff,
+		HealthInterval: *healthEvery,
+		FailThreshold:  *failThresh,
+	}, func() {
+		// Drain mode entered (via /v1/drain or signal): stop the listener
+		// once in-flight requests — streams included — have finished.
+		log.Printf("draining: waiting up to %s for in-flight requests", *drainTimeout)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Printf("drain timed out: %v", err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	hs.Handler = rt
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		rt.StartDrain()
+	}()
+	log.Printf("routing %d backends on %s", len(fleet), *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}

@@ -12,12 +12,14 @@
 //	llm-serve [-model model.json] [-backend transformer|ngram|ffn|rnn]
 //	          [-addr :8372] [-max-batch 8] [-coalesce 2ms] [-queue 64]
 //	          [-prefill-chunk 32] [-synthetic 500] [-speculate 4]
+//	          [-drain-timeout 30s]
 //
 // Prompts are ingested through the chunked prefill fast path: whole chunks
 // of -prefill-chunk tokens per matrix pass, interleaved with the in-flight
 // batch's decode steps so a long prompt never stalls running streams by
 // more than one chunk (negative = whole prompts in one pass). /v1/stats
-// reports prompt_tokens and decode_tokens separately, plus the
+// reports prompt_tokens and decode_tokens separately, the in_flight and
+// queued live gauges an llm-router polls for load-aware placement, plus the
 // prefill_chunk_hist histogram of chunk sizes and the batch_hist histogram
 // of per-step decode batch sizes (how well concurrent traffic amortizes
 // each step's one-pass weight streaming).
@@ -30,20 +32,31 @@
 // exact token distribution. /v1/stats gains spec_rounds, spec_drafted,
 // spec_accepted, and the spec_accept_hist acceptance-length histogram.
 //
-// Endpoints:
+// The HTTP surface lives in internal/httpapi (shared with the test
+// harnesses and self-hosted benchmarks):
 //
 //	POST /v1/generate  {"prompt": "the king", "tokens": 12,
 //	                    "strategy": "temp", "temperature": 0.8,
 //	                    "top_k": 10, "top_p": 0.9, "seed": 1,
-//	                    "stop_at_eos": false}
+//	                    "stop_at_eos": false, "session": "user-42"}
 //	  -> {"completion": "...", "tokens": [ ... ], "duration_ms": 1.93}
 //	POST /v1/stream    same body; server-sent events, one per token as its
 //	                   batched decoding step completes:
 //	                     data: {"index":0,"id":17,"text":"crown"}
 //	                   then a final event:
 //	                     data: {"done":true,"completion":"...","duration_ms":1.93}
-//	GET  /v1/stats     server throughput counters
-//	GET  /healthz      liveness probe
+//	GET  /v1/stats     server throughput counters and load gauges
+//	GET  /healthz      readiness probe: 200 serving, 503 draining
+//	POST /v1/drain     enter drain mode (equivalent to SIGTERM)
+//
+// "session" is an opaque affinity key for llm-router's consistent-hash
+// placement; the worker itself ignores it.
+//
+// Shutdown is graceful: SIGTERM (or POST /v1/drain) stops admission — new
+// generation requests get 503 + Retry-After and /healthz flips to 503 so a
+// router ejects the worker — while requests already in flight, including
+// SSE streams, run to completion (bounded by -drain-timeout) before the
+// process exits.
 //
 // The request's HTTP context propagates to the batching engine, so a client
 // disconnect drops the request from the decoding batch immediately.
@@ -51,7 +64,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,6 +75,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/serve"
 	"repro/llm"
 )
 
@@ -70,15 +84,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("llm-serve: ")
 	var (
-		modelPath = flag.String("model", "", "checkpoint written by llm-train; empty = train a synthetic demo model")
-		backend   = flag.String("backend", "transformer", "model backend: transformer, ngram, ffn or rnn")
-		synthetic = flag.Int("synthetic", 500, "synthetic corpus size for the demo model")
-		addr      = flag.String("addr", ":8372", "listen address")
-		maxBatch  = flag.Int("max-batch", 8, "max sequences decoded per batched step")
-		coalesce  = flag.Duration("coalesce", 2*time.Millisecond, "linger for more requests before decoding a fresh batch")
-		queue     = flag.Int("queue", 64, "pending-request buffer depth")
-		prefill   = flag.Int("prefill-chunk", 32, "max prompt tokens ingested per prefill pass between decode steps (negative = whole prompt)")
-		speculate = flag.Int("speculate", 0, "speculative draft depth; distills an n-gram drafter at startup (0 disables)")
+		modelPath    = flag.String("model", "", "checkpoint written by llm-train; empty = train a synthetic demo model")
+		backend      = flag.String("backend", "transformer", "model backend: transformer, ngram, ffn or rnn")
+		synthetic    = flag.Int("synthetic", 500, "synthetic corpus size for the demo model")
+		addr         = flag.String("addr", ":8372", "listen address")
+		maxBatch     = flag.Int("max-batch", 8, "max sequences decoded per batched step")
+		coalesce     = flag.Duration("coalesce", 2*time.Millisecond, "linger for more requests before decoding a fresh batch")
+		queue        = flag.Int("queue", 64, "pending-request buffer depth")
+		prefill      = flag.Int("prefill-chunk", 32, "max prompt tokens ingested per prefill pass between decode steps (negative = whole prompt)")
+		speculate    = flag.Int("speculate", 0, "speculative draft depth; distills an n-gram drafter at startup (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM or /v1/drain")
 	)
 	flag.Parse()
 
@@ -92,39 +107,34 @@ func main() {
 		log.Printf("distilling n-gram draft model (depth %d)", *speculate)
 		drafter = llm.DistillDrafter(model, 3, 4096, 42)
 	}
-	srv := llm.NewBackendServer(model, llm.ServerConfig{
+	srv := serve.NewBackend(model, serve.Config{
 		MaxBatch: *maxBatch, CoalesceWait: *coalesce, QueueDepth: *queue,
 		PrefillChunk: *prefill, Speculate: *speculate, Drafter: drafter,
 	})
 	defer srv.Close()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		handleGenerate(srv, w, r)
-	})
-	mux.HandleFunc("POST /v1/stream", func(w http.ResponseWriter, r *http.Request) {
-		handleStream(srv, w, r)
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, srv.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Drain (via /v1/drain or a signal) stops admission in the handler;
+	// Shutdown then waits for in-flight requests — SSE streams included —
+	// before ListenAndServe returns.
+	h := httpapi.New(srv, func() {
+		log.Printf("draining: waiting up to %s for in-flight requests", *drainTimeout)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Printf("drain timed out: %v", err)
+		}
+	})
+	hs.Handler = h
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		hs.Shutdown(shutCtx)
+		h.Drain()
 	}()
 	log.Printf("serving on %s", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -155,141 +165,4 @@ func loadBackend(backend, path string, synthetic int) (llm.LanguageModel, error)
 	}
 	log.Printf("no -model: training a demo %s backend on %d synthetic sentences", backend, synthetic)
 	return llm.TrainBackend(backend, llm.SyntheticCorpus(synthetic, 42), 42)
-}
-
-// genRequest is the POST /v1/generate and /v1/stream body.
-type genRequest struct {
-	Prompt      string  `json:"prompt"`
-	Tokens      int     `json:"tokens"`
-	Strategy    string  `json:"strategy"` // greedy (default), temp, topk, topp
-	Temperature float64 `json:"temperature"`
-	TopK        int     `json:"top_k"`
-	TopP        float64 `json:"top_p"`
-	Seed        uint64  `json:"seed"`
-	StopAtEOS   bool    `json:"stop_at_eos"`
-}
-
-// genResponse is the POST /v1/generate reply.
-type genResponse struct {
-	Completion string  `json:"completion"`
-	Tokens     []int   `json:"tokens"`
-	DurationMS float64 `json:"duration_ms"`
-}
-
-// parseRequest decodes and validates a request body into a GenRequest.
-func parseRequest(r *http.Request) (llm.GenRequest, error) {
-	var req genRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return llm.GenRequest{}, fmt.Errorf("bad json: %w", err)
-	}
-	if req.Tokens <= 0 {
-		req.Tokens = 12
-	}
-	strat, err := llm.ParseStrategy(req.Strategy, req.Temperature, req.TopP, req.TopK)
-	if err != nil {
-		return llm.GenRequest{}, err
-	}
-	out := llm.GenRequest{
-		Prompt: req.Prompt, MaxTokens: req.Tokens, Strategy: strat,
-		Seed: req.Seed, StopAtEOS: req.StopAtEOS,
-	}
-	return out, nil
-}
-
-func handleGenerate(srv *llm.Server, w http.ResponseWriter, r *http.Request) {
-	req, err := parseRequest(r)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	start := time.Now()
-	res, err := srv.Do(r.Context(), req)
-	if err != nil {
-		writeJSON(w, errStatus(err), map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, genResponse{
-		Completion: res.Text,
-		Tokens:     res.Tokens,
-		DurationMS: sinceMS(start),
-	})
-}
-
-// streamDone is the terminal event of a /v1/stream response.
-type streamDone struct {
-	Done       bool    `json:"done"`
-	Completion string  `json:"completion"`
-	DurationMS float64 `json:"duration_ms"`
-}
-
-// handleStream serves one generation as server-sent events, flushing each
-// token the moment its batched decoding step completes.
-func handleStream(srv *llm.Server, w http.ResponseWriter, r *http.Request) {
-	req, err := parseRequest(r)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	// Reject invalid requests with a proper status before committing to
-	// streaming headers, matching /v1/generate's error contract.
-	if err := srv.Validate(req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	start := time.Now()
-	res, err := srv.Stream(r.Context(), req, func(t llm.Token) error {
-		if err := writeEvent(w, t); err != nil {
-			return err
-		}
-		flusher.Flush()
-		return nil
-	})
-	if err != nil {
-		// Headers are sent; report the failure in-band and end the stream.
-		writeEvent(w, map[string]string{"error": err.Error()})
-		flusher.Flush()
-		return
-	}
-	writeEvent(w, streamDone{Done: true, Completion: res.Text, DurationMS: sinceMS(start)})
-	flusher.Flush()
-}
-
-// writeEvent emits one SSE data frame.
-func writeEvent(w http.ResponseWriter, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
-	return err
-}
-
-// errStatus maps engine errors to HTTP statuses.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return 499 // client closed request
-	case errors.Is(err, llm.ErrServerClosed):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func sinceMS(start time.Time) float64 {
-	return float64(time.Since(start).Microseconds()) / 1000
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
 }

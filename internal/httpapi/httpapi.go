@@ -1,0 +1,251 @@
+// Package httpapi is the worker-side HTTP surface of the serving stack: the
+// JSON/SSE front end one llm-serve process exposes over a serve.Server. It
+// exists as a package (rather than code private to cmd/llm-serve) because
+// three parties must agree on the wire contract: the worker binary, the
+// llm-router tier that proxies and health-checks workers, and the
+// llm-bench -load generator that self-hosts worker fleets in-process.
+//
+// Endpoints:
+//
+//	POST /v1/generate  one-shot generation, JSON in/out
+//	POST /v1/stream    same body; SSE, one data frame per sampled token
+//	GET  /v1/stats     serve.Stats counters + live in_flight/queued gauges
+//	GET  /healthz      readiness: 200 while serving, 503 once draining
+//	POST /v1/drain     enter drain mode (also wired to SIGTERM by the binary)
+//
+// Drain mode is the rolling-restart/scale-down story: Drain flips the
+// handler to reject new generation work with 503 + Retry-After and turns
+// /healthz not-ready — so a router stops picking this worker — while
+// requests already in flight (including SSE streams) run to completion.
+// The binary then uses http.Server.Shutdown, which waits for exactly those
+// in-flight handlers, to exit cleanly.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sample"
+	"repro/internal/serve"
+)
+
+// Handler is the HTTP front end over one serve.Server.
+type Handler struct {
+	srv      *serve.Server
+	mux      *http.ServeMux
+	draining atomic.Bool
+	once     sync.Once
+	onDrain  func()
+}
+
+// New builds the worker handler. onDrain, if non-nil, runs once (on its own
+// goroutine) when drain mode is entered — the binary hooks graceful
+// http.Server shutdown there; tests and in-process fleets pass nil.
+func New(srv *serve.Server, onDrain func()) *Handler {
+	h := &Handler{srv: srv, onDrain: onDrain}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", h.handleGenerate)
+	mux.HandleFunc("POST /v1/stream", h.handleStream)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, h.srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if h.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		h.Drain()
+		WriteJSON(w, http.StatusAccepted, map[string]bool{"draining": true})
+	})
+	h.mux = mux
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Drain flips the worker to not-ready: new generation requests get 503 with
+// Retry-After, /healthz reports 503, and in-flight work keeps running. The
+// onDrain hook fires once, asynchronously — synchronously it would deadlock
+// with an http.Server.Shutdown that waits for the very /v1/drain request
+// that triggered it.
+func (h *Handler) Drain() {
+	h.draining.Store(true)
+	h.once.Do(func() {
+		if h.onDrain != nil {
+			go h.onDrain()
+		}
+	})
+}
+
+// Draining reports whether drain mode has been entered.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// rejectDraining answers a generation request arriving after Drain.
+func (h *Handler) rejectDraining(w http.ResponseWriter) bool {
+	if !h.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+	return true
+}
+
+// GenRequest is the POST /v1/generate and /v1/stream body. Session is not
+// interpreted by the worker: it is the routing tier's affinity key, carried
+// in the body so keyed requests need no custom headers (the router also
+// accepts an X-Session-Key header, which wins over the body field).
+type GenRequest struct {
+	Prompt      string  `json:"prompt"`
+	Tokens      int     `json:"tokens"`
+	Strategy    string  `json:"strategy"` // greedy (default), temp, topk, topp
+	Temperature float64 `json:"temperature"`
+	TopK        int     `json:"top_k"`
+	TopP        float64 `json:"top_p"`
+	Seed        uint64  `json:"seed"`
+	StopAtEOS   bool    `json:"stop_at_eos"`
+	Session     string  `json:"session,omitempty"`
+}
+
+// GenResponse is the POST /v1/generate reply.
+type GenResponse struct {
+	Completion string  `json:"completion"`
+	Tokens     []int   `json:"tokens"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// StreamDone is the terminal SSE event of a /v1/stream response.
+type StreamDone struct {
+	Done       bool    `json:"done"`
+	Completion string  `json:"completion"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// parseRequest decodes and validates a request body into a serve.Request.
+func parseRequest(r *http.Request) (serve.Request, error) {
+	var req GenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return serve.Request{}, fmt.Errorf("bad json: %w", err)
+	}
+	if req.Tokens <= 0 {
+		req.Tokens = 12
+	}
+	strat, err := sample.ParseStrategy(req.Strategy, req.Temperature, req.TopP, req.TopK)
+	if err != nil {
+		return serve.Request{}, err
+	}
+	return serve.Request{
+		Prompt: req.Prompt, MaxTokens: req.Tokens, Strategy: strat,
+		Seed: req.Seed, StopAtEOS: req.StopAtEOS,
+	}, nil
+}
+
+func (h *Handler) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if h.rejectDraining(w) {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := h.srv.Do(r.Context(), req)
+	if err != nil {
+		WriteJSON(w, errStatus(err), map[string]string{"error": err.Error()})
+		return
+	}
+	WriteJSON(w, http.StatusOK, GenResponse{
+		Completion: res.Text,
+		Tokens:     res.Tokens,
+		DurationMS: sinceMS(start),
+	})
+}
+
+// handleStream serves one generation as server-sent events, flushing each
+// token the moment its batched decoding step completes.
+func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	if h.rejectDraining(w) {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	// Reject invalid requests with a proper status before committing to
+	// streaming headers, matching /v1/generate's error contract.
+	if err := h.srv.Validate(req); err != nil {
+		WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		WriteJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	start := time.Now()
+	res, err := h.srv.Stream(r.Context(), req, func(t sample.Token) error {
+		if err := WriteEvent(w, t); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	})
+	if err != nil {
+		// Headers are sent; report the failure in-band and end the stream.
+		WriteEvent(w, map[string]string{"error": err.Error()})
+		flusher.Flush()
+		return
+	}
+	WriteEvent(w, StreamDone{Done: true, Completion: res.Text, DurationMS: sinceMS(start)})
+	flusher.Flush()
+}
+
+// WriteEvent emits one SSE data frame.
+func WriteEvent(w http.ResponseWriter, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+// errStatus maps engine errors to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func sinceMS(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// WriteJSON writes v as the JSON body of a response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,104 @@
+package router
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// backend is one llm-serve worker behind the router: its address, the
+// router's own view of load on it, and its health state machine.
+//
+// Health is two signals folded into one counter. Passive detection: every
+// failed proxy attempt (connect error, 5xx) counts a failure, every
+// successful one clears the count — so a dying worker is noticed at traffic
+// speed, between health ticks. Active probing: the health loop's /healthz
+// result feeds the same counter, which is also the only readmission path a
+// worker ejected while idle has. FailThreshold consecutive failures eject
+// the backend (routing walks past it); the next successful probe or proxy
+// readmits it.
+type backend struct {
+	name string   // canonical URL string, the ring identity
+	base *url.URL // parsed base for building worker endpoints
+
+	// inflight is the router-side count of requests currently proxied to
+	// this backend — the always-fresh half of the load signal.
+	inflight atomic.Int64
+
+	// Cumulative counters, exported on /v1/stats.
+	requests  atomic.Uint64 // proxy attempts sent
+	failures  atomic.Uint64 // failed proxy attempts + failed probes
+	ejections atomic.Uint64 // healthy -> ejected transitions
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int  // consecutive failures since the last success
+	load    int  // last polled worker gauge: in_flight + queued
+	polled  bool // load has been populated at least once
+}
+
+func newBackend(raw string) (*backend, error) {
+	raw = strings.TrimSuffix(raw, "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("router: bad backend URL %q: %w", raw, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("router: backend URL %q needs scheme and host", raw)
+	}
+	// Optimistically healthy: a cold router must route before its first
+	// probe tick, and a wrong guess self-corrects within FailThreshold
+	// attempts.
+	return &backend{name: raw, base: u, healthy: true}, nil
+}
+
+// endpoint returns the worker URL for path (e.g. "/v1/generate").
+func (b *backend) endpoint(path string) string { return b.name + path }
+
+// markFailure records one failed attempt or probe against the backend and
+// ejects it once threshold consecutive failures accumulate.
+func (b *backend) markFailure(threshold int) {
+	b.failures.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.healthy && b.fails >= threshold {
+		b.healthy = false
+		b.ejections.Add(1)
+	}
+}
+
+// markSuccess clears the failure streak and readmits an ejected backend.
+func (b *backend) markSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.healthy = true
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// setLoad records the worker-reported queue gauge from a stats poll.
+func (b *backend) setLoad(load int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.load = load
+	b.polled = true
+}
+
+// score is the routing load signal: the router's own in-flight count plus
+// the worker's last-polled queue gauge. The first half is exact and
+// instantaneous; the second folds in load the worker sees from elsewhere
+// (other routers, direct clients) at health-tick freshness.
+func (b *backend) score() int {
+	b.mu.Lock()
+	load := b.load
+	b.mu.Unlock()
+	return int(b.inflight.Load()) + load
+}

@@ -1,0 +1,154 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// workerGauges is the slice of the worker's /v1/stats the router reads: the
+// live load gauges serve.Stats exports (cumulative counters are ignored).
+type workerGauges struct {
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+}
+
+// healthLoop actively probes every backend each HealthInterval: /healthz
+// decides readiness (a draining worker answers 503 and is ejected exactly
+// like a dead one), and — for ready workers — /v1/stats refreshes the load
+// gauge behind least-loaded placement and backpressure. The loop is also
+// the readmission path: passive detection can only observe backends that
+// receive traffic, so an ejected, idle backend re-enters service via its
+// next successful probe here.
+func (rt *Router) healthLoop() {
+	defer rt.hwg.Done()
+	ticker := time.NewTicker(rt.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case <-ticker.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll checks the whole fleet concurrently and returns when every probe
+// finishes, so one wedged backend cannot delay the others' freshness.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.probeOne(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probeTimeout bounds one probe round-trip: the health interval, clamped so
+// very short test intervals do not flake and long intervals do not let a
+// black-holed probe stall ejection.
+func (rt *Router) probeTimeout() time.Duration {
+	d := rt.cfg.HealthInterval
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func (rt *Router) probeOne(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout())
+	defer cancel()
+	if !rt.getOK(ctx, b.endpoint("/healthz"), nil) {
+		b.markFailure(rt.cfg.FailThreshold)
+		return
+	}
+	b.markSuccess()
+	var g workerGauges
+	if rt.getOK(ctx, b.endpoint("/v1/stats"), &g) {
+		b.setLoad(g.InFlight + g.Queued)
+	}
+}
+
+// getOK issues one GET and reports whether it returned 200, decoding the
+// body into out when non-nil.
+func (rt *Router) getOK(ctx context.Context, url string, out any) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if out == nil {
+		return true
+	}
+	return json.NewDecoder(resp.Body).Decode(out) == nil
+}
+
+// Stats is the router's observability surface, served on its /v1/stats.
+type Stats struct {
+	Requests uint64 `json:"requests"`  // generation requests received
+	Proxied  uint64 `json:"proxied"`   // answered with an upstream response
+	Retries  uint64 `json:"retries"`   // extra placement attempts
+	Shed     uint64 `json:"shed"`      // 429 admission/backpressure rejections
+	Rejected uint64 `json:"rejected"`  // 503 drain/no-backend rejections
+	Errors   uint64 `json:"errors"`    // exhausted retries + broken streams
+	InFlight int    `json:"in_flight"` // live gauge
+	Draining bool   `json:"draining"`
+
+	Backends []BackendStats `json:"backends"`
+}
+
+// BackendStats is one worker's routing view.
+type BackendStats struct {
+	Name      string `json:"name"`
+	Healthy   bool   `json:"healthy"`
+	InFlight  int64  `json:"in_flight"` // router-side live gauge
+	Load      int    `json:"load"`      // last polled worker in_flight+queued
+	Requests  uint64 `json:"requests"`
+	Failures  uint64 `json:"failures"`
+	Ejections uint64 `json:"ejections"`
+}
+
+// Stats snapshots the router counters and per-backend state.
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Requests: rt.nRequests.Load(),
+		Proxied:  rt.nProxied.Load(),
+		Retries:  rt.nRetries.Load(),
+		Shed:     rt.nShed.Load(),
+		Rejected: rt.nRejected.Load(),
+		Errors:   rt.nErrors.Load(),
+		InFlight: int(rt.inflight.Load()),
+		Draining: rt.draining.Load(),
+	}
+	for _, b := range rt.backends {
+		b.mu.Lock()
+		healthy, load := b.healthy, b.load
+		b.mu.Unlock()
+		st.Backends = append(st.Backends, BackendStats{
+			Name:      b.name,
+			Healthy:   healthy,
+			InFlight:  b.inflight.Load(),
+			Load:      load,
+			Requests:  b.requests.Load(),
+			Failures:  b.failures.Load(),
+			Ejections: b.ejections.Load(),
+		})
+	}
+	return st
+}

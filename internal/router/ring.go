@@ -1,0 +1,85 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is how many virtual points each backend contributes to the ring.
+// More points smooth the key distribution across backends (the classic
+// consistent-hashing variance reduction); 64 keeps per-key lookup and ring
+// construction trivial at the fleet sizes a single router fronts.
+const vnodes = 64
+
+// ring is a consistent-hash ring over backend indices. Session keys hash
+// onto the circle and are owned by the next backend point clockwise; when a
+// backend is removed (ejected, drained, scaled down) only the keys it owned
+// move, so KV/prefix affinity for every other session survives membership
+// churn. The ring is immutable after construction — health is overlaid at
+// routing time by walking the successor list past unhealthy entries.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // distinct backends
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// newRing builds the ring from backend names (their canonical URLs). Names
+// must be distinct — the hash points, and therefore key ownership, are a
+// pure function of the name set, so every router over the same fleet agrees
+// on placement.
+func newRing(names []string) *ring {
+	r := &ring{n: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", name, v)), i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// hash64 is FNV-1a over s with a splitmix64 finalizer — stable across
+// processes and Go versions, unlike maphash, so placement is reproducible
+// and debuggable. The finalizer matters: raw FNV over near-identical
+// strings (vnode labels differ by one digit) leaves the low bits clustered,
+// and clustered points give one backend an outsized arc of the ring.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// successors returns every backend index in ring order starting at key's
+// position, deduplicated: element 0 owns the key, and the rest are its
+// failover replicas in the order retries should try them. The order is a
+// pure function of (key, membership), which is what makes retry placement
+// stable too: the first replica of a key is always the same backend.
+func (r *ring) successors(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8372", i+1)
+	}
+	return out
+}
+
+// TestSuccessorsCoverAllBackends: every key's successor list is a
+// permutation of the fleet — element 0 is the owner, the rest the failover
+// order — and lookups are deterministic.
+func TestSuccessorsCoverAllBackends(t *testing.T) {
+	r := newRing(names(5))
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("session-%d", k)
+		succ := r.successors(key)
+		if len(succ) != 5 {
+			t.Fatalf("key %q: %d successors, want 5", key, len(succ))
+		}
+		seen := map[int]bool{}
+		for _, idx := range succ {
+			if idx < 0 || idx >= 5 || seen[idx] {
+				t.Fatalf("key %q: bad successor list %v", key, succ)
+			}
+			seen[idx] = true
+		}
+		again := r.successors(key)
+		if fmt.Sprint(again) != fmt.Sprint(succ) {
+			t.Fatalf("key %q: lookup not deterministic: %v vs %v", key, succ, again)
+		}
+	}
+}
+
+// TestRingBalance: with 64 virtual nodes per backend, key ownership is
+// roughly uniform — no backend owns a wildly outsized share.
+func TestRingBalance(t *testing.T) {
+	const backends, keys = 4, 8000
+	r := newRing(names(backends))
+	counts := make([]int, backends)
+	for k := 0; k < keys; k++ {
+		counts[r.successors(fmt.Sprintf("s%d", k))[0]]++
+	}
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("backend %d owns %.1f%% of keys (counts %v), want a roughly uniform share", i, 100*share, counts)
+		}
+	}
+}
+
+// TestMinimalRemapOnMembershipChange is the consistent-hashing contract the
+// KV-affinity story rests on: removing one backend moves only the keys it
+// owned, and each of those moves to exactly its next ring replica — the
+// same backend retries already preferred, so failover and re-hashing agree.
+func TestMinimalRemapOnMembershipChange(t *testing.T) {
+	all := names(4)
+	full := newRing(all)
+	const removed = 2
+	reduced := newRing(append(append([]string{}, all[:removed]...), all[removed+1:]...))
+	// reduced index -> full index
+	toFull := func(i int) int {
+		if i >= removed {
+			return i + 1
+		}
+		return i
+	}
+	moved := 0
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("user-%d", k)
+		before := full.successors(key)
+		after := toFull(reduced.successors(key)[0])
+		if before[0] != removed {
+			if after != before[0] {
+				t.Fatalf("key %q moved from backend %d to %d though its owner stayed in the fleet", key, before[0], after)
+			}
+			continue
+		}
+		moved++
+		// The orphaned key must land on its old second choice.
+		if after != before[1] {
+			t.Fatalf("orphaned key %q landed on %d, want next replica %d", key, after, before[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed backend; test is vacuous")
+	}
+}

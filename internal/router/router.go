@@ -1,0 +1,465 @@
+// Package router is the replicated serving tier's front end: a stdlib-HTTP
+// reverse proxy that spreads /v1/generate and /v1/stream traffic across a
+// static fleet of llm-serve workers. One worker process is pinned near its
+// memory-bandwidth floor (E19-E22); serving production traffic means N of
+// them, and this package is the layer that makes N processes look like one:
+//
+//   - Placement: requests carrying a session key are routed by consistent
+//     hashing (ring.go), so a session's requests keep landing on the same
+//     worker — the placement KV/prefix reuse needs. Unkeyed requests go to
+//     the least-loaded healthy worker, scored by the router's own in-flight
+//     count plus the worker's polled in_flight+queued gauges.
+//   - Health: an active /healthz probe loop plus passive per-attempt
+//     failure detection feed one state machine per backend (backend.go);
+//     ejected workers are routed around and readmitted on probe success.
+//   - Retries: idempotent work (generate always; streams before the first
+//     byte reaches the client) fails over to the next ring replica with
+//     exponential backoff. A stream that breaks after bytes were written
+//     ends with an in-band SSE error frame instead.
+//   - Admission control: a global in-flight cap and a per-backend
+//     queue-depth limit shed excess load early with 429 + Retry-After,
+//     keeping worker queues bounded instead of letting every client time
+//     out slowly.
+//   - Drain: StartDrain/Drain stop admitting (503, /healthz not-ready),
+//     let in-flight requests — including SSE streams — finish, then return,
+//     so SIGTERM rolls the tier without dropping a token.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config assembles the routing tier. Zero values select the defaults.
+type Config struct {
+	// Backends is the static worker fleet, as base URLs
+	// (e.g. http://127.0.0.1:8372). Required.
+	Backends []string
+	// MaxInFlight is the global admission cap: requests beyond it are shed
+	// with 429 (default 256; negative disables).
+	MaxInFlight int
+	// BackendQueue is the per-backend load limit: when the chosen worker's
+	// score (router in-flight + polled worker gauge) reaches it, the
+	// request is shed with 429 rather than queued ever deeper (default 32;
+	// negative disables).
+	BackendQueue int
+	// MaxAttempts bounds placement attempts per request, the first try
+	// included (default 3, always capped at the fleet size).
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 10ms; negative disables the sleep).
+	RetryBackoff time.Duration
+	// HealthInterval is the active probe + gauge poll period (default
+	// 250ms).
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive failures (passive or probe)
+	// eject a backend (default 3).
+	FailThreshold int
+	// Client issues the proxied requests and health probes (default: a
+	// dedicated client with sane connection pooling and no global timeout —
+	// generation length is unbounded, cancellation rides the request
+	// context).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.BackendQueue == 0 {
+		c.BackendQueue = 32
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+		}}
+	}
+	return c
+}
+
+// Router is the load-aware front end over a fleet of llm-serve workers.
+// It serves the same /v1/generate, /v1/stream, /v1/stats, and /healthz
+// surface a single worker does, so clients cannot tell one worker from a
+// routed fleet.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+	mux      *http.ServeMux
+
+	inflight atomic.Int64
+	draining atomic.Bool
+	admitMu  sync.Mutex     // orders admission against StartDrain
+	reqs     sync.WaitGroup // admitted (non-rejected) requests in flight
+
+	quit chan struct{}
+	once sync.Once
+	hwg  sync.WaitGroup
+
+	onDrain   func()
+	drainOnce sync.Once
+
+	// Counters, exported on /v1/stats.
+	nRequests atomic.Uint64 // everything that reached the handler
+	nProxied  atomic.Uint64 // completed with an upstream response
+	nRetries  atomic.Uint64 // extra placement attempts
+	nShed     atomic.Uint64 // 429 admission/backpressure rejections
+	nRejected atomic.Uint64 // 503 drain/no-backend rejections
+	nErrors   atomic.Uint64 // exhausted retries or broke mid-stream
+}
+
+// New builds the router and starts its health loop. onDrain, if non-nil,
+// runs once (on its own goroutine) when drain mode is entered via the
+// /v1/drain endpoint — the binary hooks graceful shutdown there. Callers
+// must Close the router to stop the health loop.
+func New(cfg Config, onDrain func()) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: at least one backend required")
+	}
+	rt := &Router{cfg: cfg, quit: make(chan struct{}), onDrain: onDrain}
+	names := make([]string, 0, len(cfg.Backends))
+	seen := map[string]bool{}
+	for _, raw := range cfg.Backends {
+		b, err := newBackend(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[b.name] {
+			return nil, fmt.Errorf("router: duplicate backend %q", b.name)
+		}
+		seen[b.name] = true
+		rt.backends = append(rt.backends, b)
+		names = append(names, b.name)
+	}
+	rt.ring = newRing(names)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		rt.handle(w, r, "/v1/generate", false)
+	})
+	mux.HandleFunc("POST /v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		rt.handle(w, r, "/v1/stream", true)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if rt.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		rt.StartDrain()
+		writeJSON(w, http.StatusAccepted, map[string]bool{"draining": true})
+	})
+	rt.mux = mux
+
+	rt.hwg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Close stops the health loop. It does not wait for in-flight requests —
+// use Drain for that.
+func (rt *Router) Close() {
+	rt.once.Do(func() { close(rt.quit) })
+	rt.hwg.Wait()
+}
+
+// StartDrain flips the router to not-admitting: new generation requests get
+// 503 + Retry-After and /healthz turns not-ready, while requests already
+// admitted (including SSE streams) run on. The onDrain hook fires once,
+// asynchronously.
+func (rt *Router) StartDrain() {
+	rt.admitMu.Lock()
+	rt.draining.Store(true)
+	rt.admitMu.Unlock()
+	rt.drainOnce.Do(func() {
+		if rt.onDrain != nil {
+			go rt.onDrain()
+		}
+	})
+}
+
+// Drain is the graceful-shutdown entry point: stop admitting, then wait for
+// every admitted request to finish or for ctx to expire.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		rt.reqs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit gates one generation request. It returns false after writing the
+// rejection when the router is draining or the global cap is hit; on true,
+// the caller must call the returned release exactly once.
+func (rt *Router) admit(w http.ResponseWriter) (release func(), ok bool) {
+	rt.admitMu.Lock()
+	if rt.draining.Load() {
+		rt.admitMu.Unlock()
+		rt.nRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return nil, false
+	}
+	rt.reqs.Add(1)
+	rt.admitMu.Unlock()
+	if cap := rt.cfg.MaxInFlight; cap > 0 && rt.inflight.Add(1) > int64(cap) {
+		rt.inflight.Add(-1)
+		rt.reqs.Done()
+		rt.shed(w, "router at capacity")
+		return nil, false
+	}
+	return func() {
+		rt.inflight.Add(-1)
+		rt.reqs.Done()
+	}, true
+}
+
+// shed writes the 429 load-shedding reply.
+func (rt *Router) shed(w http.ResponseWriter, why string) {
+	rt.nShed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": why})
+}
+
+// maxBody bounds buffered request bodies; generation requests are a few
+// hundred bytes, so 1MB is generous.
+const maxBody = 1 << 20
+
+// sessionOf extracts the affinity key: the X-Session-Key header wins, else
+// the body's "session" field. Malformed JSON yields no key — the request
+// still forwards, and the worker owns the 400.
+func sessionOf(r *http.Request, body []byte) string {
+	if k := r.Header.Get("X-Session-Key"); k != "" {
+		return k
+	}
+	var probe struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil {
+		return probe.Session
+	}
+	return ""
+}
+
+// candidates returns the placement order for one request: the session's
+// ring successors (keyed) or every backend sorted by load score ascending
+// (unkeyed), with ejected backends moved to the back in either case — they
+// are only tried once every healthy replica has failed.
+func (rt *Router) candidates(session string) []*backend {
+	var order []*backend
+	if session != "" {
+		idxs := rt.ring.successors(session)
+		order = make([]*backend, len(idxs))
+		for i, idx := range idxs {
+			order[i] = rt.backends[idx]
+		}
+	} else {
+		order = append([]*backend(nil), rt.backends...)
+		sort.SliceStable(order, func(a, b int) bool { return order[a].score() < order[b].score() })
+	}
+	healthy := make([]*backend, 0, len(order))
+	var ejected []*backend
+	for _, b := range order {
+		if b.isHealthy() {
+			healthy = append(healthy, b)
+		} else {
+			ejected = append(ejected, b)
+		}
+	}
+	return append(healthy, ejected...)
+}
+
+// handle proxies one generation request with placement, retries, and
+// backpressure. stream selects SSE passthrough semantics.
+func (rt *Router) handle(w http.ResponseWriter, r *http.Request, path string, stream bool) {
+	rt.nRequests.Add(1)
+	release, ok := rt.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body read: " + err.Error()})
+		return
+	}
+	session := sessionOf(r, body)
+	cands := rt.candidates(session)
+	if len(cands) == 0 || !cands[0].isHealthy() {
+		rt.nRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no healthy backend"})
+		return
+	}
+	// Per-backend backpressure: the preferred worker (session owner, or the
+	// least-loaded one — in which case every worker is at least this busy)
+	// is already at its queue limit. Shedding here, rather than piling on,
+	// keeps worker queues bounded and, for keyed traffic, keeps the
+	// session's KV affinity instead of scattering it under overload.
+	if lim := rt.cfg.BackendQueue; lim > 0 && cands[0].score() >= lim {
+		rt.shed(w, "backend queue full")
+		return
+	}
+
+	attempts := rt.cfg.MaxAttempts
+	if attempts > len(cands) {
+		attempts = len(cands)
+	}
+	backoff := rt.cfg.RetryBackoff
+	for i := 0; i < attempts; i++ {
+		if r.Context().Err() != nil {
+			return // client is gone; nothing to answer, nowhere to retry for
+		}
+		if i > 0 {
+			rt.nRetries.Add(1)
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		if rt.tryBackend(w, r, cands[i], path, body, stream) {
+			rt.nProxied.Add(1)
+			return
+		}
+	}
+	rt.nErrors.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusBadGateway, map[string]string{"error": "all backends failed"})
+}
+
+// retryableStatus marks upstream replies that indicate the worker (not the
+// request) is the problem: transport-level gateway errors and 503, which a
+// draining or overloaded worker returns for work another replica can take.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// tryBackend sends the request to b and relays the response. It returns
+// false when the attempt failed in a retryable way with nothing written to
+// the client; once any byte has been relayed the attempt is always
+// "handled" (a broken stream ends with an in-band error frame, not a
+// retry, because the new worker would re-sample tokens the client already
+// saw).
+func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *backend, path string, body []byte, stream bool) bool {
+	b.requests.Add(1)
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.endpoint(path), bytes.NewReader(body))
+	if err != nil {
+		b.markFailure(rt.cfg.FailThreshold)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		// Connect/transport failure: passive detection, retryable (unless
+		// the client itself is gone, which the attempt loop checks).
+		b.markFailure(rt.cfg.FailThreshold)
+		return false
+	}
+	defer resp.Body.Close()
+	if retryableStatus(resp.StatusCode) {
+		b.markFailure(rt.cfg.FailThreshold)
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	b.markSuccess()
+
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if !stream {
+		io.Copy(w, resp.Body)
+		return true
+	}
+	rt.relayStream(r.Context(), w, resp.Body, b)
+	return true
+}
+
+// relayStream copies SSE bytes to the client, flushing per read so tokens
+// leave the moment the worker emits them. A mid-stream upstream failure
+// (worker died) is reported with an in-band error frame — headers are long
+// gone — and counts against the backend's health. A client disconnect also
+// surfaces as an upstream read error (the proxied request shares the
+// client's context), so ctx distinguishes the two: the client leaving is
+// not the worker's fault.
+func (rt *Router) relayStream(ctx context.Context, w http.ResponseWriter, upstream io.Reader, b *backend) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := upstream.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client hung up; the worker sees the cancel via ctx
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return // client gone mid-stream; nothing to report, no one to blame
+			}
+			b.markFailure(rt.cfg.FailThreshold)
+			rt.nErrors.Add(1)
+			fmt.Fprintf(w, "data: %s\n\n", `{"error":"upstream failed mid-stream"}`)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

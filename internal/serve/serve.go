@@ -137,6 +137,15 @@ type Stats struct {
 	PromptTokens uint64 `json:"prompt_tokens"` // prompt tokens ingested by prefill
 	DecodeTokens uint64 `json:"decode_tokens"` // tokens sampled (incl. each prompt's first, sampled from prefill logits)
 
+	// InFlight and Queued are live gauges, not cumulative counters: the
+	// number of accepted requests not yet finished (decoding, queued, or
+	// replying) and the subset still waiting in the submission queue at
+	// snapshot time. They are the load signal a routing tier polls off
+	// /v1/stats to pick the least-loaded replica, so unlike the counters
+	// above they go back down as the server drains.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+
 	// PrefillChunkHist is a histogram of per-pass prefill chunk sizes:
 	// bucket i counts chunks of size in (2^(i-1), 2^i] (bucket 0 is size
 	// 1, the last bucket collects everything larger than 2^7).
@@ -271,11 +280,19 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters. The InFlight and Queued
+// gauges are derived at snapshot time: every accepted request is counted in
+// Requests immediately and reaches exactly one terminal counter (Completed,
+// Cancelled, or Failed) when it leaves the server, so the difference is the
+// live in-flight population, and len(queue) is the part of it still waiting
+// for admission into the batch.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.InFlight = int(st.Requests - st.Completed - st.Cancelled - st.Failed)
+	st.Queued = len(s.queue)
+	return st
 }
 
 // Generate enqueues a free-running generation (no stop token) and blocks
