@@ -27,6 +27,15 @@
 // tokens/s, time-to-first-token p50/p99, and error/shed counts, written to
 // BENCH_serve_load.json.
 //
+// With -chaos it runs the fault-injection chaos harness (E24): the same
+// self-hosted worker+router fleet, driven twice with a seeded request set —
+// once fault-free, once under an armed failpoint plan injecting sampler
+// panics, a whole-batch step fault, prefill/verify errors, relay faults,
+// dropped connections, and starved deadlines — asserting the serving
+// stack's failure invariants: zero lost requests, workers survive injected
+// panics, surviving requests bitwise identical to the fault-free run, and
+// bounded post-ejection recovery. Results go to BENCH_chaos.json.
+//
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
@@ -35,6 +44,8 @@
 //	llm-bench -speculate [-out .] [-reps 30] [-speculate-k 2,4,8]
 //	llm-bench -load [-out .] [-target http://host:8371] [-load-workers 2]
 //	          [-conns 8] [-requests 60] [-rate 100] [-load-tokens 16]
+//	llm-bench -chaos [-out .] [-seed 1] [-load-workers 2]
+//	          [-conns 8] [-requests 60] [-load-tokens 16]
 package main
 
 import (
@@ -74,15 +85,26 @@ func main() {
 		speculate = flag.Bool("speculate", false, "run the speculative-decoding sweep and write BENCH_speculate.json")
 		specK     = flag.String("speculate-k", "2,4,8", "comma-separated draft depths for the -speculate sweep")
 		loadMode  = flag.Bool("load", false, "run the HTTP serving-tier load benchmark and write BENCH_serve_load.json")
+		chaosMode = flag.Bool("chaos", false, "run the fault-injection chaos harness and write BENCH_chaos.json")
 		target    = flag.String("target", "", "-load: base URL of a running router or worker; empty = self-host an in-process tier")
-		workers   = flag.Int("load-workers", 2, "-load: worker count behind the self-hosted router scenario")
-		conns     = flag.Int("conns", 8, "-load: closed-loop client concurrency")
-		requests  = flag.Int("requests", 60, "-load: requests per closed-loop scenario / arrivals per open-loop run")
+		workers   = flag.Int("load-workers", 2, "-load/-chaos: worker count behind the self-hosted router scenario")
+		conns     = flag.Int("conns", 8, "-load/-chaos: client concurrency")
+		requests  = flag.Int("requests", 60, "-load/-chaos: requests per scenario / arrivals per open-loop run")
 		rate      = flag.Float64("rate", 100, "-load: open-loop arrival rate in req/s (0 disables the open-loop phase)")
-		loadTok   = flag.Int("load-tokens", 16, "-load: tokens generated per request")
+		loadTok   = flag.Int("load-tokens", 16, "-load/-chaos: tokens generated per request")
 	)
 	flag.Parse()
 
+	if *chaosMode {
+		err := runChaosJSON(*outDir, chaosOpts{
+			workers: *workers, conns: *conns,
+			requests: *requests, tokens: *loadTok, seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *loadMode {
 		err := runLoadJSON(*outDir, loadOpts{
 			target: *target, workers: *workers, conns: *conns,

@@ -10,7 +10,7 @@
 //	           [-addr :8371] [-max-inflight 256] [-backend-queue 32]
 //	           [-attempts 3] [-retry-backoff 10ms]
 //	           [-health-interval 250ms] [-fail-threshold 3]
-//	           [-drain-timeout 30s]
+//	           [-relay-timeout 30s] [-drain-timeout 30s]
 //
 // Placement: requests carrying a session key (the body's "session" field,
 // or the X-Session-Key header) are routed by consistent hashing, so one
@@ -26,6 +26,11 @@
 // until a probe succeeds again. Failed idempotent requests — generate
 // always, streams before the first byte — retry against the session's next
 // ring replica with exponential backoff, up to -attempts placements.
+// Non-streaming relays are bounded by -relay-timeout per attempt, so a
+// worker that accepts a connection and never answers fails over instead of
+// hanging the client; requests carrying a deadline budget (timeout_ms or
+// the X-Request-Timeout-Ms header) forward the remaining budget to each
+// attempt and get 504 from the router itself once it is exhausted.
 //
 // Admission control: more than -max-inflight concurrent requests, or a
 // preferred worker already -backend-queue deep, sheds with 429 +
@@ -65,6 +70,7 @@ func main() {
 		retryBackoff = flag.Duration("retry-backoff", 0, "sleep before the first retry, doubling per attempt (0 = default 10ms)")
 		healthEvery  = flag.Duration("health-interval", 0, "active health-probe and gauge-poll period (0 = default 250ms)")
 		failThresh   = flag.Int("fail-threshold", 0, "consecutive failures that eject a worker (0 = default 3)")
+		relayTimeout = flag.Duration("relay-timeout", 0, "per-attempt cap on non-streaming relays (0 = default 30s)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM or /v1/drain")
 	)
 	flag.Parse()
@@ -82,6 +88,7 @@ func main() {
 	hs := &http.Server{
 		Addr:              *addr,
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	rt, err := router.New(router.Config{
 		Backends:       fleet,
@@ -91,6 +98,7 @@ func main() {
 		RetryBackoff:   *retryBackoff,
 		HealthInterval: *healthEvery,
 		FailThreshold:  *failThresh,
+		RelayTimeout:   *relayTimeout,
 	}, func() {
 		// Drain mode entered (via /v1/drain or signal): stop the listener
 		// once in-flight requests — streams included — have finished.

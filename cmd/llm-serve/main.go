@@ -12,7 +12,13 @@
 //	llm-serve [-model model.json] [-backend transformer|ngram|ffn|rnn]
 //	          [-addr :8372] [-max-batch 8] [-coalesce 2ms] [-queue 64]
 //	          [-prefill-chunk 32] [-synthetic 500] [-speculate 4]
-//	          [-drain-timeout 30s]
+//	          [-drain-timeout 30s] [-request-timeout 0] [-stall-timeout 0]
+//
+// -request-timeout is the server-side default deadline: a request without
+// its own timeout_ms budget that overruns it fails with 504 between decode
+// steps and releases its batch slot. -stall-timeout arms the token-progress
+// watchdog, which fails streams that stop producing tokens (a wedged loop
+// or blocked predictor) even when total runtime is still within budget.
 //
 // Prompts are ingested through the chunked prefill fast path: whole chunks
 // of -prefill-chunk tokens per matrix pass, interleaved with the in-flight
@@ -94,6 +100,8 @@ func main() {
 		prefill      = flag.Int("prefill-chunk", 32, "max prompt tokens ingested per prefill pass between decode steps (negative = whole prompt)")
 		speculate    = flag.Int("speculate", 0, "speculative draft depth; distills an n-gram drafter at startup (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM or /v1/drain")
+		reqTimeout   = flag.Duration("request-timeout", 0, "default per-request deadline; requests without their own timeout_ms fail with 504 past it (0 disables)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "token-progress watchdog: streams making no progress for this long are failed (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,12 +118,14 @@ func main() {
 	srv := serve.NewBackend(model, serve.Config{
 		MaxBatch: *maxBatch, CoalesceWait: *coalesce, QueueDepth: *queue,
 		PrefillChunk: *prefill, Speculate: *speculate, Drafter: drafter,
+		RequestTimeout: *reqTimeout, StallTimeout: *stallTimeout,
 	})
 	defer srv.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	// Drain (via /v1/drain or a signal) stops admission in the handler;
 	// Shutdown then waits for in-flight requests — SSE streams included —

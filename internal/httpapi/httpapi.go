@@ -27,13 +27,21 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/sample"
 	"repro/internal/serve"
 )
+
+// TimeoutHeader carries a request's remaining deadline budget in milliseconds
+// across the routing tier: the router reads the client's budget, decrements
+// it per relay attempt, and forwards the remainder here, where it wins over
+// the body's timeout_ms field.
+const TimeoutHeader = "X-Request-Timeout-Ms"
 
 // Handler is the HTTP front end over one serve.Server.
 type Handler struct {
@@ -73,7 +81,56 @@ func New(srv *serve.Server, onDrain func()) *Handler {
 }
 
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	gw := &guardWriter{ResponseWriter: w}
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler {
+			// The deliberate sever-the-connection panic (also how the drop
+			// fault kind manifests): let net/http abort the response.
+			panic(v)
+		}
+		// Anything else is a handler bug (or an injected panic): the worker
+		// answers it instead of dying. Before the response is committed a
+		// proper 500 goes out; mid-SSE the best remaining option is an
+		// in-band error frame so the client sees a terminal event rather
+		// than a silently truncated stream.
+		msg := map[string]string{"error": fmt.Sprintf("internal error: %v", v)}
+		if !gw.wrote {
+			WriteJSON(gw, http.StatusInternalServerError, msg)
+			return
+		}
+		WriteEvent(gw, msg)
+		gw.Flush()
+	}()
+	h.mux.ServeHTTP(gw, r)
+}
+
+// guardWriter tracks whether the response has been committed, so the panic
+// recovery layer knows whether a real 500 status is still possible. It
+// always implements http.Flusher (flushing is a no-op when the underlying
+// writer cannot), keeping the SSE handler's capability check working.
+type guardWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (g *guardWriter) WriteHeader(code int) {
+	g.wrote = true
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *guardWriter) Write(b []byte) (int, error) {
+	g.wrote = true
+	return g.ResponseWriter.Write(b)
+}
+
+func (g *guardWriter) Flush() {
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Drain flips the worker to not-ready: new generation requests get 503 with
@@ -117,6 +174,10 @@ type GenRequest struct {
 	Seed        uint64  `json:"seed"`
 	StopAtEOS   bool    `json:"stop_at_eos"`
 	Session     string  `json:"session,omitempty"`
+	// TimeoutMS is the request's end-to-end deadline budget in milliseconds
+	// (0 = the worker's default). The TimeoutHeader, when present, wins —
+	// that is how the router forwards a decremented budget per attempt.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // GenResponse is the POST /v1/generate reply.
@@ -134,26 +195,72 @@ type StreamDone struct {
 }
 
 // parseRequest decodes and validates a request body into a serve.Request.
+// Out-of-range knobs are rejected here with an error (a 400 at the call
+// sites) — before this check a negative temperature rode through
+// ParseStrategy's unset-value defaulting or reached the panic guards in
+// internal/sample from the middle of the batch loop.
 func parseRequest(r *http.Request) (serve.Request, error) {
 	var req GenRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return serve.Request{}, fmt.Errorf("bad json: %w", err)
 	}
-	if req.Tokens <= 0 {
+	switch {
+	case req.Tokens < 0:
+		return serve.Request{}, fmt.Errorf("tokens %d must not be negative", req.Tokens)
+	case req.Temperature < 0:
+		return serve.Request{}, fmt.Errorf("temperature %v must not be negative", req.Temperature)
+	case req.TopK < 0:
+		return serve.Request{}, fmt.Errorf("top_k %d must not be negative", req.TopK)
+	case req.TopP < 0 || req.TopP > 1:
+		return serve.Request{}, fmt.Errorf("top_p %v outside [0,1]", req.TopP)
+	case req.TimeoutMS < 0:
+		return serve.Request{}, fmt.Errorf("timeout_ms %d must not be negative", req.TimeoutMS)
+	}
+	if req.Tokens == 0 {
 		req.Tokens = 12
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if hd := r.Header.Get(TimeoutHeader); hd != "" {
+		ms, err := strconv.ParseInt(hd, 10, 64)
+		if err != nil || ms < 0 {
+			return serve.Request{}, fmt.Errorf("bad %s %q", TimeoutHeader, hd)
+		}
+		timeout = time.Duration(ms) * time.Millisecond
 	}
 	strat, err := sample.ParseStrategy(req.Strategy, req.Temperature, req.TopP, req.TopK)
 	if err != nil {
 		return serve.Request{}, err
 	}
+	if err := sample.ValidateStrategy(strat); err != nil {
+		return serve.Request{}, err
+	}
 	return serve.Request{
 		Prompt: req.Prompt, MaxTokens: req.Tokens, Strategy: strat,
-		Seed: req.Seed, StopAtEOS: req.StopAtEOS,
+		Seed: req.Seed, StopAtEOS: req.StopAtEOS, Timeout: timeout,
 	}, nil
+}
+
+// injectHTTP evaluates an HTTP-layer failpoint site: a drop fault becomes
+// the sever-the-connection panic (caught and re-raised by ServeHTTP), any
+// other fault is answered with a 500. Reports whether the handler should
+// stop.
+func injectHTTP(w http.ResponseWriter, site string) bool {
+	err := failpoint.Inject(site)
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, failpoint.ErrDrop) {
+		panic(http.ErrAbortHandler)
+	}
+	WriteJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	return true
 }
 
 func (h *Handler) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if h.rejectDraining(w) {
+		return
+	}
+	if injectHTTP(w, failpoint.HTTPGenerate) {
 		return
 	}
 	req, err := parseRequest(r)
@@ -180,6 +287,9 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 	if h.rejectDraining(w) {
 		return
 	}
+	if injectHTTP(w, failpoint.HTTPStreamPreSSE) {
+		return
+	}
 	req, err := parseRequest(r)
 	if err != nil {
 		WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -201,6 +311,9 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	start := time.Now()
 	res, err := h.srv.Stream(r.Context(), req, func(t sample.Token) error {
+		if err := failpoint.Inject(failpoint.HTTPStreamMid); err != nil {
+			return err
+		}
 		if err := WriteEvent(w, t); err != nil {
 			return err
 		}
@@ -208,6 +321,12 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, failpoint.ErrDrop) {
+			// A mid-stream drop fault: sever the connection the way a
+			// crashing worker would, after the stream request has been
+			// cleanly cancelled out of the batch.
+			panic(http.ErrAbortHandler)
+		}
 		// Headers are sent; report the failure in-band and end the stream.
 		WriteEvent(w, map[string]string{"error": err.Error()})
 		flusher.Flush()
@@ -229,11 +348,17 @@ func WriteEvent(w http.ResponseWriter, v any) error {
 
 // errStatus maps engine errors to HTTP statuses.
 func errStatus(err error) int {
+	var pe *serve.PanicError
 	switch {
+	case errors.Is(err, serve.ErrDeadline), errors.Is(err, serve.ErrStalled):
+		// The server gave up on the request, not the client on the server.
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499 // client closed request
 	case errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

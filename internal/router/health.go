@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // workerGauges is the slice of the worker's /v1/stats the router reads: the
@@ -65,6 +67,12 @@ func (rt *Router) probeTimeout() time.Duration {
 }
 
 func (rt *Router) probeOne(b *backend) {
+	if err := failpoint.Inject(failpoint.RouterProbe); err != nil {
+		// An injected probe failure drives the ejection machinery without
+		// touching the worker — how the chaos harness measures recovery.
+		b.markFailure(rt.cfg.FailThreshold)
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout())
 	defer cancel()
 	if !rt.getOK(ctx, b.endpoint("/healthz"), nil) {

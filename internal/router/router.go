@@ -34,9 +34,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/httpapi"
 )
 
 // Config assembles the routing tier. Zero values select the defaults.
@@ -64,6 +68,13 @@ type Config struct {
 	// FailThreshold is how many consecutive failures (passive or probe)
 	// eject a backend (default 3).
 	FailThreshold int
+	// RelayTimeout bounds one non-streaming relay attempt — connect through
+	// full response — so a black-holed worker fails the attempt over to the
+	// next replica instead of hanging the relay past the retry logic
+	// (default 30s; negative disables). Streaming relays are not bounded
+	// here (generation length is unbounded); they rely on the propagated
+	// deadline budget and the worker's own watchdog.
+	RelayTimeout time.Duration
 	// Client issues the proxied requests and health probes (default: a
 	// dedicated client with sane connection pooling and no global timeout —
 	// generation length is unbounded, cancellation rides the request
@@ -89,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = 3
+	}
+	if c.RelayTimeout == 0 {
+		c.RelayTimeout = 30 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
@@ -186,6 +200,22 @@ func New(cfg Config, onDrain func()) (*Router, error) {
 }
 
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler {
+			panic(v)
+		}
+		// A handler bug must not take the whole routing tier down with it:
+		// answer this request (best-effort once headers are out) and keep
+		// serving. net/http would only have killed the goroutine, but an
+		// unrecovered panic here means no status, no error frame, and no
+		// counter — this path keeps the failure observable.
+		rt.nErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": fmt.Sprintf("internal error: %v", v)})
+	}()
 	rt.mux.ServeHTTP(w, r)
 }
 
@@ -265,6 +295,27 @@ func (rt *Router) shed(w http.ResponseWriter, why string) {
 // hundred bytes, so 1MB is generous.
 const maxBody = 1 << 20
 
+// requestBudget extracts the request's end-to-end deadline budget: the
+// httpapi.TimeoutHeader wins (a malformed one is an error — a deadline must
+// not be silently dropped), else the body's timeout_ms field. 0 means no
+// budget; negative body values are left for the worker's validation.
+func requestBudget(r *http.Request, body []byte) (time.Duration, error) {
+	if hd := r.Header.Get(httpapi.TimeoutHeader); hd != "" {
+		ms, err := strconv.ParseInt(hd, 10, 64)
+		if err != nil || ms < 0 {
+			return 0, fmt.Errorf("bad %s %q", httpapi.TimeoutHeader, hd)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	var probe struct {
+		TimeoutMS int64 `json:"timeout_ms"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil && probe.TimeoutMS > 0 {
+		return time.Duration(probe.TimeoutMS) * time.Millisecond, nil
+	}
+	return 0, nil
+}
+
 // sessionOf extracts the affinity key: the X-Session-Key header wins, else
 // the body's "session" field. Malformed JSON yields no key — the request
 // still forwards, and the worker owns the 400.
@@ -324,6 +375,15 @@ func (rt *Router) handle(w http.ResponseWriter, r *http.Request, path string, st
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body read: " + err.Error()})
 		return
 	}
+	budget, err := requestBudget(r, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	session := sessionOf(r, body)
 	cands := rt.candidates(session)
 	if len(cands) == 0 || !cands[0].isHealthy() {
@@ -358,7 +418,20 @@ func (rt *Router) handle(w http.ResponseWriter, r *http.Request, path string, st
 				backoff *= 2
 			}
 		}
-		if rt.tryBackend(w, r, cands[i], path, body, stream) {
+		// The deadline budget shrinks across attempts: each relay forwards
+		// only what remains, and when retries (or a slow worker) have eaten
+		// it all, the router answers 504 itself rather than dispatching work
+		// no one is waiting for.
+		remaining := time.Duration(-1)
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				rt.nErrors.Add(1)
+				writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "request deadline budget exhausted"})
+				return
+			}
+		}
+		if rt.tryBackend(w, r, cands[i], path, body, stream, remaining) {
 			rt.nProxied.Add(1)
 			return
 		}
@@ -382,17 +455,50 @@ func retryableStatus(code int) bool {
 // "handled" (a broken stream ends with an in-band error frame, not a
 // retry, because the new worker would re-sample tokens the client already
 // saw).
-func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *backend, path string, body []byte, stream bool) bool {
+func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *backend, path string, body []byte, stream bool, remaining time.Duration) bool {
 	b.requests.Add(1)
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.endpoint(path), bytes.NewReader(body))
+	if err := failpoint.Inject(failpoint.RouterRelay); err != nil {
+		// The injected fault lands exactly where a transport failure would:
+		// passive detection, retry to the next replica.
+		b.markFailure(rt.cfg.FailThreshold)
+		return false
+	}
+
+	// Per-attempt timeout for non-streaming relays: a black-holed worker
+	// fails this attempt over to the next replica instead of hanging the
+	// relay. The request's remaining deadline budget tightens it further.
+	ctx := r.Context()
+	attempt := time.Duration(0)
+	if !stream && rt.cfg.RelayTimeout > 0 {
+		attempt = rt.cfg.RelayTimeout
+	}
+	if remaining >= 0 && (attempt == 0 || remaining < attempt) {
+		attempt = remaining
+	}
+	if !stream && attempt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, attempt)
+		defer cancel()
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.endpoint(path), bytes.NewReader(body))
 	if err != nil {
 		b.markFailure(rt.cfg.FailThreshold)
 		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if remaining >= 0 {
+		// Forward the remaining budget so the worker enforces the deadline
+		// end-to-end; floor at 1ms — a 0 header would mean "no timeout".
+		ms := remaining.Milliseconds()
+		if ms <= 0 {
+			ms = 1
+		}
+		req.Header.Set(httpapi.TimeoutHeader, strconv.FormatInt(ms, 10))
+	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		// Connect/transport failure: passive detection, retryable (unless

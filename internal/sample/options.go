@@ -1,6 +1,9 @@
 package sample
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // DefaultMaxTokens is the generation budget used when a request does not
 // set one explicitly.
@@ -22,6 +25,12 @@ type Options struct {
 	// The caller owns the driver and can read its accumulated Stats after
 	// the generation. nil decodes plainly.
 	Speculative *Speculative
+
+	// Timeout is the request's end-to-end deadline, measured from
+	// submission; 0 means no per-request deadline (the serving tier may
+	// still apply its own default). Only the batched server enforces it;
+	// direct decoding drivers ignore it.
+	Timeout time.Duration
 }
 
 // Option mutates Options; the With* constructors are the public vocabulary.
@@ -48,6 +57,11 @@ func WithSpeculative(sp *Speculative) Option {
 	return func(o *Options) { o.Speculative = sp }
 }
 
+// WithTimeout sets the request's end-to-end deadline; see Options.Timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(o *Options) { o.Timeout = d }
+}
+
 // BuildOptions folds opts over the defaults.
 func BuildOptions(opts ...Option) Options {
 	var o Options
@@ -71,6 +85,36 @@ type Token struct {
 	Index int    `json:"index"` // 0-based position within the continuation
 	ID    int    `json:"id"`    // vocabulary token id
 	Text  string `json:"text"`  // decoded text piece (may be empty for specials)
+}
+
+// ValidateStrategy checks a strategy's parameters against the preconditions
+// the Pick implementations enforce with panics, so front ends can reject a
+// malformed request at admission (a 400) instead of letting it trip a panic
+// guard inside a serving loop. nil (greedy) is valid.
+func ValidateStrategy(s Strategy) error {
+	switch st := s.(type) {
+	case nil, Greedy:
+		return nil
+	case Temperature:
+		if st.T <= 0 {
+			return fmt.Errorf("sample: temperature %v must be positive (use greedy for T→0)", st.T)
+		}
+	case TopK:
+		if st.K < 0 {
+			return fmt.Errorf("sample: top-k %d must not be negative", st.K)
+		}
+		if st.T < 0 {
+			return fmt.Errorf("sample: temperature %v must not be negative", st.T)
+		}
+	case TopP:
+		if st.P < 0 || st.P > 1 {
+			return fmt.Errorf("sample: top-p %v outside [0,1]", st.P)
+		}
+		if st.T < 0 {
+			return fmt.Errorf("sample: temperature %v must not be negative", st.T)
+		}
+	}
+	return nil
 }
 
 // ParseStrategy resolves a strategy name ("", "greedy", "temp", "topk",

@@ -24,9 +24,11 @@ import (
 	"math/bits"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/lm"
 	"repro/internal/mathx"
 	"repro/internal/sample"
@@ -36,6 +38,44 @@ import (
 // ErrClosed is returned for requests submitted to (or stranded in) a server
 // that has been Closed.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDeadline is returned for requests that exhaust their per-request
+// deadline (Request.Timeout, or the server-wide Config.RequestTimeout
+// default). The loop enforces it between decode steps, so a slow or stuck
+// request cannot occupy a batch slot indefinitely; the failure is charged
+// to Stats.Failed (and Deadlined), never to Cancelled — the client did not
+// leave, the server gave up.
+var ErrDeadline = errors.New("serve: request deadline exceeded")
+
+// ErrStalled is returned for requests the stall watchdog killed: no token
+// (or prefill) progress for Config.StallTimeout. Unlike ErrDeadline — which
+// bounds total request time — the watchdog bounds time between consecutive
+// tokens, the signature of a wedged loop or a blocked predictor rather than
+// a merely long generation.
+var ErrStalled = errors.New("serve: stream stalled: no token progress within the stall timeout")
+
+// PanicError wraps a panic recovered inside the serving loop: the request
+// that triggered it fails with this error while the batch and server keep
+// running. Site names the loop operation that panicked (sample, prefill,
+// verify, step, single).
+type PanicError struct {
+	Site  string
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: panic in %s: %v", e.Site, e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error, so callers can
+// errors.Is/As through the recovery boundary (e.g. to a failpoint-injected
+// panic).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Config tunes the batching loop. The zero value selects the defaults.
 type Config struct {
@@ -70,6 +110,17 @@ type Config struct {
 	// lm.DistillDrafter over the served checkpoint). The loop is its only
 	// caller, so it needs no internal locking.
 	Drafter sample.Drafter
+	// RequestTimeout is the server-side default deadline applied to
+	// requests that do not carry their own Request.Timeout; 0 disables.
+	// Enforced between decode steps, so a request can overrun by at most
+	// one step (plus one prefill chunk / verify round).
+	RequestTimeout time.Duration
+	// StallTimeout arms the token-progress watchdog: a request that makes
+	// no progress (no sampled token, no prefill chunk) for this long is
+	// failed with ErrStalled, even while the loop itself is wedged — the
+	// watchdog runs on its own goroutine and kills via context cause.
+	// 0 disables.
+	StallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +147,11 @@ type Request struct {
 	Strategy  sample.Strategy // nil = greedy
 	Seed      uint64          // per-request sampling seed
 	StopAtEOS bool            // stop at the sentence separator and trim it
+	// Timeout is this request's end-to-end deadline, measured from
+	// submission; 0 falls back to Config.RequestTimeout (and negative is
+	// rejected at validation). On expiry the request fails with
+	// ErrDeadline between decode steps and its batch slot is reclaimed.
+	Timeout time.Duration
 }
 
 // NewRequest builds a Request from the unified functional options.
@@ -104,6 +160,7 @@ func NewRequest(prompt string, opts ...sample.Option) Request {
 	return Request{
 		Prompt: prompt, MaxTokens: o.MaxTokens,
 		Strategy: o.Strategy, Seed: o.Seed, StopAtEOS: o.StopAtEOS,
+		Timeout: o.Timeout,
 	}
 }
 
@@ -112,7 +169,7 @@ func NewRequest(prompt string, opts ...sample.Option) Request {
 func (r Request) Options() sample.Options {
 	return sample.Options{
 		MaxTokens: r.MaxTokens, Strategy: r.Strategy,
-		Seed: r.Seed, StopAtEOS: r.StopAtEOS,
+		Seed: r.Seed, StopAtEOS: r.StopAtEOS, Timeout: r.Timeout,
 	}
 }
 
@@ -169,6 +226,15 @@ type Stats struct {
 	SpecDrafted    uint64     `json:"spec_drafted"`
 	SpecAccepted   uint64     `json:"spec_accepted"`
 	SpecAcceptHist [17]uint64 `json:"spec_accept_hist"`
+
+	// Failure-mode counters, each a subset of Failed: requests killed by a
+	// recovered panic (theirs or a whole-batch step failure), by their
+	// deadline, or by the stall watchdog. The panic counter in particular
+	// is the worker-survival signal the chaos harness asserts on: panics
+	// observed, process still serving.
+	Panics    uint64 `json:"panics"`
+	Deadlined uint64 `json:"deadline_exceeded"`
+	Stalled   uint64 `json:"stalled"`
 }
 
 // histBucket maps a positive size to its power-of-two histogram bucket:
@@ -208,6 +274,13 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// watch is the stall watchdog's registry of live requests (nil when
+	// Config.StallTimeout is 0): every accepted pending is registered at
+	// enqueue and removed when its outcome is delivered, and the watchdog
+	// goroutine kills any entry whose progress stamp goes stale.
+	wmu   sync.Mutex
+	watch map[*pending]struct{}
 }
 
 type pending struct {
@@ -215,6 +288,15 @@ type pending struct {
 	req    Request
 	done   chan outcome
 	events chan sample.Token // nil unless the caller is streaming
+
+	// cancel tears the request down with a cause (ErrStalled from the
+	// watchdog); nil when the request was built without prepare (tests
+	// driving the queue directly).
+	cancel context.CancelCauseFunc
+	// progress is the UnixNano stamp of the last observable progress
+	// (admission, a prefill chunk, a sampled token) — the watchdog's
+	// staleness signal. Only maintained when the watchdog is armed.
+	progress atomic.Int64
 }
 
 type outcome struct {
@@ -271,7 +353,115 @@ func newServer(backend lm.LanguageModel, model *core.LLM, cfg Config) *Server {
 		s.spec = &sample.Speculative{K: s.cfg.Speculate, Drafter: s.cfg.Drafter}
 	}
 	s.queue = make(chan *pending, s.cfg.QueueDepth)
+	if s.cfg.StallTimeout > 0 {
+		s.watch = make(map[*pending]struct{})
+		s.wg.Add(1)
+		go s.watchdog()
+	}
 	return s
+}
+
+// watchdog is the token-progress stall detector: on its own goroutine — so
+// it keeps ticking even when the serving loop is wedged inside a predictor
+// call — it sweeps the live-request registry and cancels, with ErrStalled
+// as the cause, any request whose progress stamp is older than
+// StallTimeout. The loop (or the caller's select) then observes the
+// cancellation and charges the request to Failed/Stalled.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	period := s.cfg.StallTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case now := <-ticker.C:
+			cutoff := now.Add(-s.cfg.StallTimeout).UnixNano()
+			s.wmu.Lock()
+			for p := range s.watch {
+				if p.progress.Load() < cutoff && p.cancel != nil {
+					p.cancel(ErrStalled)
+				}
+			}
+			s.wmu.Unlock()
+		}
+	}
+}
+
+// stamp records observable progress on p (watchdog-armed servers only).
+func (s *Server) stamp(p *pending) {
+	if s.watch != nil {
+		p.progress.Store(time.Now().UnixNano())
+	}
+}
+
+// track registers p with the watchdog; reply unregisters it.
+func (s *Server) track(p *pending) {
+	if s.watch == nil {
+		return
+	}
+	p.progress.Store(time.Now().UnixNano())
+	s.wmu.Lock()
+	s.watch[p] = struct{}{}
+	s.wmu.Unlock()
+}
+
+// reply delivers p's terminal outcome and drops it from the watchdog
+// registry — the single exit point that keeps "exactly one terminal
+// outcome per accepted request" true.
+func (s *Server) reply(p *pending, o outcome) {
+	if s.watch != nil {
+		s.wmu.Lock()
+		delete(s.watch, p)
+		s.wmu.Unlock()
+	}
+	p.done <- o
+}
+
+// prepare wraps the caller's context with the request's teardown handles:
+// a cancel-with-cause hook for the watchdog and, when the request or server
+// sets a timeout, a deadline whose expiry cause is ErrDeadline. The
+// returned cancel releases both.
+func (s *Server) prepare(ctx context.Context, req Request) (context.Context, context.CancelCauseFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	d := req.Timeout
+	if d <= 0 {
+		d = s.cfg.RequestTimeout
+	}
+	if d <= 0 {
+		return ctx, cancel
+	}
+	dctx, stop := context.WithDeadlineCause(ctx, time.Now().Add(d), ErrDeadline)
+	return dctx, func(cause error) { cancel(cause); stop() }
+}
+
+// settle replies to a context-terminated request: a server-imposed deadline
+// or stall is charged to Failed (the server gave up), a client cancellation
+// to Cancelled. It returns the error delivered.
+func (s *Server) settle(p *pending) error {
+	cause := context.Cause(p.ctx)
+	switch {
+	case errors.Is(cause, ErrDeadline):
+		s.reply(p, outcome{err: ErrDeadline})
+		s.count(func(st *Stats) { st.Failed++; st.Deadlined++ })
+		return ErrDeadline
+	case errors.Is(cause, ErrStalled):
+		s.reply(p, outcome{err: ErrStalled})
+		s.count(func(st *Stats) { st.Failed++; st.Stalled++ })
+		return ErrStalled
+	default:
+		err := p.ctx.Err()
+		s.reply(p, outcome{err: err})
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return err
+	}
 }
 
 // Close stops the loop. In-flight and queued requests fail with ErrClosed.
@@ -318,7 +508,9 @@ const maxTokensCap = 4096
 
 // validateBudget is the cheap admission precondition Do and Stream check
 // before enqueueing; prompt errors surface at admission, which encodes the
-// prompt anyway.
+// prompt anyway. Strategy parameters are validated here too, so a malformed
+// request (e.g. a non-positive temperature) is rejected with an error at
+// the door instead of tripping a panic guard inside the batching loop.
 func (s *Server) validateBudget(req Request) error {
 	if req.MaxTokens <= 0 {
 		return fmt.Errorf("serve: MaxTokens %d must be positive", req.MaxTokens)
@@ -328,6 +520,12 @@ func (s *Server) validateBudget(req Request) error {
 	}
 	if s.window == 0 && req.MaxTokens > maxTokensCap {
 		return fmt.Errorf("serve: MaxTokens %d exceeds the per-request cap %d", req.MaxTokens, maxTokensCap)
+	}
+	if req.Timeout < 0 {
+		return fmt.Errorf("serve: Timeout %v must not be negative", req.Timeout)
+	}
+	if err := sample.ValidateStrategy(req.Strategy); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	return nil
 }
@@ -343,31 +541,32 @@ func (s *Server) Validate(req Request) error {
 	return err
 }
 
-// enqueue submits p, counting it as accepted.
+// enqueue submits p, counting it as accepted and registering it with the
+// stall watchdog.
 func (s *Server) enqueue(ctx context.Context, p *pending) error {
 	s.count(func(st *Stats) { st.Requests++ })
+	s.track(p)
 	select {
 	case s.queue <- p:
 		return nil
 	case <-ctx.Done():
-		s.count(func(st *Stats) { st.Cancelled++ })
-		return ctx.Err()
+		return s.settle(p)
 	case <-s.quit:
+		s.reply(p, outcome{err: ErrClosed})
 		s.count(func(st *Stats) { st.Failed++ })
 		return ErrClosed
 	}
 }
 
 // Do enqueues req and blocks until it completes, the context is cancelled,
-// or the server closes.
+// the request's deadline or the stall watchdog fires, or the server closes.
 func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	if err := s.validateBudget(req); err != nil {
 		return Result{}, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	p := &pending{ctx: ctx, req: req, done: make(chan outcome, 1)}
+	ctx, cancel := s.prepare(ctx, req)
+	defer cancel(nil)
+	p := &pending{ctx: ctx, req: req, done: make(chan outcome, 1), cancel: cancel}
 	if err := s.enqueue(ctx, p); err != nil {
 		return Result{}, err
 	}
@@ -375,7 +574,7 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	case o := <-p.done:
 		return o.res, o.err
 	case <-ctx.Done():
-		return Result{}, ctx.Err()
+		return Result{}, context.Cause(ctx)
 	case <-s.quit:
 		// The loop may have replied just before shutting down.
 		select {
@@ -400,13 +599,10 @@ func (s *Server) Stream(ctx context.Context, req Request, onToken func(sample.To
 	if err := s.validateBudget(req); err != nil {
 		return Result{}, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	ctx, cancel := s.prepare(ctx, req)
+	defer cancel(nil)
 	p := &pending{
-		ctx: ctx, req: req, done: make(chan outcome, 1),
+		ctx: ctx, req: req, done: make(chan outcome, 1), cancel: cancel,
 		// The loop must never block on delivery: capacity covers every
 		// token the decoder can produce.
 		events: make(chan sample.Token, req.MaxTokens+1),
@@ -421,7 +617,7 @@ func (s *Server) Stream(ctx context.Context, req Request, onToken func(sample.To
 		}
 		if err := onToken(ev); err != nil {
 			cbErr = err
-			cancel() // drops the request from the batch
+			cancel(err) // drops the request from the batch
 		}
 	}
 	finish := func(o outcome) (Result, error) {
@@ -449,7 +645,7 @@ func (s *Server) Stream(ctx context.Context, req Request, onToken func(sample.To
 			if cbErr != nil {
 				return Result{}, cbErr
 			}
-			return Result{}, ctx.Err()
+			return Result{}, context.Cause(ctx)
 		case <-s.quit:
 			select {
 			case o := <-p.done:
@@ -520,13 +716,15 @@ func (s *Server) loop() {
 			return
 		default:
 		}
-		// Cancellation sweep.
+		// Cancellation sweep, run between decode steps: client
+		// cancellations, per-request deadline expiries (ErrDeadline
+		// cause), and watchdog kills (ErrStalled cause) all reclaim the
+		// batch slot here — settle charges each to the right counter.
 		alive := active[:0]
 		for _, lr := range active {
-			if err := lr.p.ctx.Err(); err != nil {
+			if lr.p.ctx.Err() != nil {
 				bp.Drop(lr.slot)
-				lr.p.done <- outcome{err: err}
-				s.count(func(st *Stats) { st.Cancelled++ })
+				s.settle(lr.p)
 				continue
 			}
 			alive = append(alive, lr)
@@ -550,19 +748,34 @@ func (s *Server) loop() {
 			if s.cfg.PrefillChunk > 0 && chunk > s.cfg.PrefillChunk {
 				chunk = s.cfg.PrefillChunk
 			}
-			logits := bp.Prefill(pf.slot, pf.forced[:chunk])
-			pf.forced = pf.forced[chunk:]
-			// A finished prompt samples its first token from these logits
-			// below; the same counter update keeps DecodeTokens covering
-			// every sampled token, as in single-sequence mode.
-			s.countPrefill(chunk, len(pf.forced) == 0)
-			if len(pf.forced) == 0 {
-				// Prompt fully ingested: the chunk's logits are the first
-				// to sample.
-				if s.sampleTok(pf, logits) {
-					bp.Drop(pf.slot)
-					s.finish(pf)
-					active = remove(active, pf)
+			logits, err := s.tryPrefill(bp, pf, chunk)
+			switch {
+			case err != nil:
+				// The pass failed or panicked: only this request is
+				// implicated (per-sequence KV state is slot-local), so
+				// evict it and keep the batch running.
+				s.evict(bp, pf, err)
+				active = remove(active, pf)
+			default:
+				pf.forced = pf.forced[chunk:]
+				s.stamp(pf.p)
+				// A finished prompt samples its first token from these logits
+				// below; the same counter update keeps DecodeTokens covering
+				// every sampled token, as in single-sequence mode.
+				s.countPrefill(chunk, len(pf.forced) == 0)
+				if len(pf.forced) == 0 {
+					// Prompt fully ingested: the chunk's logits are the first
+					// to sample.
+					done, err := s.trySample(pf, logits)
+					switch {
+					case err != nil:
+						s.evict(bp, pf, err)
+						active = remove(active, pf)
+					case done:
+						bp.Drop(pf.slot)
+						s.finish(pf)
+						active = remove(active, pf)
+					}
 				}
 			}
 		}
@@ -581,7 +794,12 @@ func (s *Server) loop() {
 			}
 		}
 		if sped != nil {
-			if s.specRound(bp, sped) {
+			done, err := s.trySpec(bp, sped)
+			switch {
+			case err != nil:
+				s.evict(bp, sped, err)
+				active = remove(active, sped)
+			case done:
 				bp.Drop(sped.slot)
 				s.finish(sped)
 				active = remove(active, sped)
@@ -599,10 +817,32 @@ func (s *Server) loop() {
 		if len(ids) == 0 {
 			continue
 		}
-		logits := bp.Step(ids, toks)
+		logits, err := s.tryStep(bp, ids, toks)
+		if err != nil {
+			// A failed batched step cannot be attributed to one request,
+			// and a panic mid-step may have left partially written KV rows
+			// behind: fail the whole active batch and rebuild the
+			// predictor — the catastrophic-but-survivable path. The worker
+			// process keeps serving; new requests get a clean predictor.
+			for _, lr := range active {
+				s.reply(lr.p, outcome{err: fmt.Errorf("serve: batched step failed: %w", err)})
+				s.countFailure(err)
+			}
+			active = active[:0]
+			bp = s.newBatch()
+			continue
+		}
 		s.countStep(len(ids))
 		for i, lr := range decs {
-			if s.sampleTok(lr, logits[i]) {
+			done, err := s.trySample(lr, logits[i])
+			switch {
+			case err != nil:
+				// Sampling state is per-request: a panicking strategy (or
+				// an injected fault) kills only its own request, and the
+				// other in-flight streams finish bitwise-intact.
+				s.evict(bp, lr, err)
+				active = remove(active, lr)
+			case done:
 				bp.Drop(lr.slot)
 				s.finish(lr)
 				active = remove(active, lr)
@@ -619,12 +859,104 @@ func (s *Server) sampleTok(lr *liveReq, logits []float64) bool {
 	if lr.ctx != nil {
 		lr.ctx = append(lr.ctx, tok)
 	}
+	s.stamp(lr.p)
 	if lr.p.events != nil {
 		// Delivered as soon as this step completes; capacity is pre-sized,
 		// so the loop never blocks.
 		lr.p.events <- lr.pd.Next(tok)
 	}
 	return done
+}
+
+// ---- panic isolation ----
+//
+// The loop goroutine is the whole worker: before this layer existed, any
+// panic that reached it — a malformed strategy tripping a guard in
+// internal/sample, a bug in the predictor, an injected fault — killed the
+// process and every in-flight stream. Each loop operation now runs behind
+// a recover that converts the panic into an error; per-request operations
+// (prefill, sampling, a verify round) evict only the offending request,
+// while a batched-step failure fails the batch and rebuilds the predictor.
+
+// trySample is the guarded sampleTok: a panic in the sampling strategy (or
+// a fault injected at serve/sample) becomes an error attributed to lr.
+func (s *Server) trySample(lr *liveReq, logits []float64) (done bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Site: "sample", Value: v}
+		}
+	}()
+	if err := failpoint.Inject(failpoint.ServeSample); err != nil {
+		return false, err
+	}
+	return s.sampleTok(lr, logits), nil
+}
+
+// tryPrefill is the guarded per-request prefill pass (failpoint site
+// serve/prefill).
+func (s *Server) tryPrefill(bp batchPredictor, lr *liveReq, chunk int) (logits []float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Site: "prefill", Value: v}
+		}
+	}()
+	if err := failpoint.Inject(failpoint.ServePrefill); err != nil {
+		return nil, err
+	}
+	return bp.Prefill(lr.slot, lr.forced[:chunk]), nil
+}
+
+// trySpec is the guarded speculative verification round (failpoint site
+// serve/verify).
+func (s *Server) trySpec(bp batchPredictor, lr *liveReq) (done bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Site: "verify", Value: v}
+		}
+	}()
+	if err := failpoint.Inject(failpoint.ServeVerify); err != nil {
+		return false, err
+	}
+	return s.specRound(bp, lr), nil
+}
+
+// tryStep is the guarded batched decode step (failpoint site serve/step).
+func (s *Server) tryStep(bp batchPredictor, ids, toks []int) (logits [][]float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Site: "step", Value: v}
+		}
+	}()
+	if err := failpoint.Inject(failpoint.ServeStep); err != nil {
+		return nil, err
+	}
+	return bp.Step(ids, toks), nil
+}
+
+// evict fails one request out of the batch with err. The slot release is
+// itself guarded: the panic that doomed the request may have left its
+// slot-local state inconsistent, and a second panic during cleanup must not
+// undo the isolation.
+func (s *Server) evict(bp batchPredictor, lr *liveReq, err error) {
+	func() {
+		defer func() { recover() }()
+		bp.Drop(lr.slot)
+	}()
+	s.reply(lr.p, outcome{err: err})
+	s.countFailure(err)
+}
+
+// countFailure charges one terminal failure, splitting out the panic
+// counter the chaos harness asserts on.
+func (s *Server) countFailure(err error) {
+	var pe *PanicError
+	isPanic := errors.As(err, &pe)
+	s.count(func(st *Stats) {
+		st.Failed++
+		if isPanic {
+			st.Panics++
+		}
+	})
 }
 
 // slotTarget adapts one BatchedPredictor sequence to the single-sequence
@@ -650,6 +982,9 @@ func (s *Server) specRound(bp batchPredictor, lr *liveReq) bool {
 		room = s.window - bp.Len(lr.slot)
 	}
 	rr := s.spec.Round(slotTarget{bp, lr.slot}, lr.dec, lr.ctx, room)
+	if len(rr.Emitted) > 0 {
+		s.stamp(lr.p)
+	}
 	for _, tok := range rr.Emitted {
 		lr.last = tok
 		if lr.p.events != nil {
@@ -674,14 +1009,13 @@ func remove(active []*liveReq, lr *liveReq) []*liveReq {
 
 // admit moves a queued request into the decoding batch.
 func (s *Server) admit(bp batchPredictor, active *[]*liveReq, p *pending) {
-	if err := p.ctx.Err(); err != nil {
-		p.done <- outcome{err: err}
-		s.count(func(st *Stats) { st.Cancelled++ })
+	if p.ctx.Err() != nil {
+		s.settle(p)
 		return
 	}
 	ids, err := s.model.EncodePrompt(p.req.Prompt, p.req.MaxTokens)
 	if err != nil {
-		p.done <- outcome{err: err}
+		s.reply(p, outcome{err: err})
 		s.count(func(st *Stats) { st.Failed++ })
 		return
 	}
@@ -733,7 +1067,7 @@ func (s *Server) coalesce(bp batchPredictor, active *[]*liveReq) {
 
 // finish decodes a completed request and replies.
 func (s *Server) finish(lr *liveReq) {
-	lr.p.done <- outcome{res: lm.Finish(s.backend, lr.dec.Tokens(), lr.p.req.Options())}
+	s.reply(lr.p, outcome{res: lm.Finish(s.backend, lr.dec.Tokens(), lr.p.req.Options())})
 	s.count(func(st *Stats) { st.Completed++ })
 }
 
@@ -741,7 +1075,7 @@ func (s *Server) finish(lr *liveReq) {
 func (s *Server) shutdown(bp batchPredictor, active []*liveReq) {
 	for _, lr := range active {
 		bp.Drop(lr.slot)
-		lr.p.done <- outcome{err: ErrClosed}
+		s.reply(lr.p, outcome{err: ErrClosed})
 		s.count(func(st *Stats) { st.Failed++ })
 	}
 	s.drainQueue()
@@ -752,7 +1086,7 @@ func (s *Server) drainQueue() {
 	for {
 		select {
 		case p := <-s.queue:
-			p.done <- outcome{err: ErrClosed}
+			s.reply(p, outcome{err: ErrClosed})
 			s.count(func(st *Stats) { st.Failed++ })
 		default:
 			return
@@ -780,9 +1114,8 @@ func (s *Server) loopSingle() {
 
 // serveSingle runs one queued request to completion.
 func (s *Server) serveSingle(p *pending) {
-	if err := p.ctx.Err(); err != nil {
-		p.done <- outcome{err: err}
-		s.count(func(st *Stats) { st.Cancelled++ })
+	if p.ctx.Err() != nil {
+		s.settle(p)
 		return
 	}
 	// The prompt-token split of the batched loop, for parity: the driver
@@ -797,24 +1130,39 @@ func (s *Server) serveSingle(p *pending) {
 			return ErrClosed
 		default:
 		}
+		if err := failpoint.Inject(failpoint.ServeSample); err != nil {
+			return err
+		}
 		s.countStep(1)
+		s.stamp(p)
 		if p.events != nil {
 			p.events <- ev
 		}
 		return nil
 	}
-	res, err := lm.StreamOptions(p.ctx, s.backend, p.req.Prompt, onTok, p.req.Options())
+	res, err := s.trySingle(p, onTok)
 	switch {
 	case err == nil:
-		p.done <- outcome{res: res}
+		s.reply(p, outcome{res: res})
 		s.count(func(st *Stats) { st.Completed++ })
 	case p.ctx.Err() != nil:
-		p.done <- outcome{err: p.ctx.Err()}
-		s.count(func(st *Stats) { st.Cancelled++ })
+		s.settle(p)
 	default:
-		p.done <- outcome{err: err}
-		s.count(func(st *Stats) { st.Failed++ })
+		s.reply(p, outcome{err: err})
+		s.countFailure(err)
 	}
+}
+
+// trySingle is the guarded single-sequence driver: a panic anywhere in the
+// backend or sampling path fails this request only, and the loop goroutine
+// survives to serve the next one.
+func (s *Server) trySingle(p *pending, onTok func(sample.Token) error) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Site: "single", Value: v}
+		}
+	}()
+	return lm.StreamOptions(p.ctx, s.backend, p.req.Prompt, onTok, p.req.Options())
 }
 
 func (s *Server) count(f func(*Stats)) {
