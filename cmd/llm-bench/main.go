@@ -36,6 +36,15 @@
 // panics, surviving requests bitwise identical to the fault-free run, and
 // bounded post-ejection recovery. Results go to BENCH_chaos.json.
 //
+// With -chaos -churn it runs the membership-churn chaos harness instead
+// (E25): a router that starts with an empty fleet, workers that join via
+// lease-based registration, and a seeded schedule of worker kills,
+// restarts, cold joins, and graceful leaves mid-run — under failpoints on
+// the register/heartbeat control plane — asserting zero lost requests,
+// bitwise-intact survivors, minimal session remap across membership
+// epochs, and bounded rejoin-to-traffic time. Results go to
+// BENCH_chaos_churn.json.
+//
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
@@ -45,6 +54,8 @@
 //	llm-bench -load [-out .] [-target http://host:8371] [-load-workers 2]
 //	          [-conns 8] [-requests 60] [-rate 100] [-load-tokens 16]
 //	llm-bench -chaos [-out .] [-seed 1] [-load-workers 2]
+//	          [-conns 8] [-requests 60] [-load-tokens 16]
+//	llm-bench -chaos -churn [-out .] [-seed 1]
 //	          [-conns 8] [-requests 60] [-load-tokens 16]
 package main
 
@@ -86,6 +97,7 @@ func main() {
 		specK     = flag.String("speculate-k", "2,4,8", "comma-separated draft depths for the -speculate sweep")
 		loadMode  = flag.Bool("load", false, "run the HTTP serving-tier load benchmark and write BENCH_serve_load.json")
 		chaosMode = flag.Bool("chaos", false, "run the fault-injection chaos harness and write BENCH_chaos.json")
+		churnMode = flag.Bool("churn", false, "with -chaos: run the membership-churn harness and write BENCH_chaos_churn.json")
 		target    = flag.String("target", "", "-load: base URL of a running router or worker; empty = self-host an in-process tier")
 		workers   = flag.Int("load-workers", 2, "-load/-chaos: worker count behind the self-hosted router scenario")
 		conns     = flag.Int("conns", 8, "-load/-chaos: client concurrency")
@@ -96,10 +108,16 @@ func main() {
 	flag.Parse()
 
 	if *chaosMode {
-		err := runChaosJSON(*outDir, chaosOpts{
+		o := chaosOpts{
 			workers: *workers, conns: *conns,
 			requests: *requests, tokens: *loadTok, seed: *seed,
-		})
+		}
+		var err error
+		if *churnMode {
+			err = runChurnJSON(*outDir, o)
+		} else {
+			err = runChaosJSON(*outDir, o)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

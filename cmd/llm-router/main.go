@@ -6,11 +6,21 @@
 //
 // Usage:
 //
-//	llm-router -backends http://127.0.0.1:8372,http://127.0.0.1:8373
-//	           [-addr :8371] [-max-inflight 256] [-backend-queue 32]
+//	llm-router [-backends http://127.0.0.1:8372,http://127.0.0.1:8373]
+//	           [-addr :8371] [-default-lease 15s]
+//	           [-max-inflight 256] [-backend-queue 32]
 //	           [-attempts 3] [-retry-backoff 10ms]
 //	           [-health-interval 250ms] [-fail-threshold 3]
 //	           [-relay-timeout 30s] [-drain-timeout 30s]
+//
+// Membership is dynamic: workers join the fleet via POST /v1/register
+// (llm-serve -join does this automatically), renew by heartbeating the
+// same endpoint, and leave via POST /v1/deregister when they drain. A
+// lease that expires without renewal ejects its worker like a failed
+// probe; one lapsed far past its TTL is removed from the ring entirely.
+// -backends seeds permanent members (no lease) and may be empty — a
+// router can start with no workers and grow its fleet entirely through
+// registration. Every membership change bumps the epoch on /v1/stats.
 //
 // Placement: requests carrying a session key (the body's "session" field,
 // or the X-Session-Key header) are routed by consistent hashing, so one
@@ -62,8 +72,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("llm-router: ")
 	var (
-		backends     = flag.String("backends", "", "comma-separated llm-serve base URLs (required)")
+		backends     = flag.String("backends", "", "comma-separated seed llm-serve base URLs (may be empty: workers join via /v1/register)")
 		addr         = flag.String("addr", ":8371", "listen address")
+		defaultLease = flag.Duration("default-lease", 0, "lease TTL granted to registrations that do not request one (0 = default 15s)")
 		maxInflight  = flag.Int("max-inflight", 0, "global in-flight admission cap (0 = default 256, negative = unlimited)")
 		backendQueue = flag.Int("backend-queue", 0, "per-backend queue-depth shed limit (0 = default 32, negative = unlimited)")
 		attempts     = flag.Int("attempts", 0, "max placement attempts per request (0 = default 3)")
@@ -81,10 +92,6 @@ func main() {
 			fleet = append(fleet, b)
 		}
 	}
-	if len(fleet) == 0 {
-		log.Fatal("-backends is required (comma-separated worker URLs)")
-	}
-
 	hs := &http.Server{
 		Addr:              *addr,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -92,6 +99,7 @@ func main() {
 	}
 	rt, err := router.New(router.Config{
 		Backends:       fleet,
+		DefaultLease:   *defaultLease,
 		MaxInFlight:    *maxInflight,
 		BackendQueue:   *backendQueue,
 		MaxAttempts:    *attempts,
@@ -121,7 +129,7 @@ func main() {
 		<-ctx.Done()
 		rt.StartDrain()
 	}()
-	log.Printf("routing %d backends on %s", len(fleet), *addr)
+	log.Printf("routing on %s (%d seed backends; workers may join via /v1/register)", *addr, len(fleet))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -13,6 +13,17 @@
 //	          [-addr :8372] [-max-batch 8] [-coalesce 2ms] [-queue 64]
 //	          [-prefill-chunk 32] [-synthetic 500] [-speculate 4]
 //	          [-drain-timeout 30s] [-request-timeout 0] [-stall-timeout 0]
+//	          [-join http://127.0.0.1:8371] [-advertise http://host:8372]
+//	          [-lease 15s] [-heartbeat 5s]
+//
+// -join enrolls the worker in an llm-router fleet dynamically: on startup
+// it registers its -advertise URL (derived from -addr when unset) with the
+// router's /v1/register, requesting a -lease TTL, then heartbeats every
+// -heartbeat (default lease/3) to keep the lease alive — retrying with
+// jittered exponential backoff while the router is unreachable, so worker
+// and router can start in any order. Draining (SIGTERM or /v1/drain)
+// deregisters explicitly before the listener shuts down, so the router
+// drops the worker immediately instead of waiting out the lease.
 //
 // -request-timeout is the server-side default deadline: a request without
 // its own timeout_ms budget that overruns it fails with 504 between decode
@@ -77,6 +88,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -102,6 +114,10 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM or /v1/drain")
 		reqTimeout   = flag.Duration("request-timeout", 0, "default per-request deadline; requests without their own timeout_ms fail with 504 past it (0 disables)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "token-progress watchdog: streams making no progress for this long are failed (0 disables)")
+		join         = flag.String("join", "", "router base URL to register with (empty = static membership)")
+		advertise    = flag.String("advertise", "", "base URL advertised to the router (default: derived from -addr)")
+		lease        = flag.Duration("lease", 15*time.Second, "registration lease TTL requested from the router")
+		heartbeat    = flag.Duration("heartbeat", 0, "lease-renewal period (0 = lease/3)")
 	)
 	flag.Parse()
 
@@ -127,10 +143,24 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	// The joiner keeps this worker registered with a router; it is started
+	// after the listener below and torn down first on drain.
+	var joiner *httpapi.Joiner
+
 	// Drain (via /v1/drain or a signal) stops admission in the handler;
 	// Shutdown then waits for in-flight requests — SSE streams included —
-	// before ListenAndServe returns.
+	// before ListenAndServe returns. A joined worker deregisters first so
+	// the router stops sending fresh work while in-flight requests finish.
 	h := httpapi.New(srv, func() {
+		if joiner != nil {
+			leaveCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := joiner.Leave(leaveCtx); err != nil {
+				log.Printf("deregister failed (lease will expire instead): %v", err)
+			} else {
+				log.Printf("deregistered from %s", *join)
+			}
+			cancel()
+		}
 		log.Printf("draining: waiting up to %s for in-flight requests", *drainTimeout)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
@@ -139,6 +169,21 @@ func main() {
 		}
 	})
 	hs.Handler = h
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = advertisedURL(*addr)
+		}
+		var err error
+		joiner, err = httpapi.StartJoiner(httpapi.JoinConfig{
+			Router: strings.TrimSuffix(*join, "/"), Self: self,
+			Lease: *lease, Interval: *heartbeat, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -151,6 +196,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("shut down")
+}
+
+// advertisedURL derives the self-registration URL from the listen address:
+// a bare-port ":8372" is reachable (at least) on loopback, anything with a
+// host keeps it.
+func advertisedURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }
 
 // loadBackend opens a transformer checkpoint, or trains the selected demo

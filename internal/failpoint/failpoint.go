@@ -55,6 +55,17 @@ const (
 	// RouterProbe fires per active health probe. Error → the probe fails,
 	// driving ejection without touching the worker.
 	RouterProbe = "router/probe"
+	// RouterRegister fires in the router's membership handlers, once per
+	// /v1/register or /v1/deregister call before the body is parsed.
+	// Error → 500 (the worker's join loop backs off and retries); Drop →
+	// the control-plane connection is severed; Latency → a slow control
+	// plane that delays lease renewal.
+	RouterRegister = "router/register"
+	// JoinHeartbeat fires per worker-side register/heartbeat attempt in
+	// the httpapi join loop, before the HTTP call leaves the worker.
+	// Error/Drop → the attempt fails and the loop retries with jittered
+	// backoff; Latency → a heartbeat that almost misses its lease.
+	JoinHeartbeat = "httpapi/join/heartbeat"
 	// ServePrefill fires per chunked-prefill pass in the batching loop,
 	// attributed to the request whose prompt is being ingested. Panic →
 	// that request is evicted; the batch and server keep running.
@@ -75,7 +86,7 @@ const (
 func Sites() []string {
 	return []string{
 		HTTPGenerate, HTTPStreamPreSSE, HTTPStreamMid,
-		RouterRelay, RouterProbe,
+		RouterRelay, RouterProbe, RouterRegister, JoinHeartbeat,
 		ServePrefill, ServeStep, ServeVerify, ServeSample,
 	}
 }

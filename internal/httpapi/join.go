@@ -1,0 +1,203 @@
+// Dynamic-membership client side: the wire types for the router's
+// /v1/register and /v1/deregister endpoints, and the Joiner — the worker's
+// self-registration loop. A worker started with -join announces itself to
+// the router, heartbeats to keep its lease alive (register and heartbeat
+// are the same call), and deregisters explicitly when it drains, so the
+// fleet can grow, shrink, and replace crashed workers without restarting
+// the router.
+
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/failpoint"
+)
+
+// RegisterRequest is the POST /v1/register body: the worker's advertised
+// base URL and the lease TTL it wants. A zero LeaseMS asks for the
+// router's default; the router clamps either way and echoes the grant.
+type RegisterRequest struct {
+	URL     string `json:"url"`
+	LeaseMS int64  `json:"lease_ms,omitempty"`
+}
+
+// RegisterResponse acknowledges a register/heartbeat: the membership epoch
+// after the call, the granted lease, and whether the call created a new
+// member (false on renewals).
+type RegisterResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	LeaseMS int64  `json:"lease_ms"`
+	Created bool   `json:"created"`
+}
+
+// DeregisterRequest is the POST /v1/deregister body: the base URL of the
+// member leaving the fleet.
+type DeregisterRequest struct {
+	URL string `json:"url"`
+}
+
+// DeregisterResponse acknowledges a deregistration; Removed is false when
+// the member was already gone (the call is idempotent).
+type DeregisterResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Removed bool   `json:"removed"`
+}
+
+// JoinConfig configures a worker's self-registration loop.
+type JoinConfig struct {
+	// Router is the router's base URL (e.g. http://127.0.0.1:8370).
+	Router string
+	// Self is the base URL this worker advertises as reachable.
+	Self string
+	// Lease is the TTL requested per register call (default 15s).
+	Lease time.Duration
+	// Interval is the heartbeat period (default Lease/3, so a renewal can
+	// miss twice before the lease lapses).
+	Interval time.Duration
+	// Client issues the registration calls (default: 5s total timeout —
+	// control-plane calls are tiny; one must never hang a heartbeat slot).
+	Client *http.Client
+	// Logf, when non-nil, receives state-transition logs (joined, lost
+	// contact, re-joined) — not one line per heartbeat.
+	Logf func(format string, args ...any)
+}
+
+// Joiner keeps one worker registered with one router until stopped.
+type Joiner struct {
+	cfg  JoinConfig
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartJoiner registers the worker and keeps its lease renewed from a
+// background goroutine. The first register is attempted inline with the
+// same retry policy as later ones, but errors do not fail the start: a
+// worker that boots before its router retries until the router appears,
+// with jittered exponential backoff.
+func StartJoiner(cfg JoinConfig) (*Joiner, error) {
+	if cfg.Router == "" || cfg.Self == "" {
+		return nil, errors.New("httpapi: join needs both router and self URLs")
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 15 * time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.Lease / 3
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	j := &Joiner{cfg: cfg, quit: make(chan struct{}), done: make(chan struct{})}
+	go j.loop()
+	return j, nil
+}
+
+func (j *Joiner) logf(format string, args ...any) {
+	if j.cfg.Logf != nil {
+		j.cfg.Logf(format, args...)
+	}
+}
+
+// loop heartbeats until Stop. Success sleeps one Interval; failure retries
+// on a jittered exponential backoff starting well under the interval (a
+// worker racing its router's startup should not idle a whole heartbeat
+// period) and capped at it (a dead router must not push the retry period
+// past the lease).
+func (j *Joiner) loop() {
+	defer close(j.done)
+	const minBackoff = 5 * time.Millisecond
+	backoff := j.cfg.Interval / 4
+	if backoff < minBackoff {
+		backoff = minBackoff
+	}
+	base := backoff
+	joined := false
+	for {
+		err := j.registerOnce()
+		var sleep time.Duration
+		if err == nil {
+			if !joined {
+				j.logf("joined router %s (lease %v, heartbeat %v)", j.cfg.Router, j.cfg.Lease, j.cfg.Interval)
+			}
+			joined = true
+			backoff = base
+			sleep = j.cfg.Interval
+		} else {
+			if joined {
+				j.logf("lost router %s: %v (retrying)", j.cfg.Router, err)
+			}
+			joined = false
+			half := backoff / 2
+			sleep = half + rand.N(backoff-half+1)
+			backoff *= 2
+			if backoff > j.cfg.Interval {
+				backoff = j.cfg.Interval
+			}
+		}
+		select {
+		case <-j.quit:
+			return
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// registerOnce issues one register/heartbeat call.
+func (j *Joiner) registerOnce() error {
+	if err := failpoint.Inject(failpoint.JoinHeartbeat); err != nil {
+		return err
+	}
+	body, _ := json.Marshal(RegisterRequest{URL: j.cfg.Self, LeaseMS: j.cfg.Lease.Milliseconds()})
+	resp, err := j.cfg.Client.Post(j.cfg.Router+"/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("httpapi: register: router answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Stop halts the heartbeat loop without deregistering — the lease is left
+// to expire, which is what an ungraceful death looks like. Idempotent.
+func (j *Joiner) Stop() {
+	j.once.Do(func() { close(j.quit) })
+	<-j.done
+}
+
+// Leave is the graceful exit: stop heartbeating (waiting out any in-flight
+// register so a stale heartbeat cannot resurrect the membership after the
+// deregister lands), then tell the router to drop this worker now instead
+// of waiting out the lease.
+func (j *Joiner) Leave(ctx context.Context) error {
+	j.Stop()
+	body, _ := json.Marshal(DeregisterRequest{URL: j.cfg.Self})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, j.cfg.Router+"/v1/deregister", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := j.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("httpapi: deregister: router answered %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRouter is the control-plane seam for the Joiner tests: it records
+// every register/deregister call and can fail the first N registers to
+// exercise the retry loop.
+type fakeRouter struct {
+	ts          *httptest.Server
+	registers   atomic.Int64
+	deregisters atomic.Int64
+	failFirst   atomic.Int64 // registers to answer 500 before succeeding
+	lastReg     atomic.Value // RegisterRequest
+	lastDereg   atomic.Value // DeregisterRequest
+}
+
+func newFakeRouter(t *testing.T) *fakeRouter {
+	t.Helper()
+	fr := &fakeRouter{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		fr.lastReg.Store(req)
+		n := fr.registers.Add(1)
+		if n <= fr.failFirst.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		WriteJSON(w, http.StatusOK, RegisterResponse{Epoch: 1, LeaseMS: req.LeaseMS, Created: n == 1})
+	})
+	mux.HandleFunc("POST /v1/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var req DeregisterRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		fr.lastDereg.Store(req)
+		fr.deregisters.Add(1)
+		WriteJSON(w, http.StatusOK, DeregisterResponse{Epoch: 2, Removed: true})
+	})
+	fr.ts = httptest.NewServer(mux)
+	t.Cleanup(fr.ts.Close)
+	return fr
+}
+
+func waitJoin(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJoinerHeartbeats: the loop registers immediately, keeps renewing on
+// the interval with the advertised URL and lease, and stops when told.
+func TestJoinerHeartbeats(t *testing.T) {
+	fr := newFakeRouter(t)
+	j, err := StartJoiner(JoinConfig{
+		Router: fr.ts.URL, Self: "http://127.0.0.1:9999",
+		Lease: 300 * time.Millisecond, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJoin(t, "three heartbeats", func() bool { return fr.registers.Load() >= 3 })
+	req := fr.lastReg.Load().(RegisterRequest)
+	if req.URL != "http://127.0.0.1:9999" || req.LeaseMS != 300 {
+		t.Fatalf("heartbeat carried %+v, want the advertised URL and 300ms lease", req)
+	}
+
+	j.Stop()
+	after := fr.registers.Load()
+	time.Sleep(80 * time.Millisecond)
+	if got := fr.registers.Load(); got != after {
+		t.Fatalf("heartbeats continued after Stop: %d -> %d", after, got)
+	}
+	if fr.deregisters.Load() != 0 {
+		t.Fatal("Stop must not deregister — that is Leave's job")
+	}
+}
+
+// TestJoinerRetriesThroughFailures: a router that errors the first several
+// registers (a worker booting before its router) is retried with backoff
+// until it answers, and the loop recovers without intervention.
+func TestJoinerRetriesThroughFailures(t *testing.T) {
+	fr := newFakeRouter(t)
+	fr.failFirst.Store(5)
+	j, err := StartJoiner(JoinConfig{
+		Router: fr.ts.URL, Self: "http://127.0.0.1:9999",
+		Lease: 300 * time.Millisecond, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	waitJoin(t, "a successful register after 5 failures", func() bool { return fr.registers.Load() >= 7 })
+}
+
+// TestLeaveDeregisters: Leave halts heartbeats first (no stale renewal can
+// land after), then posts exactly one deregister for the advertised URL.
+func TestLeaveDeregisters(t *testing.T) {
+	fr := newFakeRouter(t)
+	j, err := StartJoiner(JoinConfig{
+		Router: fr.ts.URL, Self: "http://127.0.0.1:9999",
+		Lease: 300 * time.Millisecond, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJoin(t, "first register", func() bool { return fr.registers.Load() >= 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := j.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.deregisters.Load(); got != 1 {
+		t.Fatalf("deregisters = %d, want 1", got)
+	}
+	dereg := fr.lastDereg.Load().(DeregisterRequest)
+	if dereg.URL != "http://127.0.0.1:9999" {
+		t.Fatalf("deregistered %q, want the advertised URL", dereg.URL)
+	}
+	regs := fr.registers.Load()
+	time.Sleep(80 * time.Millisecond)
+	if got := fr.registers.Load(); got != regs {
+		t.Fatalf("heartbeats continued after Leave: %d -> %d", regs, got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // backend is one llm-serve worker behind the router: its address, the
@@ -37,6 +38,16 @@ type backend struct {
 	fails   int  // consecutive failures since the last success
 	load    int  // last polled worker gauge: in_flight + queued
 	polled  bool // load has been populated at least once
+
+	// Lease state (zero for static seed members, which never expire). A
+	// worker that registered via /v1/register must renew within ttl of its
+	// last heartbeat; past expires the sweep ejects it exactly like a
+	// failed probe would, and once it has stayed lapsed long enough the
+	// membership layer forgets it entirely (removes it from the ring).
+	leased  bool
+	ttl     time.Duration
+	expires time.Time
+	lapsed  bool // the current lease has expired without renewal
 }
 
 func newBackend(raw string) (*backend, error) {
@@ -82,6 +93,52 @@ func (b *backend) isHealthy() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.healthy
+}
+
+// renewLease grants or renews the backend's registration lease. A
+// heartbeat is an affirmative liveness signal from the worker process, so
+// it clears the failure streak and readmits an ejected backend the same
+// way a successful probe does — which is also what bounds a rejoining
+// worker's readmission time to one register round-trip.
+func (b *backend) renewLease(ttl time.Duration, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.leased, b.ttl, b.expires, b.lapsed = true, ttl, now.Add(ttl), false
+	b.fails = 0
+	b.healthy = true
+}
+
+// expireIfDue checks the lease against now. On the first sweep past the
+// expiry it marks the lease lapsed and ejects the backend (one ejection,
+// like crossing FailThreshold); newly reports that transition. lapsedFor
+// is how long the lease has been expired — the membership layer's
+// forget-this-member clock.
+func (b *backend) expireIfDue(now time.Time) (newly bool, lapsedFor time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.leased || now.Before(b.expires) {
+		return false, 0
+	}
+	lapsedFor = now.Sub(b.expires)
+	if !b.lapsed {
+		b.lapsed = true
+		newly = true
+		if b.healthy {
+			b.healthy = false
+			b.ejections.Add(1)
+		}
+	}
+	return newly, lapsedFor
+}
+
+// leaseInfo snapshots the lease state for /v1/stats.
+func (b *backend) leaseInfo(now time.Time) (leased bool, remainingMS int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.leased {
+		return false, 0
+	}
+	return true, b.expires.Sub(now).Milliseconds()
 }
 
 // setLoad records the worker-reported queue gauge from a stats poll.

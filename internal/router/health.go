@@ -23,7 +23,10 @@ type workerGauges struct {
 // gauge behind least-loaded placement and backpressure. The loop is also
 // the readmission path: passive detection can only observe backends that
 // receive traffic, so an ejected, idle backend re-enters service via its
-// next successful probe here.
+// next successful probe here. Each tick also sweeps registration leases —
+// a worker that stopped heartbeating is ejected when its lease lapses and
+// forgotten (removed from the ring) once it has stayed lapsed past the
+// forget horizon with probes failing too.
 func (rt *Router) healthLoop() {
 	defer rt.hwg.Done()
 	ticker := time.NewTicker(rt.cfg.HealthInterval)
@@ -33,6 +36,9 @@ func (rt *Router) healthLoop() {
 		case <-rt.quit:
 			return
 		case <-ticker.C:
+			expired, forgotten := rt.mem.sweep(time.Now(), rt.cfg.ForgetAfter)
+			rt.nExpiries.Add(uint64(expired))
+			rt.nForgotten.Add(uint64(forgotten))
 			rt.probeAll()
 		}
 	}
@@ -41,8 +47,9 @@ func (rt *Router) healthLoop() {
 // probeAll checks the whole fleet concurrently and returns when every probe
 // finishes, so one wedged backend cannot delay the others' freshness.
 func (rt *Router) probeAll() {
+	members, _ := rt.mem.snapshot()
 	var wg sync.WaitGroup
-	for _, b := range rt.backends {
+	for _, b := range members {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
@@ -118,6 +125,15 @@ type Stats struct {
 	InFlight int    `json:"in_flight"` // live gauge
 	Draining bool   `json:"draining"`
 
+	// Membership counters: the epoch stamps the current (members, ring)
+	// version; the rest count fleet transitions since start.
+	Epoch         uint64 `json:"epoch"`
+	Members       int    `json:"members"`
+	Joins         uint64 `json:"joins"`          // new members via /v1/register
+	Leaves        uint64 `json:"leaves"`         // removals via /v1/deregister
+	LeaseExpiries uint64 `json:"lease_expiries"` // leases lapsed without renewal
+	Forgotten     uint64 `json:"forgotten"`      // lapsed members swept from the ring
+
 	Backends []BackendStats `json:"backends"`
 }
 
@@ -130,24 +146,37 @@ type BackendStats struct {
 	Requests  uint64 `json:"requests"`
 	Failures  uint64 `json:"failures"`
 	Ejections uint64 `json:"ejections"`
+	// Leased marks registered (vs seed) members; LeaseMS is time until the
+	// current lease expires (negative once lapsed).
+	Leased  bool  `json:"leased,omitempty"`
+	LeaseMS int64 `json:"lease_ms,omitempty"`
 }
 
 // Stats snapshots the router counters and per-backend state.
 func (rt *Router) Stats() Stats {
 	st := Stats{
-		Requests: rt.nRequests.Load(),
-		Proxied:  rt.nProxied.Load(),
-		Retries:  rt.nRetries.Load(),
-		Shed:     rt.nShed.Load(),
-		Rejected: rt.nRejected.Load(),
-		Errors:   rt.nErrors.Load(),
-		InFlight: int(rt.inflight.Load()),
-		Draining: rt.draining.Load(),
+		Requests:      rt.nRequests.Load(),
+		Proxied:       rt.nProxied.Load(),
+		Retries:       rt.nRetries.Load(),
+		Shed:          rt.nShed.Load(),
+		Rejected:      rt.nRejected.Load(),
+		Errors:        rt.nErrors.Load(),
+		InFlight:      int(rt.inflight.Load()),
+		Draining:      rt.draining.Load(),
+		Epoch:         rt.mem.Epoch(),
+		Joins:         rt.nJoins.Load(),
+		Leaves:        rt.nLeaves.Load(),
+		LeaseExpiries: rt.nExpiries.Load(),
+		Forgotten:     rt.nForgotten.Load(),
 	}
-	for _, b := range rt.backends {
+	members, _ := rt.mem.snapshot()
+	st.Members = len(members)
+	now := time.Now()
+	for _, b := range members {
 		b.mu.Lock()
 		healthy, load := b.healthy, b.load
 		b.mu.Unlock()
+		leased, leaseMS := b.leaseInfo(now)
 		st.Backends = append(st.Backends, BackendStats{
 			Name:      b.name,
 			Healthy:   healthy,
@@ -156,6 +185,8 @@ func (rt *Router) Stats() Stats {
 			Requests:  b.requests.Load(),
 			Failures:  b.failures.Load(),
 			Ejections: b.ejections.Load(),
+			Leased:    leased,
+			LeaseMS:   leaseMS,
 		})
 	}
 	return st

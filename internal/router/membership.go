@@ -1,0 +1,247 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/httpapi"
+)
+
+// Lease TTL clamp bounds for /v1/register. The floor keeps a typo'd
+// lease_ms from flapping membership at sweep speed; the ceiling keeps a
+// crashed worker from squatting in the ring for an hour.
+const (
+	minLease = 20 * time.Millisecond
+	maxLease = 10 * time.Minute
+)
+
+// forgetFactor is the default forget horizon in lease TTLs: a member whose
+// lease has been lapsed this many TTLs (and that no probe can reach) is
+// removed from the ring entirely. Config.ForgetAfter overrides it.
+const forgetFactor = 10
+
+// membership is the router's dynamic view of the fleet: the current member
+// set, the consistent-hash ring built over exactly that set, and the epoch
+// stamping this (members, ring) version. The three always change together
+// under mu; readers take one snapshot and work ring indices against the
+// matching members slice. Mutations are copy-on-write — the members slice
+// is never edited in place — so a snapshot stays internally consistent for
+// as long as a relay holds it, even across concurrent joins and leaves.
+//
+// Epoch semantics: the epoch counts ring rebuilds. It starts at 0 over the
+// seed fleet and increments once per membership change — a new worker
+// joining, an explicit deregistration, or a sweep forgetting lapsed
+// members (one increment per rebuild, however many members it removed).
+// Lease renewal, expiry ejection, and probe ejection/readmission do NOT
+// touch the epoch: they change health, not membership, and the ring —
+// hence session placement for every healthy member — is a pure function
+// of membership. That is what keeps remaps minimal: an ejected worker's
+// sessions fail over along the unchanged successor order and snap back on
+// readmission; only a genuine join/leave moves ownership, and then only
+// of the arcs the joined/left member claims or frees.
+type membership struct {
+	mu      sync.RWMutex
+	members []*backend
+	ring    *ring
+	epoch   uint64
+}
+
+func newMembership(seeds []*backend) *membership {
+	m := &membership{members: seeds}
+	m.ring = newRing(namesOf(seeds))
+	return m
+}
+
+func namesOf(bs []*backend) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.name
+	}
+	return out
+}
+
+// snapshot returns the current (members, ring) pair. The returned slice is
+// immutable by construction; ring indices are valid into exactly it.
+func (m *membership) snapshot() ([]*backend, *ring) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.members, m.ring
+}
+
+// Epoch returns the current membership version.
+func (m *membership) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// rebuildLocked rebuilds the ring over the current member set and bumps
+// the epoch. Callers hold mu.
+func (m *membership) rebuildLocked() {
+	m.ring = newRing(namesOf(m.members))
+	m.epoch++
+}
+
+// register adds b as a leased member, or — when a member with the same
+// canonical URL already exists — renews that member's lease instead (the
+// heartbeat path, and how a restarted worker readmits itself). Only a
+// genuinely new member changes the ring.
+func (m *membership) register(b *backend, lease time.Duration, now time.Time) (created bool, epoch uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.members {
+		if e.name == b.name {
+			e.renewLease(lease, now)
+			return false, m.epoch
+		}
+	}
+	b.renewLease(lease, now)
+	m.members = append(append([]*backend(nil), m.members...), b)
+	m.rebuildLocked()
+	return true, m.epoch
+}
+
+// deregister removes the named member — the graceful-leave path. Removing
+// an unknown name is a no-op (deregistration races with expiry sweeps and
+// process shutdown, so it must be idempotent).
+func (m *membership) deregister(name string) (removed bool, epoch uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, e := range m.members {
+		if e.name == name {
+			next := make([]*backend, 0, len(m.members)-1)
+			next = append(next, m.members[:i]...)
+			next = append(next, m.members[i+1:]...)
+			m.members = next
+			m.rebuildLocked()
+			return true, m.epoch
+		}
+	}
+	return false, m.epoch
+}
+
+// sweep advances every member's lease clock: newly expired leases eject
+// their member (exactly like a failed probe crossing the threshold), and
+// members lapsed past the forget horizon — with no probe reaching them
+// either — are removed from the ring. forgetAfter <= 0 selects the
+// default horizon of forgetFactor lease TTLs; the probe-reachability
+// guard means a live worker whose heartbeats broke degrades to
+// probe-governed health instead of being silently dropped mid-service.
+func (m *membership) sweep(now time.Time, forgetAfter time.Duration) (expired, forgotten int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var keep []*backend
+	for i, b := range m.members {
+		newly, lapsedFor := b.expireIfDue(now)
+		if newly {
+			expired++
+		}
+		horizon := forgetAfter
+		if horizon <= 0 {
+			horizon = forgetFactor * b.leaseTTL()
+		}
+		if lapsedFor > horizon && !b.isHealthy() {
+			forgotten++
+			if keep == nil {
+				keep = append(keep, m.members[:i]...)
+			}
+			continue
+		}
+		if keep != nil {
+			keep = append(keep, b)
+		}
+	}
+	if forgotten > 0 {
+		m.members = keep
+		m.rebuildLocked()
+	}
+	return expired, forgotten
+}
+
+// leaseTTL reads the member's granted TTL (0 for seed members).
+func (b *backend) leaseTTL() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ttl
+}
+
+// injectRegister evaluates the control-plane failpoint site shared by the
+// register and deregister handlers. Reports whether the handler must stop.
+func injectRegister(w http.ResponseWriter) bool {
+	err := failpoint.Inject(failpoint.RouterRegister)
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, failpoint.ErrDrop) {
+		panic(http.ErrAbortHandler)
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	return true
+}
+
+// handleRegister serves POST /v1/register: a worker joining the fleet or
+// renewing its lease (the two are the same call — a register of an
+// existing member is a heartbeat). The granted lease is the requested one
+// clamped to [minLease, maxLease], defaulting to Config.DefaultLease.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if injectRegister(w) {
+		return
+	}
+	var req httpapi.RegisterRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	if req.LeaseMS < 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("lease_ms %d must not be negative", req.LeaseMS)})
+		return
+	}
+	b, err := newBackend(req.URL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	lease := time.Duration(req.LeaseMS) * time.Millisecond
+	if lease == 0 {
+		lease = rt.cfg.DefaultLease
+	}
+	if lease < minLease {
+		lease = minLease
+	}
+	if lease > maxLease {
+		lease = maxLease
+	}
+	created, epoch := rt.mem.register(b, lease, time.Now())
+	if created {
+		rt.nJoins.Add(1)
+	}
+	writeJSON(w, http.StatusOK, httpapi.RegisterResponse{
+		Epoch: epoch, LeaseMS: lease.Milliseconds(), Created: created,
+	})
+}
+
+// handleDeregister serves POST /v1/deregister: a draining worker leaving
+// the fleet explicitly, ahead of its lease. Idempotent — deregistering a
+// name that is not a member reports removed=false with a 200.
+func (rt *Router) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if injectRegister(w) {
+		return
+	}
+	var req httpapi.DeregisterRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	if req.URL == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "url required"})
+		return
+	}
+	removed, epoch := rt.mem.deregister(strings.TrimSuffix(req.URL, "/"))
+	if removed {
+		rt.nLeaves.Add(1)
+	}
+	writeJSON(w, http.StatusOK, httpapi.DeregisterResponse{Epoch: epoch, Removed: removed})
+}

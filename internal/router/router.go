@@ -1,9 +1,19 @@
 // Package router is the replicated serving tier's front end: a stdlib-HTTP
 // reverse proxy that spreads /v1/generate and /v1/stream traffic across a
-// static fleet of llm-serve workers. One worker process is pinned near its
+// fleet of llm-serve workers. One worker process is pinned near its
 // memory-bandwidth floor (E19-E22); serving production traffic means N of
 // them, and this package is the layer that makes N processes look like one:
 //
+//   - Membership: the fleet is dynamic (membership.go). Workers join via
+//     POST /v1/register (base URL + lease TTL), renew by heartbeating the
+//     same endpoint, and leave explicitly via POST /v1/deregister; the
+//     -backends list survives as permanent seed membership. A lease that
+//     expires without renewal ejects its worker exactly like a failed
+//     probe; one lapsed long past its TTL is forgotten — removed from the
+//     ring. Every membership change rebuilds the consistent-hash ring
+//     under a new epoch (exposed on /v1/stats), and because placement is
+//     a pure function of the member set, each rebuild remaps only the
+//     sessions the joined/left worker claims or frees.
 //   - Placement: requests carrying a session key are routed by consistent
 //     hashing (ring.go), so a session's requests keep landing on the same
 //     worker — the placement KV/prefix reuse needs. Unkeyed requests go to
@@ -11,7 +21,8 @@
 //     count plus the worker's polled in_flight+queued gauges.
 //   - Health: an active /healthz probe loop plus passive per-attempt
 //     failure detection feed one state machine per backend (backend.go);
-//     ejected workers are routed around and readmitted on probe success.
+//     ejected workers are routed around and readmitted on probe success
+//     (or, for leased members, on their next heartbeat).
 //   - Retries: idempotent work (generate always; streams before the first
 //     byte reaches the client) fails over to the next ring replica with
 //     exponential backoff. A stream that breaks after bytes were written
@@ -29,9 +40,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
@@ -45,9 +57,19 @@ import (
 
 // Config assembles the routing tier. Zero values select the defaults.
 type Config struct {
-	// Backends is the static worker fleet, as base URLs
-	// (e.g. http://127.0.0.1:8372). Required.
+	// Backends is the seed worker fleet, as base URLs
+	// (e.g. http://127.0.0.1:8372). Seed members are permanent: they have
+	// no lease and are never forgotten. May be empty — a router can start
+	// with no members and grow its fleet entirely through /v1/register.
 	Backends []string
+	// DefaultLease is the TTL granted to /v1/register calls that do not
+	// request one, and the lease scale behind the Retry-After hint on
+	// membership-flux rejections (default 15s).
+	DefaultLease time.Duration
+	// ForgetAfter is how long past expiry a lapsed, unreachable member is
+	// kept in the ring before being removed entirely (default: 10 lease
+	// TTLs; negative keeps lapsed members forever).
+	ForgetAfter time.Duration
 	// MaxInFlight is the global admission cap: requests beyond it are shed
 	// with 429 (default 256; negative disables).
 	MaxInFlight int
@@ -59,8 +81,11 @@ type Config struct {
 	// MaxAttempts bounds placement attempts per request, the first try
 	// included (default 3, always capped at the fleet size).
 	MaxAttempts int
-	// RetryBackoff is the sleep before the first retry, doubling per
-	// attempt (default 10ms; negative disables the sleep).
+	// RetryBackoff is the nominal sleep before the first retry, doubling
+	// per attempt; each sleep is jittered to [1/2, 1] of nominal so a
+	// burst of requests orphaned by one worker ejection does not hammer
+	// the surviving replicas in lockstep (default 10ms; negative disables
+	// the sleep).
 	RetryBackoff time.Duration
 	// HealthInterval is the active probe + gauge poll period (default
 	// 250ms).
@@ -85,6 +110,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 256
+	}
+	if c.DefaultLease <= 0 {
+		c.DefaultLease = 15 * time.Second
 	}
 	if c.BackendQueue == 0 {
 		c.BackendQueue = 32
@@ -117,10 +145,9 @@ func (c Config) withDefaults() Config {
 // surface a single worker does, so clients cannot tell one worker from a
 // routed fleet.
 type Router struct {
-	cfg      Config
-	backends []*backend
-	ring     *ring
-	mux      *http.ServeMux
+	cfg Config
+	mem *membership
+	mux *http.ServeMux
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -135,12 +162,16 @@ type Router struct {
 	drainOnce sync.Once
 
 	// Counters, exported on /v1/stats.
-	nRequests atomic.Uint64 // everything that reached the handler
-	nProxied  atomic.Uint64 // completed with an upstream response
-	nRetries  atomic.Uint64 // extra placement attempts
-	nShed     atomic.Uint64 // 429 admission/backpressure rejections
-	nRejected atomic.Uint64 // 503 drain/no-backend rejections
-	nErrors   atomic.Uint64 // exhausted retries or broke mid-stream
+	nRequests  atomic.Uint64 // everything that reached the handler
+	nProxied   atomic.Uint64 // completed with an upstream response
+	nRetries   atomic.Uint64 // extra placement attempts
+	nShed      atomic.Uint64 // 429 admission/backpressure rejections
+	nRejected  atomic.Uint64 // 503 drain/no-backend rejections
+	nErrors    atomic.Uint64 // exhausted retries or broke mid-stream
+	nJoins     atomic.Uint64 // new members admitted via /v1/register
+	nLeaves    atomic.Uint64 // members removed via /v1/deregister
+	nExpiries  atomic.Uint64 // leases that lapsed without renewal
+	nForgotten atomic.Uint64 // lapsed members removed from the ring
 }
 
 // New builds the router and starts its health loop. onDrain, if non-nil,
@@ -149,11 +180,8 @@ type Router struct {
 // must Close the router to stop the health loop.
 func New(cfg Config, onDrain func()) (*Router, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Backends) == 0 {
-		return nil, errors.New("router: at least one backend required")
-	}
 	rt := &Router{cfg: cfg, quit: make(chan struct{}), onDrain: onDrain}
-	names := make([]string, 0, len(cfg.Backends))
+	var seeds []*backend
 	seen := map[string]bool{}
 	for _, raw := range cfg.Backends {
 		b, err := newBackend(raw)
@@ -164,10 +192,9 @@ func New(cfg Config, onDrain func()) (*Router, error) {
 			return nil, fmt.Errorf("router: duplicate backend %q", b.name)
 		}
 		seen[b.name] = true
-		rt.backends = append(rt.backends, b)
-		names = append(names, b.name)
+		seeds = append(seeds, b)
 	}
-	rt.ring = newRing(names)
+	rt.mem = newMembership(seeds)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +219,8 @@ func New(cfg Config, onDrain func()) (*Router, error) {
 		rt.StartDrain()
 		writeJSON(w, http.StatusAccepted, map[string]bool{"draining": true})
 	})
+	mux.HandleFunc("POST /v1/register", rt.handleRegister)
+	mux.HandleFunc("POST /v1/deregister", rt.handleDeregister)
 	rt.mux = mux
 
 	rt.hwg.Add(1)
@@ -258,6 +287,47 @@ func (rt *Router) Drain(ctx context.Context) error {
 	}
 }
 
+// retryAfterLoad is the Retry-After hint on load-shedding 429s: queue
+// pressure clears at traffic speed, but the router's view of worker load
+// refreshes at probe cadence, so the honest earliest time a retry can see
+// a different answer is the next gauge poll — two health intervals,
+// rounded up to Retry-After's whole-second resolution.
+func (rt *Router) retryAfterLoad() string {
+	return ceilSecs(2 * rt.cfg.HealthInterval)
+}
+
+// retryAfterMembership is the Retry-After hint on 503s issued during
+// membership flux (draining, or no healthy member). The condition clears
+// when a probe readmits an ejected worker or a heartbeat renews/creates a
+// lease, so the hint is derived from both cadences rather than a
+// hardcoded constant: two probe intervals, or a quarter of the default
+// lease when that is longer (workers heartbeat at a fraction of their
+// TTL — Joiner uses TTL/3 — so lease/4 is one expected heartbeat away).
+func (rt *Router) retryAfterMembership() string {
+	d := 2 * rt.cfg.HealthInterval
+	if hb := rt.cfg.DefaultLease / 4; hb > d {
+		d = hb
+	}
+	return ceilSecs(d)
+}
+
+// ceilSecs renders d as whole seconds for a Retry-After header, rounding
+// up and flooring at 1 (a Retry-After of 0 would mean "immediately").
+func ceilSecs(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// reject writes a 503 rejection with the membership-derived backoff hint.
+func (rt *Router) reject(w http.ResponseWriter, why string) {
+	rt.nRejected.Add(1)
+	w.Header().Set("Retry-After", rt.retryAfterMembership())
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": why})
+}
+
 // admit gates one generation request. It returns false after writing the
 // rejection when the router is draining or the global cap is hit; on true,
 // the caller must call the returned release exactly once.
@@ -265,9 +335,7 @@ func (rt *Router) admit(w http.ResponseWriter) (release func(), ok bool) {
 	rt.admitMu.Lock()
 	if rt.draining.Load() {
 		rt.admitMu.Unlock()
-		rt.nRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		rt.reject(w, "draining")
 		return nil, false
 	}
 	rt.reqs.Add(1)
@@ -287,7 +355,7 @@ func (rt *Router) admit(w http.ResponseWriter) (release func(), ok bool) {
 // shed writes the 429 load-shedding reply.
 func (rt *Router) shed(w http.ResponseWriter, why string) {
 	rt.nShed.Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", rt.retryAfterLoad())
 	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": why})
 }
 
@@ -337,15 +405,16 @@ func sessionOf(r *http.Request, body []byte) string {
 // (unkeyed), with ejected backends moved to the back in either case — they
 // are only tried once every healthy replica has failed.
 func (rt *Router) candidates(session string) []*backend {
+	members, rg := rt.mem.snapshot()
 	var order []*backend
 	if session != "" {
-		idxs := rt.ring.successors(session)
+		idxs := rg.successors(session)
 		order = make([]*backend, len(idxs))
 		for i, idx := range idxs {
-			order[i] = rt.backends[idx]
+			order[i] = members[idx]
 		}
 	} else {
-		order = append([]*backend(nil), rt.backends...)
+		order = append([]*backend(nil), members...)
 		sort.SliceStable(order, func(a, b int) bool { return order[a].score() < order[b].score() })
 	}
 	healthy := make([]*backend, 0, len(order))
@@ -387,9 +456,7 @@ func (rt *Router) handle(w http.ResponseWriter, r *http.Request, path string, st
 	session := sessionOf(r, body)
 	cands := rt.candidates(session)
 	if len(cands) == 0 || !cands[0].isHealthy() {
-		rt.nRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no healthy backend"})
+		rt.reject(w, "no healthy backend")
 		return
 	}
 	// Per-backend backpressure: the preferred worker (session owner, or the
@@ -414,7 +481,7 @@ func (rt *Router) handle(w http.ResponseWriter, r *http.Request, path string, st
 		if i > 0 {
 			rt.nRetries.Add(1)
 			if backoff > 0 {
-				time.Sleep(backoff)
+				time.Sleep(jitteredBackoff(backoff))
 				backoff *= 2
 			}
 		}
@@ -437,8 +504,21 @@ func (rt *Router) handle(w http.ResponseWriter, r *http.Request, path string, st
 		}
 	}
 	rt.nErrors.Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", rt.retryAfterMembership())
 	writeJSON(w, http.StatusBadGateway, map[string]string{"error": "all backends failed"})
+}
+
+// jitteredBackoff spreads a nominal backoff uniformly over [d/2, d]. Pure
+// doubling would march every request orphaned by the same worker ejection
+// through identical sleep schedules, synchronizing their retries into
+// bursts against the surviving replicas; the half-width jitter decorrelates
+// them while keeping the expected wait within 25% of nominal.
+func jitteredBackoff(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
 }
 
 // retryableStatus marks upstream replies that indicate the worker (not the
@@ -562,6 +642,19 @@ func (rt *Router) relayStream(ctx context.Context, w http.ResponseWriter, upstre
 			return
 		}
 	}
+}
+
+// decodeBody parses a bounded JSON request body into v, writing the 400
+// itself on failure so handlers can just return on error.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+	}
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
