@@ -45,6 +45,16 @@
 // epochs, and bounded rejoin-to-traffic time. Results go to
 // BENCH_chaos_churn.json.
 //
+// With -chaos -router-ha it runs the router-high-availability harness
+// (E26): two peered llm-routers replicating lease-based membership over
+// one worker fleet, a failover client, and a seeded schedule that kills
+// one router mid-load, restarts it on the same address, joins a worker at
+// only one router (the other must learn it by gossip), and partitions the
+// peer-sync channel — asserting zero lost requests, bitwise-intact
+// survivors, bounded router recovery-to-traffic, and identical membership
+// ledgers once the tier reconverges. Results go to
+// BENCH_chaos_router_ha.json.
+//
 // Usage:
 //
 //	llm-bench [-model model.json] [-shots 0,3] [-seed 1]
@@ -56,6 +66,8 @@
 //	llm-bench -chaos [-out .] [-seed 1] [-load-workers 2]
 //	          [-conns 8] [-requests 60] [-load-tokens 16]
 //	llm-bench -chaos -churn [-out .] [-seed 1]
+//	          [-conns 8] [-requests 60] [-load-tokens 16]
+//	llm-bench -chaos -router-ha [-out .] [-seed 1]
 //	          [-conns 8] [-requests 60] [-load-tokens 16]
 package main
 
@@ -98,6 +110,7 @@ func main() {
 		loadMode  = flag.Bool("load", false, "run the HTTP serving-tier load benchmark and write BENCH_serve_load.json")
 		chaosMode = flag.Bool("chaos", false, "run the fault-injection chaos harness and write BENCH_chaos.json")
 		churnMode = flag.Bool("churn", false, "with -chaos: run the membership-churn harness and write BENCH_chaos_churn.json")
+		haMode    = flag.Bool("router-ha", false, "with -chaos: run the router-high-availability harness and write BENCH_chaos_router_ha.json")
 		target    = flag.String("target", "", "-load: base URL of a running router or worker; empty = self-host an in-process tier")
 		workers   = flag.Int("load-workers", 2, "-load/-chaos: worker count behind the self-hosted router scenario")
 		conns     = flag.Int("conns", 8, "-load/-chaos: client concurrency")
@@ -113,9 +126,12 @@ func main() {
 			requests: *requests, tokens: *loadTok, seed: *seed,
 		}
 		var err error
-		if *churnMode {
+		switch {
+		case *haMode:
+			err = runRouterHAJSON(*outDir, o)
+		case *churnMode:
 			err = runChurnJSON(*outDir, o)
-		} else {
+		default:
 			err = runChaosJSON(*outDir, o)
 		}
 		if err != nil {

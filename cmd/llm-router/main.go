@@ -8,6 +8,7 @@
 //
 //	llm-router [-backends http://127.0.0.1:8372,http://127.0.0.1:8373]
 //	           [-addr :8371] [-default-lease 15s]
+//	           [-peers http://127.0.0.1:8381] [-sync-interval 500ms]
 //	           [-max-inflight 256] [-backend-queue 32]
 //	           [-attempts 3] [-retry-backoff 10ms]
 //	           [-health-interval 250ms] [-fail-threshold 3]
@@ -21,6 +22,18 @@
 // -backends seeds permanent members (no lease) and may be empty — a
 // router can start with no workers and grow its fleet entirely through
 // registration. Every membership change bumps the epoch on /v1/stats.
+//
+// High availability: -peers lists the base URLs of the other routers in a
+// replicated router tier. Peers converge on the same leased-member set —
+// and therefore the same placement — via relayed joins/leaves, push-pull
+// anti-entropy every -sync-interval (POST /v1/sync), and the workers'
+// own heartbeats to every router (llm-serve -join with all router URLs).
+// GET /healthz answers 200 only once the router is ready: its initial
+// peer-sync round has run and at least one backend is healthy — so a
+// restarted router does not take traffic before it has a fleet to place
+// onto. /v1/stats exports the convergence surface: ring_digest (equal
+// digests = identical membership and ring), converged, and per-peer sync
+// counters.
 //
 // Placement: requests carrying a session key (the body's "session" field,
 // or the X-Session-Key header) are routed by consistent hashing, so one
@@ -75,6 +88,8 @@ func main() {
 		backends     = flag.String("backends", "", "comma-separated seed llm-serve base URLs (may be empty: workers join via /v1/register)")
 		addr         = flag.String("addr", ":8371", "listen address")
 		defaultLease = flag.Duration("default-lease", 0, "lease TTL granted to registrations that do not request one (0 = default 15s)")
+		peersFlag    = flag.String("peers", "", "comma-separated base URLs of peer routers (replicated membership)")
+		syncEvery    = flag.Duration("sync-interval", 0, "peer anti-entropy period (0 = default 500ms)")
 		maxInflight  = flag.Int("max-inflight", 0, "global in-flight admission cap (0 = default 256, negative = unlimited)")
 		backendQueue = flag.Int("backend-queue", 0, "per-backend queue-depth shed limit (0 = default 32, negative = unlimited)")
 		attempts     = flag.Int("attempts", 0, "max placement attempts per request (0 = default 3)")
@@ -86,12 +101,17 @@ func main() {
 	)
 	flag.Parse()
 
-	var fleet []string
-	for _, b := range strings.Split(*backends, ",") {
-		if b = strings.TrimSpace(b); b != "" {
-			fleet = append(fleet, b)
+	splitList := func(s string) []string {
+		var out []string
+		for _, v := range strings.Split(s, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				out = append(out, v)
+			}
 		}
+		return out
 	}
+	fleet := splitList(*backends)
+	peers := splitList(*peersFlag)
 	hs := &http.Server{
 		Addr:              *addr,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -100,6 +120,8 @@ func main() {
 	rt, err := router.New(router.Config{
 		Backends:       fleet,
 		DefaultLease:   *defaultLease,
+		Peers:          peers,
+		SyncInterval:   *syncEvery,
 		MaxInFlight:    *maxInflight,
 		BackendQueue:   *backendQueue,
 		MaxAttempts:    *attempts,
@@ -129,7 +151,7 @@ func main() {
 		<-ctx.Done()
 		rt.StartDrain()
 	}()
-	log.Printf("routing on %s (%d seed backends; workers may join via /v1/register)", *addr, len(fleet))
+	log.Printf("routing on %s (%d seed backends, %d peer routers; workers may join via /v1/register)", *addr, len(fleet), len(peers))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

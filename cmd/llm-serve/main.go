@@ -21,9 +21,13 @@
 // router's /v1/register, requesting a -lease TTL, then heartbeats every
 // -heartbeat (default lease/3) to keep the lease alive — retrying with
 // jittered exponential backoff while the router is unreachable, so worker
-// and router can start in any order. Draining (SIGTERM or /v1/drain)
-// deregisters explicitly before the listener shuts down, so the router
-// drops the worker immediately instead of waiting out the lease.
+// and router can start in any order. With a replicated router tier, -join
+// takes every router's base URL comma-separated; the worker registers with
+// and heartbeats all of them independently, tolerating any subset being
+// down. Draining (SIGTERM or /v1/drain) deregisters explicitly from every
+// router — each with a short bounded retry — before the listener shuts
+// down, so the routers drop the worker immediately instead of waiting out
+// the lease.
 //
 // -request-timeout is the server-side default deadline: a request without
 // its own timeout_ms budget that overruns it fails with 504 between decode
@@ -114,7 +118,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM or /v1/drain")
 		reqTimeout   = flag.Duration("request-timeout", 0, "default per-request deadline; requests without their own timeout_ms fail with 504 past it (0 disables)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "token-progress watchdog: streams making no progress for this long are failed (0 disables)")
-		join         = flag.String("join", "", "router base URL to register with (empty = static membership)")
+		join         = flag.String("join", "", "comma-separated router base URLs to register with (empty = static membership)")
 		advertise    = flag.String("advertise", "", "base URL advertised to the router (default: derived from -addr)")
 		lease        = flag.Duration("lease", 15*time.Second, "registration lease TTL requested from the router")
 		heartbeat    = flag.Duration("heartbeat", 0, "lease-renewal period (0 = lease/3)")
@@ -175,9 +179,15 @@ func main() {
 		if self == "" {
 			self = advertisedURL(*addr)
 		}
+		var routers []string
+		for _, r := range strings.Split(*join, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				routers = append(routers, r)
+			}
+		}
 		var err error
 		joiner, err = httpapi.StartJoiner(httpapi.JoinConfig{
-			Router: strings.TrimSuffix(*join, "/"), Self: self,
+			Routers: routers, Self: self,
 			Lease: *lease, Interval: *heartbeat, Logf: log.Printf,
 		})
 		if err != nil {

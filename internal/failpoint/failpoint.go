@@ -66,6 +66,17 @@ const (
 	// Error/Drop → the attempt fails and the loop retries with jittered
 	// backoff; Latency → a heartbeat that almost misses its lease.
 	JoinHeartbeat = "httpapi/join/heartbeat"
+	// RouterPeerSend fires per outgoing peer-sync exchange (the anti-
+	// entropy push-pull and the relay-on-change path), before the HTTP
+	// call leaves the router. Error/Drop → the exchange fails and the next
+	// anti-entropy tick retries — a partitioned peer link; Latency → a
+	// slow cross-router network.
+	RouterPeerSend = "router/peer-send"
+	// RouterPeerRecv fires in the router's POST /v1/sync handler before
+	// the peer's records are parsed. Error → 500 (the sender counts a
+	// failed exchange); Drop → the connection is severed; Latency → a slow
+	// merge.
+	RouterPeerRecv = "router/peer-recv"
 	// ServePrefill fires per chunked-prefill pass in the batching loop,
 	// attributed to the request whose prompt is being ingested. Panic →
 	// that request is evicted; the batch and server keep running.
@@ -87,6 +98,7 @@ func Sites() []string {
 	return []string{
 		HTTPGenerate, HTTPStreamPreSSE, HTTPStreamMid,
 		RouterRelay, RouterProbe, RouterRegister, JoinHeartbeat,
+		RouterPeerSend, RouterPeerRecv,
 		ServePrefill, ServeStep, ServeVerify, ServeSample,
 	}
 }

@@ -5,6 +5,16 @@
 // are the same call), and deregisters explicitly when it drains, so the
 // fleet can grow, shrink, and replace crashed workers without restarting
 // the router.
+//
+// With replicated routers (-join takes a comma-separated list) the Joiner
+// runs one independent heartbeat loop per router: each router's view of
+// this worker is first-hand, any subset of routers being down degrades
+// nothing as long as one is reachable, and a router that restarts from
+// empty relearns the worker within one heartbeat interval without help
+// from its peers. Leave fans the deregister out to every router, each with
+// its own bounded retry, so a single unreachable router cannot stall a
+// drain — its peers tombstone the worker and gossip the leave to it when
+// it returns.
 
 package httpapi
 
@@ -17,6 +27,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,8 +66,12 @@ type DeregisterResponse struct {
 
 // JoinConfig configures a worker's self-registration loop.
 type JoinConfig struct {
-	// Router is the router's base URL (e.g. http://127.0.0.1:8370).
+	// Router is a single router's base URL (e.g. http://127.0.0.1:8370).
+	// Kept for single-router callers; merged into Routers.
 	Router string
+	// Routers lists every router base URL the worker registers with and
+	// heartbeats. Duplicates (including of Router) are dropped.
+	Routers []string
 	// Self is the base URL this worker advertises as reachable.
 	Self string
 	// Lease is the TTL requested per register call (default 15s).
@@ -72,22 +87,41 @@ type JoinConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// Joiner keeps one worker registered with one router until stopped.
+// Joiner keeps one worker registered with a set of routers until stopped.
 type Joiner struct {
-	cfg  JoinConfig
-	quit chan struct{}
-	done chan struct{}
-	once sync.Once
+	cfg     JoinConfig
+	routers []string
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
 }
 
-// StartJoiner registers the worker and keeps its lease renewed from a
-// background goroutine. The first register is attempted inline with the
-// same retry policy as later ones, but errors do not fail the start: a
-// worker that boots before its router retries until the router appears,
-// with jittered exponential backoff.
+// joinRouters normalizes the configured router list: Router plus Routers,
+// trimmed, with empties and duplicates dropped, order preserved.
+func joinRouters(cfg JoinConfig) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range append([]string{cfg.Router}, cfg.Routers...) {
+		r = strings.TrimSuffix(strings.TrimSpace(r), "/")
+		if r == "" || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// StartJoiner registers the worker and keeps its leases renewed, one
+// background heartbeat loop per router so a slow or dead router cannot
+// delay renewals at the others. The first register per router is attempted
+// inline with the same retry policy as later ones, but errors do not fail
+// the start: a worker that boots before its routers retries until they
+// appear, with jittered exponential backoff.
 func StartJoiner(cfg JoinConfig) (*Joiner, error) {
-	if cfg.Router == "" || cfg.Self == "" {
-		return nil, errors.New("httpapi: join needs both router and self URLs")
+	routers := joinRouters(cfg)
+	if len(routers) == 0 || cfg.Self == "" {
+		return nil, errors.New("httpapi: join needs router and self URLs")
 	}
 	if cfg.Lease <= 0 {
 		cfg.Lease = 15 * time.Second
@@ -98,8 +132,11 @@ func StartJoiner(cfg JoinConfig) (*Joiner, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 5 * time.Second}
 	}
-	j := &Joiner{cfg: cfg, quit: make(chan struct{}), done: make(chan struct{})}
-	go j.loop()
+	j := &Joiner{cfg: cfg, routers: routers, quit: make(chan struct{})}
+	for _, r := range routers {
+		j.wg.Add(1)
+		go j.loop(r)
+	}
 	return j, nil
 }
 
@@ -109,13 +146,15 @@ func (j *Joiner) logf(format string, args ...any) {
 	}
 }
 
-// loop heartbeats until Stop. Success sleeps one Interval; failure retries
-// on a jittered exponential backoff starting well under the interval (a
-// worker racing its router's startup should not idle a whole heartbeat
-// period) and capped at it (a dead router must not push the retry period
-// past the lease).
-func (j *Joiner) loop() {
-	defer close(j.done)
+// loop heartbeats one router until Stop. Success sleeps one Interval;
+// failure retries on a jittered exponential backoff starting well under
+// the interval (a worker racing its router's startup should not idle a
+// whole heartbeat period) and capped at it (a dead router must not push
+// the retry period past the lease). Each router gets its own loop and its
+// own backoff state, so losing one router leaves the heartbeat cadence at
+// the others untouched.
+func (j *Joiner) loop(router string) {
+	defer j.wg.Done()
 	const minBackoff = 5 * time.Millisecond
 	backoff := j.cfg.Interval / 4
 	if backoff < minBackoff {
@@ -124,18 +163,18 @@ func (j *Joiner) loop() {
 	base := backoff
 	joined := false
 	for {
-		err := j.registerOnce()
+		err := j.registerOnce(router)
 		var sleep time.Duration
 		if err == nil {
 			if !joined {
-				j.logf("joined router %s (lease %v, heartbeat %v)", j.cfg.Router, j.cfg.Lease, j.cfg.Interval)
+				j.logf("joined router %s (lease %v, heartbeat %v)", router, j.cfg.Lease, j.cfg.Interval)
 			}
 			joined = true
 			backoff = base
 			sleep = j.cfg.Interval
 		} else {
 			if joined {
-				j.logf("lost router %s: %v (retrying)", j.cfg.Router, err)
+				j.logf("lost router %s: %v (retrying)", router, err)
 			}
 			joined = false
 			half := backoff / 2
@@ -153,13 +192,13 @@ func (j *Joiner) loop() {
 	}
 }
 
-// registerOnce issues one register/heartbeat call.
-func (j *Joiner) registerOnce() error {
+// registerOnce issues one register/heartbeat call to one router.
+func (j *Joiner) registerOnce(router string) error {
 	if err := failpoint.Inject(failpoint.JoinHeartbeat); err != nil {
 		return err
 	}
 	body, _ := json.Marshal(RegisterRequest{URL: j.cfg.Self, LeaseMS: j.cfg.Lease.Milliseconds()})
-	resp, err := j.cfg.Client.Post(j.cfg.Router+"/v1/register", "application/json", bytes.NewReader(body))
+	resp, err := j.cfg.Client.Post(router+"/v1/register", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -171,21 +210,66 @@ func (j *Joiner) registerOnce() error {
 	return nil
 }
 
-// Stop halts the heartbeat loop without deregistering — the lease is left
-// to expire, which is what an ungraceful death looks like. Idempotent.
+// Stop halts the heartbeat loops without deregistering — the leases are
+// left to expire, which is what an ungraceful death looks like. Idempotent.
 func (j *Joiner) Stop() {
 	j.once.Do(func() { close(j.quit) })
-	<-j.done
+	j.wg.Wait()
 }
+
+// leaveAttempts bounds the per-router deregister retry in Leave. The
+// deregister is a courtesy — an unreachable router tombstones the worker
+// via lease lapse or a peer's gossip anyway — so the retry is short: it
+// papers over a transient blip without letting one dead router stall a
+// drain for long.
+const leaveAttempts = 3
 
 // Leave is the graceful exit: stop heartbeating (waiting out any in-flight
 // register so a stale heartbeat cannot resurrect the membership after the
-// deregister lands), then tell the router to drop this worker now instead
-// of waiting out the lease.
+// deregister lands), then tell every router to drop this worker now
+// instead of waiting out the lease. Routers are notified concurrently,
+// each with its own bounded retry; the joined error reports every router
+// that could not be reached within the budget.
 func (j *Joiner) Leave(ctx context.Context) error {
 	j.Stop()
+	errs := make([]error, len(j.routers))
+	var wg sync.WaitGroup
+	for i, r := range j.routers {
+		wg.Add(1)
+		go func(i int, router string) {
+			defer wg.Done()
+			errs[i] = j.leaveOne(ctx, router)
+		}(i, r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// leaveOne deregisters from one router, retrying up to leaveAttempts with
+// a short doubling backoff (ctx cancellation cuts it short).
+func (j *Joiner) leaveOne(ctx context.Context, router string) error {
+	var err error
+	backoff := 25 * time.Millisecond
+	for attempt := 0; attempt < leaveAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("httpapi: deregister %s: %w (last error: %w)", router, ctx.Err(), err)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if err = j.deregisterOnce(ctx, router); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("httpapi: deregister %s: %w", router, err)
+}
+
+// deregisterOnce issues one deregister call to one router.
+func (j *Joiner) deregisterOnce(ctx context.Context, router string) error {
 	body, _ := json.Marshal(DeregisterRequest{URL: j.cfg.Self})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, j.cfg.Router+"/v1/deregister", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, router+"/v1/deregister", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -197,7 +281,7 @@ func (j *Joiner) Leave(ctx context.Context) error {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("httpapi: deregister: router answered %d", resp.StatusCode)
+		return fmt.Errorf("router answered %d", resp.StatusCode)
 	}
 	return nil
 }

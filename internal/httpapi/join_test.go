@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ type fakeRouter struct {
 	registers   atomic.Int64
 	deregisters atomic.Int64
 	failFirst   atomic.Int64 // registers to answer 500 before succeeding
+	failDereg   atomic.Int64 // deregisters to answer 500 before succeeding
 	lastReg     atomic.Value // RegisterRequest
 	lastDereg   atomic.Value // DeregisterRequest
 }
@@ -41,7 +43,11 @@ func newFakeRouter(t *testing.T) *fakeRouter {
 		var req DeregisterRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		fr.lastDereg.Store(req)
-		fr.deregisters.Add(1)
+		n := fr.deregisters.Add(1)
+		if n <= fr.failDereg.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
 		WriteJSON(w, http.StatusOK, DeregisterResponse{Epoch: 2, Removed: true})
 	})
 	fr.ts = httptest.NewServer(mux)
@@ -134,5 +140,111 @@ func TestLeaveDeregisters(t *testing.T) {
 	time.Sleep(80 * time.Millisecond)
 	if got := fr.registers.Load(); got != regs {
 		t.Fatalf("heartbeats continued after Leave: %d -> %d", regs, got)
+	}
+}
+
+// TestJoinRoutersNormalize: the legacy single Router and the Routers list
+// merge, with whitespace, trailing slashes, empties, and duplicates
+// dropped — a worker must never run two heartbeat loops at one router.
+func TestJoinRoutersNormalize(t *testing.T) {
+	got := joinRouters(JoinConfig{
+		Router:  "http://a:1/",
+		Routers: []string{" http://b:2 ", "", "http://a:1", "http://b:2/"},
+	})
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) {
+		t.Fatalf("joinRouters = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("joinRouters = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestJoinerHeartbeatsEveryRouter: with a replicated router tier the
+// Joiner heartbeats all routers independently, and one router dying does
+// not disturb the cadence at the survivor.
+func TestJoinerHeartbeatsEveryRouter(t *testing.T) {
+	fr1, fr2 := newFakeRouter(t), newFakeRouter(t)
+	j, err := StartJoiner(JoinConfig{
+		Routers: []string{fr1.ts.URL, fr2.ts.URL}, Self: "http://127.0.0.1:9999",
+		Lease: 300 * time.Millisecond, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	waitJoin(t, "three heartbeats at each router", func() bool {
+		return fr1.registers.Load() >= 3 && fr2.registers.Load() >= 3
+	})
+
+	// Kill router 1; router 2 must keep receiving renewals.
+	fr1.ts.Close()
+	before := fr2.registers.Load()
+	waitJoin(t, "three more heartbeats at the survivor", func() bool {
+		return fr2.registers.Load() >= before+3
+	})
+}
+
+// TestLeaveDeregistersEveryRouter: Leave fans out to every router, and a
+// router that fails transiently is retried within the per-router budget —
+// a blip must not leave a stale member squatting until lease expiry.
+func TestLeaveDeregistersEveryRouter(t *testing.T) {
+	fr1, fr2 := newFakeRouter(t), newFakeRouter(t)
+	fr2.failDereg.Store(2) // first two attempts 500, third succeeds
+	j, err := StartJoiner(JoinConfig{
+		Routers: []string{fr1.ts.URL, fr2.ts.URL}, Self: "http://127.0.0.1:9999",
+		Lease: 300 * time.Millisecond, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJoin(t, "first register at each router", func() bool {
+		return fr1.registers.Load() >= 1 && fr2.registers.Load() >= 1
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := j.Leave(ctx); err != nil {
+		t.Fatalf("Leave with a transiently failing router: %v", err)
+	}
+	if got := fr1.deregisters.Load(); got != 1 {
+		t.Fatalf("healthy router saw %d deregisters, want 1", got)
+	}
+	if got := fr2.deregisters.Load(); got != 3 {
+		t.Fatalf("flaky router saw %d deregisters, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// TestLeaveBoundedRetryReportsDeadRouter: a router that is down for the
+// whole drain exhausts its bounded retry and is reported in the joined
+// error — but the healthy router is still notified, and Leave returns
+// instead of hanging on the corpse.
+func TestLeaveBoundedRetryReportsDeadRouter(t *testing.T) {
+	fr := newFakeRouter(t)
+	dead := newFakeRouter(t)
+	deadURL := dead.ts.URL
+	j, err := StartJoiner(JoinConfig{
+		Routers: []string{fr.ts.URL, deadURL}, Self: "http://127.0.0.1:9999",
+		Lease: 300 * time.Millisecond, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJoin(t, "first register", func() bool { return fr.registers.Load() >= 1 })
+	dead.ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err = j.Leave(ctx)
+	if err == nil {
+		t.Fatal("Leave with a dead router returned nil, want its failure reported")
+	}
+	if !strings.Contains(err.Error(), deadURL) {
+		t.Fatalf("Leave error %q does not name the dead router %s", err, deadURL)
+	}
+	if got := fr.deregisters.Load(); got != 1 {
+		t.Fatalf("healthy router saw %d deregisters, want 1 despite the dead peer", got)
 	}
 }

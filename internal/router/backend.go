@@ -48,6 +48,16 @@ type backend struct {
 	ttl     time.Duration
 	expires time.Time
 	lapsed  bool // the current lease has expired without renewal
+
+	// Peer-sync state. version orders membership TRANSITIONS for this URL
+	// (join, rejoin-after-leave, leave) across routers; it is NOT bumped by
+	// renewals, because each router would bump independently and a
+	// high-version stale record would then beat a low-version fresh one.
+	// Renewal freshness is ordered by renewedAt instead: equal-version
+	// records merge by most-recent renewal, carried between routers as an
+	// age (duration since renewal) so wall-clock skew cancels out.
+	version   uint64
+	renewedAt time.Time
 }
 
 func newBackend(raw string) (*backend, error) {
@@ -104,8 +114,81 @@ func (b *backend) renewLease(ttl time.Duration, now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.leased, b.ttl, b.expires, b.lapsed = true, ttl, now.Add(ttl), false
+	b.renewedAt = now
 	b.fails = 0
 	b.healthy = true
+}
+
+// adoptLease installs lease state learned from a peer router rather than
+// from the worker itself: the transition version is taken as-is and the
+// expiry is computed from the renewal instant at the ORIGIN router
+// (eventAt = the peer's clock reading translated through an age, so skew
+// cancels). Unlike renewLease, a record that is already expired on arrival
+// does not readmit the backend — second-hand staleness is not liveness
+// evidence — it just updates the books and lets the sweep eject as usual.
+func (b *backend) adoptLease(version uint64, ttl time.Duration, eventAt, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.version = version
+	b.leased, b.ttl, b.expires = true, ttl, eventAt.Add(ttl)
+	b.renewedAt = eventAt
+	if b.expires.After(now) {
+		b.lapsed = false
+		b.fails = 0
+		b.healthy = true
+	}
+}
+
+// freshenLease applies an equal-version peer record: only a renewal more
+// recent than the one already on the books moves anything (both routers
+// heard from the same incarnation of the worker; the later heartbeat wins).
+func (b *backend) freshenLease(ttl time.Duration, eventAt, now time.Time) {
+	b.mu.Lock()
+	if !b.leased || !eventAt.After(b.renewedAt) {
+		b.mu.Unlock()
+		return
+	}
+	v := b.version
+	b.mu.Unlock()
+	b.adoptLease(v, ttl, eventAt, now)
+}
+
+// getVersion reads the member's transition version.
+func (b *backend) getVersion() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.version
+}
+
+// setVersion stamps the transition version on a freshly created member.
+func (b *backend) setVersion(v uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.version = v
+}
+
+// isLeased distinguishes registered members from config-seeded ones; peer
+// sync never touches seeds (each router's seed list is its own config).
+func (b *backend) isLeased() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.leased
+}
+
+// syncRecord renders the member for a peer-sync exchange. Seed members are
+// not gossiped (ok=false): they are configuration, not observed state.
+func (b *backend) syncRecord(now time.Time) (rec syncRecord, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.leased {
+		return syncRecord{}, false
+	}
+	return syncRecord{
+		URL:     b.name,
+		Version: b.version,
+		LeaseMS: b.ttl.Milliseconds(),
+		AgeMS:   now.Sub(b.renewedAt).Milliseconds(),
+	}, true
 }
 
 // expireIfDue checks the lease against now. On the first sweep past the

@@ -3,6 +3,7 @@ package router
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -129,12 +130,33 @@ type Stats struct {
 	// version; the rest count fleet transitions since start.
 	Epoch         uint64 `json:"epoch"`
 	Members       int    `json:"members"`
-	Joins         uint64 `json:"joins"`          // new members via /v1/register
-	Leaves        uint64 `json:"leaves"`         // removals via /v1/deregister
+	Joins         uint64 `json:"joins"`          // new members (register or peer sync)
+	Leaves        uint64 `json:"leaves"`         // removals (deregister or peer sync)
 	LeaseExpiries uint64 `json:"lease_expiries"` // leases lapsed without renewal
 	Forgotten     uint64 `json:"forgotten"`      // lapsed members swept from the ring
 
+	// Router-HA state. RingDigest hashes the member set (sorted URLs +
+	// seed/leased class): two routers with equal digests have converged on
+	// the same membership and therefore the same ring and placement —
+	// epochs are local rebuild counters and legitimately differ. Converged
+	// is the readiness gate /healthz applies alongside backend health.
+	RingDigest string      `json:"ring_digest"`
+	Converged  bool        `json:"converged"`
+	SyncRounds uint64      `json:"sync_rounds,omitempty"` // anti-entropy rounds completed
+	SyncsIn    uint64      `json:"syncs_in,omitempty"`    // /v1/sync exchanges served
+	Peers      []PeerStats `json:"peers,omitempty"`
+
 	Backends []BackendStats `json:"backends"`
+}
+
+// PeerStats is one peer router's sync view.
+type PeerStats struct {
+	URL      string `json:"url"`
+	Syncs    uint64 `json:"syncs"`    // successful exchanges initiated here
+	Failures uint64 `json:"failures"` // failed exchanges
+	// LastOKMS is how long ago the last successful exchange finished, in
+	// milliseconds; -1 when no exchange has succeeded yet.
+	LastOKMS int64 `json:"last_ok_ms"`
 }
 
 // BackendStats is one worker's routing view.
@@ -168,6 +190,19 @@ func (rt *Router) Stats() Stats {
 		Leaves:        rt.nLeaves.Load(),
 		LeaseExpiries: rt.nExpiries.Load(),
 		Forgotten:     rt.nForgotten.Load(),
+		RingDigest:    fmt.Sprintf("%016x", rt.mem.digest()),
+		Converged:     rt.initialSync.Load(),
+		SyncRounds:    rt.nSyncRounds.Load(),
+		SyncsIn:       rt.nSyncsIn.Load(),
+	}
+	for _, p := range rt.peers {
+		lastOK := int64(-1)
+		if ns := p.lastOK.Load(); ns > 0 {
+			lastOK = time.Since(time.Unix(0, ns)).Milliseconds()
+		}
+		st.Peers = append(st.Peers, PeerStats{
+			URL: p.url, Syncs: p.syncs.Load(), Failures: p.failures.Load(), LastOKMS: lastOK,
+		})
 	}
 	members, _ := rt.mem.snapshot()
 	st.Members = len(members)

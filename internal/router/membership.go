@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -49,10 +50,24 @@ type membership struct {
 	members []*backend
 	ring    *ring
 	epoch   uint64
+	// tomb holds deregistration tombstones for peer sync: a member that
+	// left keeps a versioned marker so a lagging gossip of its old lease
+	// cannot resurrect it. A genuine rejoin re-registers with a version
+	// above the tombstone's and clears it; stale tombstones are garbage-
+	// collected by the sweep on the same forget horizon as lapsed members.
+	tomb map[string]*tombstone
+}
+
+// tombstone marks a deregistered member for peer sync. ttl is the lease the
+// member last held, kept for the forget-horizon computation.
+type tombstone struct {
+	version uint64
+	at      time.Time
+	ttl     time.Duration
 }
 
 func newMembership(seeds []*backend) *membership {
-	m := &membership{members: seeds}
+	m := &membership{members: seeds, tomb: make(map[string]*tombstone)}
 	m.ring = newRing(namesOf(seeds))
 	return m
 }
@@ -90,26 +105,39 @@ func (m *membership) rebuildLocked() {
 // register adds b as a leased member, or — when a member with the same
 // canonical URL already exists — renews that member's lease instead (the
 // heartbeat path, and how a restarted worker readmits itself). Only a
-// genuinely new member changes the ring.
-func (m *membership) register(b *backend, lease time.Duration, now time.Time) (created bool, epoch uint64) {
+// genuinely new member changes the ring. A new member's transition version
+// is stamped above any tombstone left by a previous incarnation, so peers
+// adopt the rejoin over the remembered leave; renewals do NOT bump the
+// version (see the version comment on backend). rec is the state to relay
+// to peer routers.
+func (m *membership) register(b *backend, lease time.Duration, now time.Time) (created bool, epoch uint64, rec syncRecord) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, e := range m.members {
 		if e.name == b.name {
 			e.renewLease(lease, now)
-			return false, m.epoch
+			rec, _ = e.syncRecord(now)
+			return false, m.epoch, rec
 		}
 	}
+	version := uint64(1)
+	if t := m.tomb[b.name]; t != nil {
+		version = t.version + 1
+		delete(m.tomb, b.name)
+	}
 	b.renewLease(lease, now)
+	b.setVersion(version)
 	m.members = append(append([]*backend(nil), m.members...), b)
 	m.rebuildLocked()
-	return true, m.epoch
+	rec, _ = b.syncRecord(now)
+	return true, m.epoch, rec
 }
 
 // deregister removes the named member — the graceful-leave path. Removing
 // an unknown name is a no-op (deregistration races with expiry sweeps and
-// process shutdown, so it must be idempotent).
-func (m *membership) deregister(name string) (removed bool, epoch uint64) {
+// process shutdown, so it must be idempotent). A leased member leaves a
+// versioned tombstone behind for peer sync; seeds (config-owned) do not.
+func (m *membership) deregister(name string, now time.Time) (removed bool, epoch uint64, rec syncRecord) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, e := range m.members {
@@ -118,11 +146,147 @@ func (m *membership) deregister(name string) (removed bool, epoch uint64) {
 			next = append(next, m.members[:i]...)
 			next = append(next, m.members[i+1:]...)
 			m.members = next
+			if e.isLeased() {
+				t := &tombstone{version: e.getVersion() + 1, at: now, ttl: e.leaseTTL()}
+				m.tomb[name] = t
+				rec = t.syncRecord(now, name)
+			}
 			m.rebuildLocked()
-			return true, m.epoch
+			return true, m.epoch, rec
 		}
 	}
-	return false, m.epoch
+	if t := m.tomb[name]; t != nil {
+		rec = t.syncRecord(now, name)
+	}
+	return false, m.epoch, rec
+}
+
+// syncRecord renders a tombstone for a peer-sync exchange.
+func (t *tombstone) syncRecord(now time.Time, name string) syncRecord {
+	return syncRecord{
+		URL:     name,
+		Version: t.version,
+		Gone:    true,
+		LeaseMS: t.ttl.Milliseconds(),
+		AgeMS:   now.Sub(t.at).Milliseconds(),
+	}
+}
+
+// export snapshots every gossiped record — leased members and tombstones —
+// for one peer-sync exchange. Seed members are excluded: each router's
+// seed list is local configuration, not replicated state.
+func (m *membership) export(now time.Time) []syncRecord {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]syncRecord, 0, len(m.members)+len(m.tomb))
+	for _, b := range m.members {
+		if rec, ok := b.syncRecord(now); ok {
+			out = append(out, rec)
+		}
+	}
+	for name, t := range m.tomb {
+		out = append(out, t.syncRecord(now, name))
+	}
+	return out
+}
+
+// merge folds one peer's records into the local membership and reports the
+// member-set changes it caused. The rules make every router converge on
+// the same member set regardless of delivery order:
+//
+//   - higher transition version wins outright (a rejoin beats the leave it
+//     followed; a leave beats the join it followed);
+//   - equal versions with both sides leased merge by renewal recency
+//     (ages, so clock skew cancels) — same incarnation, later heartbeat;
+//   - equal versions with a tombstone on either side resolve toward the
+//     tombstone (removal is safe: a live worker's next direct heartbeat
+//     re-registers above the tombstone within one interval);
+//   - records about local seed members are ignored (config beats gossip);
+//   - an unknown member whose gossiped lease already expired in transit is
+//     not adopted — peers exchange live state, not corpses.
+//
+// Lease adoption computes expiry from the origin's renewal instant, so a
+// member kept alive by heartbeats to SOME router stays alive on every
+// router that syncs with it, within one sync interval.
+func (m *membership) merge(recs []syncRecord, now time.Time, defaultLease time.Duration) (joins, leaves int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for _, rec := range recs {
+		name := strings.TrimSuffix(rec.URL, "/")
+		if name == "" {
+			continue
+		}
+		var e *backend
+		idx := -1
+		for i, b := range m.members {
+			if b.name == name {
+				e, idx = b, i
+				break
+			}
+		}
+		eventAt := now.Add(-time.Duration(rec.AgeMS) * time.Millisecond)
+		lease := time.Duration(rec.LeaseMS) * time.Millisecond
+		if lease <= 0 {
+			lease = defaultLease
+		}
+		if lease < minLease {
+			lease = minLease
+		}
+		if lease > maxLease {
+			lease = maxLease
+		}
+		if rec.Gone {
+			if e != nil {
+				if !e.isLeased() {
+					continue // seeds are config-owned
+				}
+				if rec.Version >= e.getVersion() {
+					next := make([]*backend, 0, len(m.members)-1)
+					next = append(next, m.members[:idx]...)
+					next = append(next, m.members[idx+1:]...)
+					m.members = next
+					m.tomb[name] = &tombstone{version: rec.Version, at: eventAt, ttl: e.leaseTTL()}
+					leaves++
+					changed = true
+				}
+			} else if t := m.tomb[name]; t == nil || rec.Version > t.version {
+				m.tomb[name] = &tombstone{version: rec.Version, at: eventAt, ttl: lease}
+			}
+			continue
+		}
+		if t := m.tomb[name]; t != nil && t.version >= rec.Version {
+			continue // the remembered leave is at least as recent
+		}
+		if e != nil {
+			if !e.isLeased() {
+				continue // seeds are config-owned
+			}
+			switch v := e.getVersion(); {
+			case rec.Version > v:
+				e.adoptLease(rec.Version, lease, eventAt, now)
+			case rec.Version == v:
+				e.freshenLease(lease, eventAt, now)
+			}
+			continue
+		}
+		if !eventAt.Add(lease).After(now) {
+			continue // expired in transit
+		}
+		b, err := newBackend(name)
+		if err != nil {
+			continue
+		}
+		b.adoptLease(rec.Version, lease, eventAt, now)
+		delete(m.tomb, name)
+		m.members = append(append([]*backend(nil), m.members...), b)
+		joins++
+		changed = true
+	}
+	if changed {
+		m.rebuildLocked()
+	}
+	return joins, leaves
 }
 
 // sweep advances every member's lease clock: newly expired leases eject
@@ -160,7 +324,51 @@ func (m *membership) sweep(now time.Time, forgetAfter time.Duration) (expired, f
 		m.members = keep
 		m.rebuildLocked()
 	}
+	// Tombstone GC on the same horizon: once every peer has had ample time
+	// to learn a leave, the marker (and its resurrection guard) can go — a
+	// version-1 re-register after this point is indistinguishable from a
+	// brand-new member, which is exactly what it is by then.
+	for name, t := range m.tomb {
+		horizon := forgetAfter
+		if horizon <= 0 {
+			horizon = forgetFactor * t.ttl
+		}
+		if now.Sub(t.at) > horizon {
+			delete(m.tomb, name)
+		}
+	}
 	return expired, forgotten
+}
+
+// digest hashes the member set — sorted canonical URLs plus their
+// leased/seed class — into one comparable word. Because the ring is a pure
+// function of the member names, equal digests imply identical rings and
+// identical session placement: the "epoch-equivalent" check two routers
+// run against each other (epochs themselves are local rebuild counters and
+// legitimately differ across routers that converged along different event
+// orders).
+func (m *membership) digest() uint64 {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.members))
+	for _, b := range m.members {
+		tag := "seed"
+		if b.isLeased() {
+			tag = "leased"
+		}
+		names = append(names, b.name+"|"+tag)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	h := uint64(14695981039346656037)
+	for _, s := range names {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= uint64('\n')
+		h *= 1099511628211
+	}
+	return h
 }
 
 // leaseTTL reads the member's granted TTL (0 for seed members).
@@ -215,9 +423,13 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if lease > maxLease {
 		lease = maxLease
 	}
-	created, epoch := rt.mem.register(b, lease, time.Now())
+	created, epoch, rec := rt.mem.register(b, lease, time.Now())
 	if created {
 		rt.nJoins.Add(1)
+		// A genuine join is worth a proactive relay so peers converge at
+		// relay speed instead of anti-entropy speed; renewals ride the
+		// periodic sync (peers recompute freshness from record ages).
+		rt.relayToPeers(rec)
 	}
 	writeJSON(w, http.StatusOK, httpapi.RegisterResponse{
 		Epoch: epoch, LeaseMS: lease.Milliseconds(), Created: created,
@@ -239,9 +451,14 @@ func (rt *Router) handleDeregister(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "url required"})
 		return
 	}
-	removed, epoch := rt.mem.deregister(strings.TrimSuffix(req.URL, "/"))
+	removed, epoch, rec := rt.mem.deregister(strings.TrimSuffix(req.URL, "/"), time.Now())
 	if removed {
 		rt.nLeaves.Add(1)
+		if rec.Gone {
+			// Relay the tombstone so peers drop the member now rather than
+			// at their own lease expiry.
+			rt.relayToPeers(rec)
+		}
 	}
 	writeJSON(w, http.StatusOK, httpapi.DeregisterResponse{Epoch: epoch, Removed: removed})
 }

@@ -62,6 +62,18 @@ type Config struct {
 	// no lease and are never forgotten. May be empty — a router can start
 	// with no members and grow its fleet entirely through /v1/register.
 	Backends []string
+	// Peers lists the other llm-router instances fronting the same fleet,
+	// as base URLs. Peers replicate the lease-based membership state to
+	// one another (relay on join/leave + periodic anti-entropy over
+	// /v1/sync), so every router converges on the same member set and —
+	// placement being a pure function of membership — the same session
+	// placement. May be empty: a single router needs no peers.
+	Peers []string
+	// SyncInterval is the anti-entropy period: how often the full record
+	// set is push-pulled with each peer (default 500ms). It should be well
+	// under the worker lease TTL, so a router partitioned from a worker
+	// keeps its lease fresh through a peer's gossiped renewals.
+	SyncInterval time.Duration
 	// DefaultLease is the TTL granted to /v1/register calls that do not
 	// request one, and the lease scale behind the Retry-After hint on
 	// membership-flux rejections (default 15s).
@@ -132,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.RelayTimeout == 0 {
 		c.RelayTimeout = 30 * time.Second
 	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 500 * time.Millisecond
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 64,
@@ -145,9 +160,16 @@ func (c Config) withDefaults() Config {
 // surface a single worker does, so clients cannot tell one worker from a
 // routed fleet.
 type Router struct {
-	cfg Config
-	mem *membership
-	mux *http.ServeMux
+	cfg   Config
+	mem   *membership
+	mux   *http.ServeMux
+	peers []*peer
+
+	// initialSync latches once the first anti-entropy round has completed
+	// (immediately when no peers are configured); until then /healthz
+	// reports not-ready so a cold-started router is not handed traffic
+	// before it has tried to pull membership from its peers.
+	initialSync atomic.Bool
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -162,16 +184,18 @@ type Router struct {
 	drainOnce sync.Once
 
 	// Counters, exported on /v1/stats.
-	nRequests  atomic.Uint64 // everything that reached the handler
-	nProxied   atomic.Uint64 // completed with an upstream response
-	nRetries   atomic.Uint64 // extra placement attempts
-	nShed      atomic.Uint64 // 429 admission/backpressure rejections
-	nRejected  atomic.Uint64 // 503 drain/no-backend rejections
-	nErrors    atomic.Uint64 // exhausted retries or broke mid-stream
-	nJoins     atomic.Uint64 // new members admitted via /v1/register
-	nLeaves    atomic.Uint64 // members removed via /v1/deregister
-	nExpiries  atomic.Uint64 // leases that lapsed without renewal
-	nForgotten atomic.Uint64 // lapsed members removed from the ring
+	nRequests   atomic.Uint64 // everything that reached the handler
+	nProxied    atomic.Uint64 // completed with an upstream response
+	nRetries    atomic.Uint64 // extra placement attempts
+	nShed       atomic.Uint64 // 429 admission/backpressure rejections
+	nRejected   atomic.Uint64 // 503 drain/no-backend rejections
+	nErrors     atomic.Uint64 // exhausted retries or broke mid-stream
+	nJoins      atomic.Uint64 // new members admitted (register or peer sync)
+	nLeaves     atomic.Uint64 // members removed (deregister or peer sync)
+	nExpiries   atomic.Uint64 // leases that lapsed without renewal
+	nForgotten  atomic.Uint64 // lapsed members removed from the ring
+	nSyncRounds atomic.Uint64 // completed anti-entropy rounds
+	nSyncsIn    atomic.Uint64 // /v1/sync exchanges served for peers
 }
 
 // New builds the router and starts its health loop. onDrain, if non-nil,
@@ -195,6 +219,14 @@ func New(cfg Config, onDrain func()) (*Router, error) {
 		seeds = append(seeds, b)
 	}
 	rt.mem = newMembership(seeds)
+	peers, err := newPeers(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	rt.peers = peers
+	// With no peers there is nothing to sync: the cold-start readiness
+	// gate opens immediately.
+	rt.initialSync.Store(len(peers) == 0)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
@@ -206,10 +238,19 @@ func New(cfg Config, onDrain func()) (*Router, error) {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rt.Stats())
 	})
+	// /healthz mirrors the worker readiness contract: 200 only when this
+	// router can actually serve — it has finished its cold-start peer sync
+	// and sees at least one healthy backend — so a client (or a dumb TCP
+	// balancer) can fail over between routers on status alone.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if rt.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "draining")
+			return
+		}
+		if ok, why := rt.ready(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready: "+why)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -221,10 +262,15 @@ func New(cfg Config, onDrain func()) (*Router, error) {
 	})
 	mux.HandleFunc("POST /v1/register", rt.handleRegister)
 	mux.HandleFunc("POST /v1/deregister", rt.handleDeregister)
+	mux.HandleFunc("POST /v1/sync", rt.handleSync)
 	rt.mux = mux
 
 	rt.hwg.Add(1)
 	go rt.healthLoop()
+	if len(rt.peers) > 0 {
+		rt.hwg.Add(1)
+		go rt.syncLoop()
+	}
 	return rt, nil
 }
 
